@@ -1,0 +1,376 @@
+(* The qubikos command-line tool.
+
+   Subcommands:
+     generate    build a QUBIKOS instance, print its summary, emit QASM
+     verify      re-prove an instance's optimality (certificate + exact)
+     route       run a QLS tool on a circuit (generated or OpenQASM file)
+     evaluate    one Fig.-4-style panel: all tools over SWAP counts
+     study       the §IV-A optimality study
+     queko       build a QUEKO (0-SWAP, known-depth) instance
+     devices     list known architectures *)
+
+open Cmdliner
+
+module Device = Qls_arch.Device
+module Topologies = Qls_arch.Topologies
+module Circuit = Qls_circuit.Circuit
+module Qasm = Qls_circuit.Qasm
+module Transpiled = Qls_layout.Transpiled
+module Verifier = Qls_layout.Verifier
+module Router = Qls_router.Router
+module Registry = Qls_router.Registry
+module Benchmark = Qubikos.Benchmark
+module Generator = Qubikos.Generator
+module Certificate = Qubikos.Certificate
+module Evaluation = Qubikos.Evaluation
+module Queko = Qubikos.Queko
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let device_conv =
+  let parse s =
+    match Topologies.by_name s with
+    | Some d -> Ok d
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "unknown architecture %S (try: aspen4, sycamore, rochester, \
+                eagle, falcon, grid3x3, line<n>, ring<n>, grid<r>x<c>, \
+                heavyhex<d>)"
+               s))
+  in
+  let print ppf d = Format.fprintf ppf "%s" (Device.name d) in
+  Arg.conv (parse, print)
+
+let arch =
+  Arg.(
+    value
+    & opt device_conv (Topologies.aspen4 ())
+    & info [ "a"; "arch" ] ~docv:"ARCH" ~doc:"Target architecture.")
+
+let seed =
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"Generator seed.")
+
+let swaps =
+  Arg.(
+    value & opt int 5
+    & info [ "s"; "swaps" ] ~docv:"N" ~doc:"Designed optimal SWAP count.")
+
+let gates =
+  Arg.(
+    value & opt (some int) None
+    & info [ "g"; "gates" ] ~docv:"N"
+        ~doc:"Two-qubit gate budget (default: the paper's per-device size).")
+
+let config_of device ~n_swaps ~gates ~seed =
+  {
+    Generator.default_config with
+    n_swaps;
+    gate_budget = Option.value ~default:(Evaluation.paper_gate_budget device) gates;
+    seed;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* generate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let generate_cmd =
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write OpenQASM 2.0 here.")
+  in
+  let save =
+    Arg.(
+      value & opt (some string) None
+      & info [ "save" ] ~docv:"FILE"
+          ~doc:
+            "Write the full instance (circuit + designed schedule + \
+             certificate metadata) in the .qbk format; `verify --file` \
+             re-proves it.")
+  in
+  let run device n_swaps gates seed out save =
+    let bench = Generator.generate ~config:(config_of device ~n_swaps ~gates ~seed) device in
+    Format.printf "%a@." Benchmark.pp_summary bench;
+    Format.printf "designed schedule: %d swaps, physical depth %d@."
+      (Transpiled.swap_count bench.Benchmark.designed)
+      (Transpiled.depth bench.Benchmark.designed);
+    (match out with
+    | Some path ->
+        Qasm.write_file path bench.Benchmark.circuit;
+        Format.printf "wrote %s@." path
+    | None -> ());
+    (match save with
+    | Some path ->
+        Qubikos.Serialize.save path bench;
+        Format.printf "saved instance to %s@." path
+    | None -> ());
+    0
+  in
+  let doc = "Generate a QUBIKOS benchmark with a known optimal SWAP count." in
+  Cmd.v (Cmd.info "generate" ~doc)
+    Term.(const run $ arch $ swaps $ gates $ seed $ out $ save)
+
+(* ------------------------------------------------------------------ *)
+(* verify                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let verify_cmd =
+  let exact =
+    Arg.(
+      value & flag
+      & info [ "exact" ]
+          ~doc:"Also refute (optimal - 1) SWAPs with the exact solver.")
+  in
+  let budget =
+    Arg.(
+      value & opt int 150_000_000
+      & info [ "node-budget" ] ~docv:"N" ~doc:"Exact-solver search budget.")
+  in
+  let file =
+    Arg.(
+      value & opt (some Cmdliner.Arg.file) None
+      & info [ "f"; "file" ] ~docv:"FILE"
+          ~doc:"Re-prove a saved .qbk instance instead of regenerating one.")
+  in
+  let run device n_swaps gates seed exact budget file =
+    let bench =
+      match file with
+      | Some path -> Qubikos.Serialize.load path
+      | None ->
+          Generator.generate ~config:(config_of device ~n_swaps ~gates ~seed) device
+    in
+    Format.printf "%a@." Benchmark.pp_summary bench;
+    match Certificate.check bench with
+    | Error fs ->
+        Format.printf "certificate FAILED:@.%a@."
+          (Format.pp_print_list Certificate.pp_failure)
+          fs;
+        1
+    | Ok () ->
+        Format.printf "structural certificate: OK (Lemmas 1-3 + designed schedule)@.";
+        if exact then begin
+          let r = Certificate.check_exact ~node_budget:budget bench in
+          match r.Certificate.exact_agrees with
+          | Some true ->
+              Format.printf "exact solver: confirmed (no %d-swap solution exists)@."
+                (bench.Benchmark.optimal_swaps - 1);
+              0
+          | Some false ->
+              Format.printf "exact solver: REFUTED the certificate (bug!)@.";
+              1
+          | None ->
+              Format.printf "exact solver: budget exhausted (inconclusive)@.";
+              0
+        end
+        else 0
+  in
+  let doc = "Re-prove the optimality of a generated instance." in
+  Cmd.v (Cmd.info "verify" ~doc)
+    Term.(const run $ arch $ swaps $ gates $ seed $ exact $ budget $ file)
+
+(* ------------------------------------------------------------------ *)
+(* route                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let route_cmd =
+  let tool =
+    Arg.(
+      value & opt string "sabre"
+      & info [ "t"; "tool" ] ~docv:"TOOL"
+          ~doc:
+            "QLS tool: sabre, sabre-decay, mlqls, qmap, tket, transition, \
+             exact, olsq.")
+  in
+  let trials =
+    Arg.(
+      value & opt int 20
+      & info [ "trials" ] ~docv:"N" ~doc:"SABRE randomised trials.")
+  in
+  let input =
+    Arg.(
+      value & opt (some file) None
+      & info [ "i"; "input" ] ~docv:"FILE"
+          ~doc:"Route this OpenQASM 2.0 file instead of a generated instance.")
+  in
+  let run device n_swaps gates seed tool trials input =
+    match Registry.by_name ~sabre_trials:trials tool with
+    | None ->
+        Format.eprintf "unknown tool %S (known: %s)@." tool
+          (String.concat ", " Registry.names);
+        2
+    | Some router -> (
+        let circuit, optimal =
+          match input with
+          | Some path -> (Qasm.read_file path, None)
+          | None ->
+              let bench =
+                Generator.generate ~config:(config_of device ~n_swaps ~gates ~seed) device
+              in
+              Format.printf "%a@." Benchmark.pp_summary bench;
+              (bench.Benchmark.circuit, Some bench.Benchmark.optimal_swaps)
+        in
+        let t0 = Unix.gettimeofday () in
+        let _, report = Router.run_verified router device circuit in
+        let dt = Unix.gettimeofday () -. t0 in
+        Format.printf "%s: %d swaps, depth %d, %.2fs (result verified)@." tool
+          report.Verifier.swap_count report.Verifier.depth dt;
+        (match optimal with
+        | Some opt ->
+            Format.printf "optimal: %d swaps -> ratio %.2fx@." opt
+              (float_of_int report.Verifier.swap_count /. float_of_int opt)
+        | None -> ());
+        0)
+  in
+  let doc = "Run a layout-synthesis tool and verify its output." in
+  Cmd.v (Cmd.info "route" ~doc)
+    Term.(const run $ arch $ swaps $ gates $ seed $ tool $ trials $ input)
+
+(* ------------------------------------------------------------------ *)
+(* evaluate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let evaluate_cmd =
+  let circuits =
+    Arg.(
+      value & opt int 3
+      & info [ "circuits" ] ~docv:"N" ~doc:"Instances per (device, SWAP count).")
+  in
+  let trials =
+    Arg.(
+      value & opt int 5 & info [ "trials" ] ~docv:"N" ~doc:"SABRE trials.")
+  in
+  let counts =
+    Arg.(
+      value
+      & opt (list int) [ 5; 10; 15; 20 ]
+      & info [ "counts" ] ~docv:"N,N,.." ~doc:"Designed SWAP counts.")
+  in
+  let full =
+    Arg.(
+      value & flag
+      & info [ "full" ] ~doc:"Paper-scale: 10 circuits/point, 1000 trials.")
+  in
+  let run device circuits trials counts full seed =
+    let config =
+      if full then Evaluation.paper_figure_config device
+      else
+        {
+          (Evaluation.default_figure_config device) with
+          circuits_per_point = circuits;
+          sabre_trials = trials;
+          swap_counts = counts;
+          seed;
+        }
+    in
+    let points = Evaluation.run_figure ~config device in
+    Format.printf "@[<v>%a@]@." Evaluation.pp_points points;
+    Format.printf "mean optimality gap per tool:@.";
+    List.iter
+      (fun (tool, gap) -> Format.printf "  %-12s %8.1fx@." tool gap)
+      (Evaluation.tool_gap_summary points);
+    0
+  in
+  let doc = "Reproduce one Fig.-4 panel (all tools, SWAP ratio per point)." in
+  Cmd.v (Cmd.info "evaluate" ~doc)
+    Term.(const run $ arch $ circuits $ trials $ counts $ full $ seed)
+
+(* ------------------------------------------------------------------ *)
+(* study                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let study_cmd =
+  let circuits =
+    Arg.(
+      value & opt int 5
+      & info [ "circuits" ] ~docv:"N" ~doc:"Instances per SWAP count.")
+  in
+  let counts =
+    Arg.(
+      value
+      & opt (list int) [ 1; 2; 3; 4 ]
+      & info [ "counts" ] ~docv:"N,N,.." ~doc:"Designed SWAP counts.")
+  in
+  let budget =
+    Arg.(
+      value & opt int 2_000_000
+      & info [ "node-budget" ] ~docv:"N"
+          ~doc:"Exact-solver budget (SAT conflicts).")
+  in
+  let run device circuits counts budget seed =
+    let rows =
+      Evaluation.run_optimality_study ~circuits_per_count:circuits
+        ~swap_counts:counts ~gate_budget:40 ~saturation_cap:1
+        ~node_budget:budget ~seed device
+    in
+    Format.printf "@[<v>%a@]@." Evaluation.pp_optimality rows;
+    0
+  in
+  let doc = "Reproduce the optimality study (paper §IV-A)." in
+  Cmd.v (Cmd.info "study" ~doc)
+    Term.(const run $ arch $ circuits $ counts $ budget $ seed)
+
+(* ------------------------------------------------------------------ *)
+(* queko                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let queko_cmd =
+  let depth =
+    Arg.(
+      value & opt int 20
+      & info [ "d"; "depth" ] ~docv:"N" ~doc:"Designed two-qubit depth.")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write OpenQASM 2.0 here.")
+  in
+  let run device depth seed out =
+    let q = Queko.generate ~seed ~depth device in
+    Format.printf "queko[%s, %d 2q gates, depth %d, optimal swaps 0]@."
+      (Device.name device)
+      (Circuit.two_qubit_count q.Queko.circuit)
+      q.Queko.optimal_depth;
+    Format.printf "swap-free placement exists: %b@." (Queko.verify_swap_free q);
+    (match out with
+    | Some path ->
+        Qasm.write_file path q.Queko.circuit;
+        Format.printf "wrote %s@." path
+    | None -> ());
+    0
+  in
+  let doc = "Generate a QUEKO-style benchmark (0 SWAPs, known depth)." in
+  Cmd.v (Cmd.info "queko" ~doc) Term.(const run $ arch $ depth $ seed $ out)
+
+(* ------------------------------------------------------------------ *)
+(* devices                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let devices_cmd =
+  let run () =
+    List.iter
+      (fun d ->
+        Format.printf "%-10s %4d qubits, %4d couplers, diameter %2d, max degree %d@."
+          (Device.name d) (Device.n_qubits d) (Device.n_edges d)
+          (Device.diameter d) (Device.max_degree d))
+      (Topologies.all_paper_devices ()
+      @ [ Topologies.falcon27 (); Topologies.grid 3 3 ]);
+    Format.printf "parametric: line<n>, ring<n>, grid<r>x<c>, heavyhex<d>@.";
+    0
+  in
+  let doc = "List the known architectures." in
+  Cmd.v (Cmd.info "devices" ~doc) Term.(const run $ const ())
+
+let () =
+  let doc = "QUBIKOS: quantum layout synthesis benchmarks with known optimal SWAP counts." in
+  let info = Cmd.info "qubikos" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            generate_cmd; verify_cmd; route_cmd; evaluate_cmd; study_cmd;
+            queko_cmd; devices_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/case_study_sabre.ml: Format List Printf Qls_arch Qls_layout Qls_router Qubikos String

@@ -1,0 +1,1 @@
+examples/evaluate_routers.ml: Format List Qls_arch Qubikos

@@ -1,0 +1,1 @@
+examples/evaluate_routers.mli:

@@ -1,0 +1,1 @@
+examples/fidelity_impact.ml: Format List Option Qls_arch Qls_graph Qls_layout Qls_router Qubikos

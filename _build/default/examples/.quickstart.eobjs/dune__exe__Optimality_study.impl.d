@@ -1,0 +1,1 @@
+examples/optimality_study.ml: Format List Qls_arch Qubikos

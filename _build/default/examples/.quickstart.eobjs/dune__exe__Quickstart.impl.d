@@ -1,0 +1,1 @@
+examples/quickstart.ml: Filename Format Option Qls_arch Qls_circuit Qls_layout Qls_router Qubikos

@@ -1,0 +1,29 @@
+(* A miniature Fig.-4 panel: evaluate all four QLS tools on QUBIKOS
+   instances for one device and print the SWAP ratios.
+
+   Run with:  dune exec examples/evaluate_routers.exe *)
+
+module Evaluation = Qubikos.Evaluation
+module Topologies = Qls_arch.Topologies
+
+let () =
+  let device = Topologies.aspen4 () in
+  let config =
+    {
+      (Evaluation.default_figure_config device) with
+      swap_counts = [ 5; 10 ];
+      circuits_per_point = 2;
+      sabre_trials = 5;
+      seed = 3;
+    }
+  in
+  Format.printf
+    "Tool evaluation on %s (cf. paper Fig. 4(a)): SWAP ratio is the mean@."
+    (Qls_arch.Device.name device);
+  Format.printf "inserted SWAP count divided by the known optimum.@.@.";
+  let points = Evaluation.run_figure ~config device in
+  Format.printf "@[<v>%a@]@." Evaluation.pp_points points;
+  Format.printf "mean optimality gap per tool (1.0x = optimal):@.";
+  List.iter
+    (fun (tool, gap) -> Format.printf "  %-8s %6.1fx@." tool gap)
+    (Evaluation.tool_gap_summary points)

@@ -1,0 +1,44 @@
+(* Fidelity impact of layout quality (extension of the paper's
+   motivation): estimate the success probability of transpiled circuits
+   under a calibrated-style error model, comparing the designed-optimal
+   schedule against real tools.
+
+   Run with:  dune exec examples/fidelity_impact.exe *)
+
+module Topologies = Qls_arch.Topologies
+module Noise = Qls_arch.Noise
+module Transpiled = Qls_layout.Transpiled
+module Fidelity = Qls_layout.Fidelity
+module Router = Qls_router.Router
+module Registry = Qls_router.Registry
+module Generator = Qubikos.Generator
+module Benchmark = Qubikos.Benchmark
+
+let () =
+  let device = Topologies.aspen4 () in
+  let bench =
+    Generator.generate
+      ~config:
+        { Generator.default_config with n_swaps = 5; gate_budget = 300; seed = 5 }
+      device
+  in
+  (* A per-qubit randomised error model, like real calibration data. *)
+  let rng = Qls_graph.Rng.create 42 in
+  let noise = Noise.random rng ~q2:7e-3 ~spread:3.0 device in
+  Format.printf "instance: %a@." Benchmark.pp_summary bench;
+  let (bp, be) = Noise.best_coupler noise and (wp, we) = Noise.worst_coupler noise in
+  Format.printf "noise: best coupler (%d,%d) @ %.2e, worst (%d,%d) @ %.2e@.@."
+    (fst bp) (snd bp) be (fst wp) (snd wp) we;
+  let show name t =
+    Format.printf "  %-10s %4d swaps   log-success %8.3f   swap overhead %7.3f@."
+      name (Transpiled.swap_count t)
+      (Fidelity.log_success noise t)
+      (Fidelity.swap_overhead_cost noise t)
+  in
+  show "designed" bench.Benchmark.designed;
+  List.iter
+    (fun name ->
+      let tool = Option.get (Registry.by_name ~sabre_trials:5 name) in
+      let t, _ = Router.run_verified tool device bench.Benchmark.circuit in
+      show name t)
+    [ "sabre"; "tket"; "transition" ]

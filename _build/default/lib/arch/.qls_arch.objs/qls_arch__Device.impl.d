@@ -1,0 +1,1 @@
+lib/arch/device.ml: Format Printf Qls_graph

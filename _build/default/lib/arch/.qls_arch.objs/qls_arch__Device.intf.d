@@ -1,0 +1,1 @@
+lib/arch/device.mli: Format Qls_graph

@@ -1,0 +1,1 @@
+lib/arch/noise.ml: Array Device Float Hashtbl List Printf Qls_graph

@@ -1,0 +1,1 @@
+lib/arch/noise.mli: Device Qls_graph

@@ -1,0 +1,1 @@
+lib/arch/topologies.ml: Array Device List Option Printf Qls_graph String

@@ -1,0 +1,29 @@
+module Graph = Qls_graph.Graph
+module Apsp = Qls_graph.Apsp
+module Vf2 = Qls_graph.Vf2
+
+type t = { name : string; graph : Graph.t; dist : Apsp.t }
+
+let create ~name g =
+  if Graph.n_vertices g = 0 then invalid_arg "Device.create: empty graph";
+  if not (Graph.is_connected g) then
+    invalid_arg (Printf.sprintf "Device.create: %S is disconnected" name);
+  { name; graph = g; dist = Apsp.compute g }
+
+let name d = d.name
+let graph d = d.graph
+let n_qubits d = Graph.n_vertices d.graph
+let n_edges d = Graph.n_edges d.graph
+let distance d p p' = Apsp.dist d.dist p p'
+let diameter d = Apsp.diameter d.dist
+let coupled d p p' = Graph.mem_edge d.graph p p'
+let neighbors d p = Graph.neighbors d.graph p
+let degree d p = Graph.degree d.graph p
+let max_degree d = Graph.max_degree d.graph
+let edges d = Graph.edges d.graph
+
+let automorphisms ?(limit = 10_000) d =
+  Vf2.count ~limit ~pattern:d.graph ~target:d.graph ()
+
+let pp ppf d =
+  Format.fprintf ppf "%s(%d qubits, %d couplers)" d.name (n_qubits d) (n_edges d)

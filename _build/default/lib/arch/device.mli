@@ -1,0 +1,56 @@
+(** A quantum device, as seen by layout synthesis: a named, connected
+    coupling graph with a precomputed all-pairs distance matrix.
+
+    Physical qubits are the graph's vertices. Routers only ever query the
+    coupling structure and hop distances, so this type is the whole
+    hardware model (paper §II). *)
+
+type t
+(** A device. *)
+
+val create : name:string -> Qls_graph.Graph.t -> t
+(** [create ~name g] wraps a coupling graph.
+    @raise Invalid_argument if [g] is disconnected or has no vertices —
+    QLS on a disconnected device is ill-posed. *)
+
+val name : t -> string
+(** Human-readable device name (e.g. ["aspen4"]). *)
+
+val graph : t -> Qls_graph.Graph.t
+(** The coupling graph. *)
+
+val n_qubits : t -> int
+(** Number of physical qubits. *)
+
+val n_edges : t -> int
+(** Number of couplers. *)
+
+val distance : t -> int -> int -> int
+(** [distance d p p'] is the hop distance between physical qubits. *)
+
+val diameter : t -> int
+(** Coupling-graph diameter. *)
+
+val coupled : t -> int -> int -> bool
+(** Whether a two-qubit gate can run directly on [(p, p')]. *)
+
+val neighbors : t -> int -> int list
+(** Physical neighbours of a qubit. *)
+
+val degree : t -> int -> int
+(** Coupler count of a qubit. *)
+
+val max_degree : t -> int
+(** Largest coupler count on the device. *)
+
+val edges : t -> (int * int) list
+(** Canonical coupler list. *)
+
+val automorphisms : ?limit:int -> t -> int
+(** Number of coupling-graph automorphisms, counted up to [limit]
+    (default 10_000). The paper attributes part of IBM Rochester's large
+    optimality gap to its "fewer axes of symmetry"; this makes that
+    quantitative. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints name, qubit and coupler counts. *)

@@ -1,0 +1,83 @@
+module Rng = Qls_graph.Rng
+
+type t = {
+  device : Device.t;
+  q1 : float array;
+  q2 : (int * int, float) Hashtbl.t; (* canonical coupler -> error *)
+  readout : float array;
+}
+
+let canon p p' = if p < p' then (p, p') else (p', p)
+
+let check_rate name r =
+  if r < 0.0 || r >= 1.0 then
+    invalid_arg (Printf.sprintf "Noise: %s rate %g outside [0, 1)" name r)
+
+let uniform ?(q1 = 1e-4) ?(q2 = 7e-3) ?(readout = 1.5e-2) device =
+  check_rate "q1" q1;
+  check_rate "q2" q2;
+  check_rate "readout" readout;
+  let n = Device.n_qubits device in
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun (p, p') -> Hashtbl.replace tbl (canon p p') q2) (Device.edges device);
+  {
+    device;
+    q1 = Array.make n q1;
+    q2 = tbl;
+    readout = Array.make n readout;
+  }
+
+let random rng ?(q1 = 1e-4) ?(q2 = 7e-3) ?(readout = 1.5e-2) ?(spread = 3.0)
+    device =
+  check_rate "q1" q1;
+  check_rate "q2" q2;
+  check_rate "readout" readout;
+  if spread < 1.0 then invalid_arg "Noise.random: spread must be >= 1";
+  let draw median =
+    (* log-uniform in [median / spread, median * spread], capped below 1 *)
+    let lo = log (median /. spread) and hi = log (median *. spread) in
+    Float.min 0.999 (exp (lo +. Rng.float rng (hi -. lo)))
+  in
+  let n = Device.n_qubits device in
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (p, p') -> Hashtbl.replace tbl (canon p p') (draw q2))
+    (Device.edges device);
+  {
+    device;
+    q1 = Array.init n (fun _ -> draw q1);
+    q2 = tbl;
+    readout = Array.init n (fun _ -> draw readout);
+  }
+
+let device t = t.device
+
+let q1_error t p =
+  if p < 0 || p >= Array.length t.q1 then
+    invalid_arg "Noise.q1_error: qubit out of range";
+  t.q1.(p)
+
+let q2_error t p p' =
+  match Hashtbl.find_opt t.q2 (canon p p') with
+  | Some e -> e
+  | None ->
+      invalid_arg (Printf.sprintf "Noise.q2_error: (%d,%d) is not a coupler" p p')
+
+let readout_error t p =
+  if p < 0 || p >= Array.length t.readout then
+    invalid_arg "Noise.readout_error: qubit out of range";
+  t.readout.(p)
+
+let extremum_coupler ~better t =
+  Hashtbl.fold
+    (fun edge e acc ->
+      match acc with
+      | Some (_, be) when not (better e be) -> acc
+      | _ -> Some (edge, e))
+    t.q2 None
+  |> function
+  | Some x -> x
+  | None -> invalid_arg "Noise: device has no couplers"
+
+let best_coupler t = extremum_coupler ~better:(fun e be -> e < be) t
+let worst_coupler t = extremum_coupler ~better:(fun e be -> e > be) t

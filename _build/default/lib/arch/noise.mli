@@ -1,0 +1,47 @@
+(** Per-device error models.
+
+    The paper's motivation for minimising SWAP count is fidelity: every
+    inserted SWAP costs three CNOTs of error. This module gives devices a
+    simple depolarising-style error model — per-qubit single-qubit and
+    readout error rates and per-coupler two-qubit error rates — so the
+    fidelity impact of a layout tool's SWAP overhead can be quantified
+    ({!Qls_layout.Fidelity}).
+
+    Rates are probabilities in [\[0, 1)]; typical superconducting values
+    are [~1e-4] (1q), [~5e-3..1e-2] (2q), [~1e-2] (readout). *)
+
+type t
+(** An error model bound to a device. *)
+
+val uniform :
+  ?q1:float -> ?q2:float -> ?readout:float -> Device.t -> t
+(** [uniform device] assigns every qubit and coupler the same rates
+    (defaults: [q1 = 1e-4], [q2 = 7e-3], [readout = 1.5e-2]).
+    @raise Invalid_argument on a rate outside [\[0, 1)]. *)
+
+val random :
+  Qls_graph.Rng.t ->
+  ?q1:float -> ?q2:float -> ?readout:float -> ?spread:float ->
+  Device.t -> t
+(** [random rng device] draws each rate log-uniformly within a factor of
+    [spread] (default 3.0) around the given medians — the qubit-to-qubit
+    variability real calibration data shows. *)
+
+val device : t -> Device.t
+(** The device the model is bound to. *)
+
+val q1_error : t -> int -> float
+(** Single-qubit gate error on a physical qubit. *)
+
+val q2_error : t -> int -> int -> float
+(** Two-qubit gate error on a coupler (order-insensitive).
+    @raise Invalid_argument if [(p, p')] is not a coupler. *)
+
+val readout_error : t -> int -> float
+(** Measurement error on a physical qubit. *)
+
+val best_coupler : t -> (int * int) * float
+(** The lowest-error coupler and its rate. *)
+
+val worst_coupler : t -> (int * int) * float
+(** The highest-error coupler and its rate. *)

@@ -1,0 +1,159 @@
+module Graph = Qls_graph.Graph
+module Generators = Qls_graph.Generators
+
+let line n = Device.create ~name:(Printf.sprintf "line%d" n) (Generators.path n)
+let ring n = Device.create ~name:(Printf.sprintf "ring%d" n) (Generators.cycle n)
+
+let grid rows cols =
+  Device.create
+    ~name:(Printf.sprintf "grid%dx%d" rows cols)
+    (Generators.grid rows cols)
+
+(* Heavy-hex lattice in the IBM Eagle (ibm_washington) numbering: rows of
+   [row_len] qubits (the first row drops its last column, the last row its
+   first), with spacer qubits between consecutive rows every 4 columns,
+   the spacer column offset alternating between 0 and 2. Qubit ids run row
+   by row with each inter-row spacer block numbered between its rows,
+   matching IBM's published layout. *)
+let heavy_hex_rows ~n_rows ~row_len =
+  if n_rows < 2 then invalid_arg "heavy_hex: need at least 2 rows";
+  if row_len < 3 then invalid_arg "heavy_hex: need row length >= 3";
+  let col_range r =
+    if r = 0 then (0, row_len - 2)
+    else if r = n_rows - 1 then (1, row_len - 1)
+    else (0, row_len - 1)
+  in
+  (* Assign ids. *)
+  let next = ref 0 in
+  let fresh () =
+    let v = !next in
+    incr next;
+    v
+  in
+  let row_id = Array.make n_rows [||] in
+  let edges = ref [] in
+  let spacer_info = ref [] in
+  (* (row r, col c, id) pending spacers to connect to row r+1 *)
+  for r = 0 to n_rows - 1 do
+    let lo, hi = col_range r in
+    let ids = Array.make row_len (-1) in
+    for c = lo to hi do
+      ids.(c) <- fresh ();
+      if c > lo then edges := (ids.(c - 1), ids.(c)) :: !edges
+    done;
+    row_id.(r) <- ids;
+    (* Connect the spacers hanging from the previous row. *)
+    List.iter
+      (fun (c, sid) ->
+        if ids.(c) >= 0 then edges := (sid, ids.(c)) :: !edges)
+      !spacer_info;
+    spacer_info := [];
+    if r < n_rows - 1 then begin
+      let offset = if r mod 2 = 0 then 0 else 2 in
+      let lo', hi' = col_range (r + 1) in
+      let c = ref offset in
+      while !c < row_len do
+        if !c >= lo && !c <= hi && !c >= lo' && !c <= hi' then begin
+          let sid = fresh () in
+          edges := (ids.(!c), sid) :: !edges;
+          spacer_info := !spacer_info @ [ (!c, sid) ]
+        end;
+        c := !c + 4
+      done
+    end
+  done;
+  Graph.create !next !edges
+
+let heavy_hex ~distance =
+  if distance < 3 || distance mod 2 = 0 then
+    invalid_arg "heavy_hex: distance must be odd and >= 3";
+  let g = heavy_hex_rows ~n_rows:distance ~row_len:((2 * distance) + 1) in
+  Device.create ~name:(Printf.sprintf "heavyhex%d" distance) g
+
+let aspen4 () =
+  (* Two octagonal rings bridged by two couplers; Rigetti's 10-17 labels
+     for the second ring are renumbered to 8-15. *)
+  let ring_a = List.init 8 (fun i -> (i, (i + 1) mod 8)) in
+  let ring_b = List.init 8 (fun i -> (8 + i, 8 + ((i + 1) mod 8))) in
+  let bridges = [ (1, 14); (2, 13) ] in
+  Device.create ~name:"aspen4" (Graph.create 16 (ring_a @ ring_b @ bridges))
+
+let sycamore54 () =
+  (* 9 x 6 diagonal (45-degree rotated) grid: qubit (r, c) is r*6 + c;
+     each qubit couples to the two diagonal neighbours in the next row. *)
+  let rows = 9 and cols = 6 in
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 2 do
+    for c = 0 to cols - 1 do
+      edges := (id r c, id (r + 1) c) :: !edges;
+      if r mod 2 = 0 then begin
+        if c + 1 < cols then edges := (id r c, id (r + 1) (c + 1)) :: !edges
+      end
+      else if c - 1 >= 0 then edges := (id r c, id (r + 1) (c - 1)) :: !edges
+    done
+  done;
+  Device.create ~name:"sycamore" (Graph.create (rows * cols) !edges)
+
+let rochester_edges =
+  [
+    (0, 1); (0, 5); (1, 2); (2, 3); (3, 4); (4, 6); (5, 9); (6, 13);
+    (7, 8); (7, 16); (8, 9); (9, 10); (10, 11); (11, 12); (11, 17);
+    (12, 13); (13, 14); (14, 15); (15, 18); (16, 19); (17, 23); (18, 27);
+    (19, 20); (20, 21); (21, 22); (21, 28); (22, 23); (23, 24); (24, 25);
+    (25, 26); (25, 29); (26, 27); (28, 32); (29, 36); (30, 31); (30, 39);
+    (31, 32); (32, 33); (33, 34); (34, 35); (34, 40); (35, 36); (36, 37);
+    (37, 38); (38, 41); (39, 42); (40, 46); (41, 50); (42, 43); (43, 44);
+    (44, 45); (44, 51); (45, 46); (46, 47); (47, 48); (48, 49); (48, 52);
+    (49, 50);
+  ]
+
+let rochester () =
+  Device.create ~name:"rochester" (Graph.create 53 rochester_edges)
+
+let eagle127 () =
+  let g = heavy_hex_rows ~n_rows:7 ~row_len:15 in
+  assert (Graph.n_vertices g = 127);
+  assert (Graph.n_edges g = 144);
+  Device.create ~name:"eagle" g
+
+let falcon27_edges =
+  [
+    (0, 1); (1, 2); (2, 3); (3, 5); (1, 4); (4, 7); (5, 8); (6, 7);
+    (7, 10); (8, 9); (8, 11); (10, 12); (11, 14); (12, 13); (12, 15);
+    (13, 14); (14, 16); (15, 18); (16, 19); (17, 18); (18, 21); (19, 20);
+    (19, 22); (21, 23); (22, 25); (23, 24); (24, 25); (25, 26);
+  ]
+
+let falcon27 () = Device.create ~name:"falcon" (Graph.create 27 falcon27_edges)
+
+let all_paper_devices () = [ aspen4 (); sycamore54 (); rochester (); eagle127 () ]
+
+let parse_parametric name =
+  let starts_with p = String.length name > String.length p
+                      && String.sub name 0 (String.length p) = p in
+  let tail p = String.sub name (String.length p) (String.length name - String.length p) in
+  if starts_with "line" then
+    Option.map line (int_of_string_opt (tail "line"))
+  else if starts_with "ring" then
+    Option.map ring (int_of_string_opt (tail "ring"))
+  else if starts_with "grid" then
+    match String.split_on_char 'x' (tail "grid") with
+    | [ r; c ] -> (
+        match (int_of_string_opt r, int_of_string_opt c) with
+        | Some r, Some c when r > 0 && c > 0 -> Some (grid r c)
+        | _ -> None)
+    | _ -> None
+  else if starts_with "heavyhex" then
+    Option.map (fun d -> heavy_hex ~distance:d) (int_of_string_opt (tail "heavyhex"))
+  else None
+
+let by_name name =
+  match name with
+  | "aspen4" | "aspen-4" -> Some (aspen4 ())
+  | "sycamore" | "sycamore54" -> Some (sycamore54 ())
+  | "rochester" -> Some (rochester ())
+  | "eagle" | "eagle127" -> Some (eagle127 ())
+  | "falcon" | "falcon27" -> Some (falcon27 ())
+  | "grid3x3" -> Some (grid 3 3)
+  | _ -> ( try parse_parametric name with Invalid_argument _ -> None)

@@ -1,0 +1,52 @@
+(** The device topologies used in the paper, plus parametric families.
+
+    Concrete devices (paper §IV): Rigetti Aspen-4 (16q), Google Sycamore
+    (54q), IBM Rochester (53q), IBM Eagle (127q), and the 3×3 grid used in
+    the optimality study. Exact layouts as built are documented in
+    DESIGN.md §8. *)
+
+val line : int -> Device.t
+(** [line n] is a 1-D chain, the architecture of Fig. 1(d). *)
+
+val ring : int -> Device.t
+(** [ring n] is a cycle ([n >= 3]). *)
+
+val grid : int -> int -> Device.t
+(** [grid rows cols] is a 2-D mesh. [grid 3 3] is the optimality-study
+    device. *)
+
+val heavy_hex : distance:int -> Device.t
+(** IBM heavy-hex lattice family: [distance] rows of [2*distance + 1]
+    qubits plus spacer qubits (odd, [>= 3]). [distance = 3] gives 23
+    qubits, [distance = 5] gives 65, and [distance = 7] is exactly the
+    127-qubit Eagle lattice. Used as a parametric family in tests and
+    ablations. *)
+
+val aspen4 : unit -> Device.t
+(** Rigetti Aspen-4, 16 qubits: two octagonal rings bridged by two
+    couplers. *)
+
+val sycamore54 : unit -> Device.t
+(** Google Sycamore, 54 qubits: 9×6 diagonal (45°-rotated) grid, 88
+    couplers. *)
+
+val rochester : unit -> Device.t
+(** IBM Rochester, 53 qubits: the published hexagonal-ladder coupling
+    list, 58 couplers. *)
+
+val eagle127 : unit -> Device.t
+(** IBM Eagle (ibm_washington pattern), 127 qubits: heavy-hex rows of
+    14/15 with 4 spacer qubits between rows; 144 couplers. *)
+
+val falcon27 : unit -> Device.t
+(** IBM Falcon (ibm_cairo pattern), 27 qubits — a mid-size heavy-hex used
+    in tests. *)
+
+val by_name : string -> Device.t option
+(** Lookup in the registry: ["aspen4"], ["sycamore"], ["rochester"],
+    ["eagle"], ["falcon"], ["grid3x3"], plus parametric forms
+    ["line<n>"], ["ring<n>"], ["grid<r>x<c>"]. *)
+
+val all_paper_devices : unit -> Device.t list
+(** The four Figure-4 devices, in paper order:
+    Aspen-4, Sycamore, Rochester, Eagle. *)

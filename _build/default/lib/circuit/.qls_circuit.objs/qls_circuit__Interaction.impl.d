@@ -1,0 +1,1 @@
+lib/circuit/interaction.ml: Circuit Gate Option Qls_graph

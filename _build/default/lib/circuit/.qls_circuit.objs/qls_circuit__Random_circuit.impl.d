@@ -1,0 +1,1 @@
+lib/circuit/random_circuit.ml: Array Circuit Float Gate List Qls_graph

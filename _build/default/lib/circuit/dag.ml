@@ -1,0 +1,114 @@
+type t = {
+  pairs : (int * int) array;          (* qubit pair per DAG vertex *)
+  circuit_index : int array;          (* position in the full gate sequence *)
+  succs : int list array;
+  preds : int list array;
+  memo : (int, Bytes.t) Hashtbl.t;    (* vertex -> descendant bitset *)
+}
+
+let of_circuit c =
+  let two = Circuit.two_qubit_gates c in
+  let n = List.length two in
+  let pairs = Array.make n (0, 0) in
+  let circuit_index = Array.make n 0 in
+  List.iteri
+    (fun i (ci, pq) ->
+      pairs.(i) <- pq;
+      circuit_index.(i) <- ci)
+    two;
+  let succs = Array.make n [] in
+  let preds = Array.make n [] in
+  let last_on = Array.make (max 1 (Circuit.n_qubits c)) (-1) in
+  for i = 0 to n - 1 do
+    let a, b = pairs.(i) in
+    let link q =
+      let j = last_on.(q) in
+      if j >= 0 then begin
+        (* Avoid duplicate arcs when both qubits were last touched by the
+           same gate. *)
+        if not (List.mem i succs.(j)) then begin
+          succs.(j) <- i :: succs.(j);
+          preds.(i) <- j :: preds.(i)
+        end
+      end;
+      last_on.(q) <- i
+    in
+    link a;
+    link b
+  done;
+  Array.iteri (fun i l -> succs.(i) <- List.rev l) succs;
+  Array.iteri (fun i l -> preds.(i) <- List.rev l) preds;
+  { pairs; circuit_index; succs; preds; memo = Hashtbl.create 16 }
+
+let n_gates d = Array.length d.pairs
+let pair d i = d.pairs.(i)
+let circuit_index d i = d.circuit_index.(i)
+let successors d i = d.succs.(i)
+let predecessors d i = d.preds.(i)
+let in_degree d i = List.length d.preds.(i)
+
+let front_layer d =
+  let acc = ref [] in
+  for i = n_gates d - 1 downto 0 do
+    if d.preds.(i) = [] then acc := i :: !acc
+  done;
+  !acc
+
+let bit_get bs i = Char.code (Bytes.get bs (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let bit_set bs i =
+  Bytes.set bs (i lsr 3)
+    (Char.chr (Char.code (Bytes.get bs (i lsr 3)) lor (1 lsl (i land 7))))
+
+let descendant_bits d i =
+  match Hashtbl.find_opt d.memo i with
+  | Some bs -> bs
+  | None ->
+      let n = n_gates d in
+      let bs = Bytes.make ((n + 7) / 8) '\000' in
+      let stack = Stack.create () in
+      Stack.push i stack;
+      bit_set bs i;
+      while not (Stack.is_empty stack) do
+        let v = Stack.pop stack in
+        List.iter
+          (fun w ->
+            if not (bit_get bs w) then begin
+              bit_set bs w;
+              Stack.push w stack
+            end)
+          d.succs.(v)
+      done;
+      Hashtbl.add d.memo i bs;
+      bs
+
+let reachable d i j = bit_get (descendant_bits d i) j
+
+let descendants d i =
+  let bs = descendant_bits d i in
+  Array.init (n_gates d) (fun j -> bit_get bs j)
+
+let topological_order d =
+  let n = n_gates d in
+  let indeg = Array.init n (fun i -> in_degree d i) in
+  let queue = Queue.create () in
+  for i = 0 to n - 1 do
+    if indeg.(i) = 0 then Queue.add i queue
+  done;
+  let out = ref [] in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    out := v :: !out;
+    List.iter
+      (fun w ->
+        indeg.(w) <- indeg.(w) - 1;
+        if indeg.(w) = 0 then Queue.add w queue)
+      d.succs.(v)
+  done;
+  let order = List.rev !out in
+  if List.length order <> n then
+    invalid_arg "Dag.topological_order: cycle detected (corrupt DAG)";
+  order
+
+let serialized d xs ys =
+  List.for_all (fun x -> List.for_all (fun y -> reachable d x y) ys) xs

@@ -1,0 +1,58 @@
+(** Gate dependency graph over the two-qubit gates (paper §II, Fig. 1(c)).
+
+    Vertices are the circuit's two-qubit gates (indexed densely, in program
+    order); there is an arc [g -> g'] when [g'] is the next two-qubit gate
+    after [g] on one of [g]'s qubits. Single-qubit gates impose no
+    connectivity constraint and are excluded (they are re-inserted after
+    layout synthesis).
+
+    Reachability in this DAG is the paper's [Prev] relation: [g'] is in
+    [Prev(g)] iff there is a path [g' ->* g]. The QUBIKOS optimality
+    certificate checks Lemmas 2 and 3 with {!reachable}. *)
+
+type t
+(** A dependency DAG. *)
+
+val of_circuit : Circuit.t -> t
+(** Build the DAG of a circuit's two-qubit gates. *)
+
+val n_gates : t -> int
+(** Number of two-qubit gates (DAG vertices). *)
+
+val pair : t -> int -> int * int
+(** [pair d i] is the qubit pair of DAG vertex [i] (two-qubit gate [i] in
+    program order). *)
+
+val circuit_index : t -> int -> int
+(** [circuit_index d i] is the position of DAG vertex [i] in the original
+    gate sequence (including single-qubit gates). *)
+
+val successors : t -> int -> int list
+(** Direct successors. *)
+
+val predecessors : t -> int -> int list
+(** Direct predecessors. *)
+
+val in_degree : t -> int -> int
+(** Number of direct predecessors. *)
+
+val front_layer : t -> int list
+(** Vertices with no predecessors — the initially executable gates. *)
+
+val reachable : t -> int -> int -> bool
+(** [reachable d i j] is [true] iff there is a (possibly empty) path
+    [i ->* j]. Computed on demand with memoised descendant bitsets; cheap
+    to call repeatedly. *)
+
+val descendants : t -> int -> bool array
+(** [descendants d i] marks every vertex reachable from [i] (including
+    [i]). The returned array is fresh. *)
+
+val topological_order : t -> int list
+(** A topological order (program order is always one; this recomputes via
+    Kahn's algorithm as a structural sanity check). *)
+
+val serialized : t -> int list -> int list -> bool
+(** [serialized d xs ys] is [true] iff every vertex in [xs] reaches every
+    vertex in [ys] — i.e. the two gate sets must execute serially
+    (Lemma 3). *)

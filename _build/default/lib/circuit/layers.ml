@@ -1,0 +1,24 @@
+let layer_of d =
+  let n = Dag.n_gates d in
+  let layer = Array.make n 0 in
+  List.iter
+    (fun v ->
+      let l =
+        List.fold_left (fun acc p -> max acc (layer.(p) + 1)) 0 (Dag.predecessors d v)
+      in
+      layer.(v) <- l)
+    (Dag.topological_order d);
+  layer
+
+let slices_of_dag d =
+  let layer = layer_of d in
+  let n_layers = Array.fold_left (fun acc l -> max acc (l + 1)) 0 layer in
+  let buckets = Array.make n_layers [] in
+  for v = Dag.n_gates d - 1 downto 0 do
+    buckets.(layer.(v)) <- v :: buckets.(layer.(v))
+  done;
+  Array.to_list buckets
+
+let slices c =
+  let d = Dag.of_circuit c in
+  List.map (List.map (Dag.pair d)) (slices_of_dag d)

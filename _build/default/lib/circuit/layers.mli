@@ -1,0 +1,15 @@
+(** ASAP timeslices of the two-qubit gates.
+
+    Slice [k] holds the two-qubit gates whose longest dependency chain has
+    length [k]. Slices are what the t|ket⟩-style router looks ahead over,
+    and slice count is the two-qubit depth. *)
+
+val slices : Circuit.t -> (int * int) list list
+(** [slices c] are the qubit pairs of the two-qubit gates, grouped by ASAP
+    layer, earliest first. Within a slice, gates act on disjoint qubits. *)
+
+val slices_of_dag : Dag.t -> int list list
+(** DAG-vertex indices grouped by ASAP layer. *)
+
+val layer_of : Dag.t -> int array
+(** [layer_of d] maps each DAG vertex to its ASAP layer index. *)

@@ -1,0 +1,114 @@
+let to_string c =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "OPENQASM 2.0;\n";
+  Buffer.add_string buf "include \"qelib1.inc\";\n";
+  Buffer.add_string buf (Printf.sprintf "qreg q[%d];\n" (Circuit.n_qubits c));
+  Array.iter
+    (fun g ->
+      match g with
+      | Gate.G1 { name; q } -> Buffer.add_string buf (Printf.sprintf "%s q[%d];\n" name q)
+      | Gate.G2 { name; a; b } ->
+          Buffer.add_string buf (Printf.sprintf "%s q[%d],q[%d];\n" name a b))
+    (Circuit.gates c);
+  Buffer.contents buf
+
+let fail line_no msg = failwith (Printf.sprintf "Qasm: line %d: %s" line_no msg)
+
+(* Split a line into statements on ';', dropping comments. *)
+let statements_of_line line =
+  let line =
+    match String.index_opt line '/' with
+    | Some i when i + 1 < String.length line && line.[i + 1] = '/' ->
+        String.sub line 0 i
+    | Some _ | None -> line
+  in
+  String.split_on_char ';' line |> List.map String.trim
+  |> List.filter (fun s -> s <> "")
+
+let parse_operand line_no reg s =
+  (* "q[3]" -> 3, checking the register name. *)
+  let s = String.trim s in
+  match (String.index_opt s '[', String.index_opt s ']') with
+  | Some l, Some r when l < r ->
+      let name = String.sub s 0 l in
+      if reg <> "" && name <> reg then
+        fail line_no (Printf.sprintf "unknown register %S (expected %S)" name reg);
+      let idx = String.sub s (l + 1) (r - l - 1) in
+      (match int_of_string_opt (String.trim idx) with
+      | Some i -> i
+      | None -> fail line_no (Printf.sprintf "bad qubit index %S" idx))
+  | _ -> fail line_no (Printf.sprintf "bad operand %S" s)
+
+let strip_params line_no name_and_params =
+  (* "rz(pi/4)" -> "rz"; parameters are irrelevant to layout synthesis. *)
+  match String.index_opt name_and_params '(' with
+  | None -> String.trim name_and_params
+  | Some i ->
+      if not (String.contains name_and_params ')') then
+        fail line_no "unterminated parameter list";
+      String.trim (String.sub name_and_params 0 i)
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let n_qubits = ref (-1) in
+  let reg = ref "" in
+  let gates = ref [] in
+  List.iteri
+    (fun i line ->
+      let line_no = i + 1 in
+      List.iter
+        (fun stmt ->
+          let prefix p = String.length stmt >= String.length p
+                         && String.sub stmt 0 (String.length p) = p in
+          if prefix "OPENQASM" || prefix "include" || prefix "creg"
+             || prefix "barrier" || prefix "measure" then ()
+          else if prefix "qreg" then begin
+            if !n_qubits >= 0 then fail line_no "multiple qreg declarations";
+            let rest = String.trim (String.sub stmt 4 (String.length stmt - 4)) in
+            match (String.index_opt rest '[', String.index_opt rest ']') with
+            | Some l, Some r when l < r ->
+                reg := String.trim (String.sub rest 0 l);
+                let idx = String.sub rest (l + 1) (r - l - 1) in
+                (match int_of_string_opt (String.trim idx) with
+                | Some n -> n_qubits := n
+                | None -> fail line_no "bad qreg size")
+            | _ -> fail line_no "malformed qreg"
+          end
+          else begin
+            (* A gate application: "<name[(params)]> <op>[, <op>]". *)
+            match String.index_opt stmt ' ' with
+            | None -> fail line_no (Printf.sprintf "unsupported statement %S" stmt)
+            | Some sp ->
+                let head = String.sub stmt 0 sp in
+                let name = strip_params line_no head in
+                let args = String.sub stmt (sp + 1) (String.length stmt - sp - 1) in
+                let ops =
+                  String.split_on_char ',' args
+                  |> List.map (parse_operand line_no !reg)
+                in
+                (match ops with
+                | [ q ] -> gates := Gate.g1 name q :: !gates
+                | [ a; b ] -> gates := Gate.g2 name a b :: !gates
+                | _ ->
+                    fail line_no
+                      (Printf.sprintf "gate %S with %d operands (max 2)" name
+                         (List.length ops)))
+          end)
+        (statements_of_line line))
+    lines;
+  if !n_qubits < 0 then failwith "Qasm: missing qreg declaration";
+  Circuit.create ~n_qubits:!n_qubits (List.rev !gates)
+
+let write_file path c =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string c))
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      of_string (really_input_string ic n))

@@ -1,0 +1,24 @@
+(** OpenQASM 2.0 serialisation.
+
+    Benchmarks are exchangeable with the Python QLS ecosystem (Qiskit,
+    t|ket⟩, QMAP all consume OpenQASM 2), so the generator can emit
+    circuits other tools can read, and the test suite can round-trip. The
+    parser covers the subset this library emits: a header, one [qreg],
+    optional [creg], and parameterless named gate applications (parameters
+    in parentheses are accepted and discarded — layout synthesis ignores
+    them). *)
+
+val to_string : Circuit.t -> string
+(** Emit OpenQASM 2.0. SWAP gates are emitted as [swap]; any gate name is
+    emitted verbatim. *)
+
+val of_string : string -> Circuit.t
+(** Parse the supported OpenQASM 2.0 subset.
+    @raise Failure with a line-numbered message on unsupported or
+    malformed input. *)
+
+val write_file : string -> Circuit.t -> unit
+(** [write_file path c] writes {!to_string} to [path]. *)
+
+val read_file : string -> Circuit.t
+(** [read_file path] parses the file at [path]. *)

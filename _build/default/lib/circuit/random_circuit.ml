@@ -1,0 +1,54 @@
+module Rng = Qls_graph.Rng
+
+let one_qubit_names = [| "h"; "x"; "t"; "s"; "rz" |]
+
+let uniform rng ~n_qubits ~n_two_qubit ~single_ratio =
+  if n_two_qubit > 0 && n_qubits < 2 then
+    invalid_arg "Random_circuit.uniform: need >= 2 qubits for two-qubit gates";
+  if single_ratio < 0.0 then
+    invalid_arg "Random_circuit.uniform: negative single_ratio";
+  let n_single =
+    int_of_float (Float.round (single_ratio *. float_of_int n_two_qubit))
+  in
+  let gates = ref [] in
+  for _ = 1 to n_two_qubit do
+    let a = Rng.int rng n_qubits in
+    let rec pick_b () =
+      let b = Rng.int rng n_qubits in
+      if b = a then pick_b () else b
+    in
+    gates := Gate.cx a (pick_b ()) :: !gates
+  done;
+  for _ = 1 to n_single do
+    let name = Rng.pick_array rng one_qubit_names in
+    gates := Gate.g1 name (Rng.int rng n_qubits) :: !gates
+  done;
+  let arr = Array.of_list !gates in
+  Rng.shuffle rng arr;
+  Circuit.of_array ~n_qubits arr
+
+let on_interaction_graph rng ~graph ~n_gates =
+  let edges = Qls_graph.Graph.edge_array graph in
+  if Array.length edges = 0 && n_gates > 0 then
+    invalid_arg "Random_circuit.on_interaction_graph: edgeless graph";
+  let gates =
+    List.init n_gates (fun _ ->
+        let a, b = Rng.pick_array rng edges in
+        Gate.cx a b)
+  in
+  Circuit.create ~n_qubits:(Qls_graph.Graph.n_vertices graph) gates
+
+let layered rng ~n_qubits ~n_layers ~density =
+  if density < 0.0 || density > 1.0 then
+    invalid_arg "Random_circuit.layered: density outside [0, 1]";
+  let gates = ref [] in
+  for _ = 1 to n_layers do
+    let qubits = Rng.permutation rng n_qubits in
+    let i = ref 0 in
+    while !i + 1 < n_qubits do
+      if Rng.float rng 1.0 < density then
+        gates := Gate.cx qubits.(!i) qubits.(!i + 1) :: !gates;
+      i := !i + 2
+    done
+  done;
+  Circuit.create ~n_qubits (List.rev !gates)

@@ -1,0 +1,19 @@
+(** Random circuit generators for tests and router stress benches. *)
+
+val uniform :
+  Qls_graph.Rng.t -> n_qubits:int -> n_two_qubit:int -> single_ratio:float -> Circuit.t
+(** [uniform rng ~n_qubits ~n_two_qubit ~single_ratio] draws two-qubit
+    gates on uniform distinct qubit pairs and sprinkles roughly
+    [single_ratio * n_two_qubit] single-qubit gates at random positions.
+    @raise Invalid_argument if [n_qubits < 2] and [n_two_qubit > 0]. *)
+
+val on_interaction_graph :
+  Qls_graph.Rng.t -> graph:Qls_graph.Graph.t -> n_gates:int -> Circuit.t
+(** Random two-qubit gates drawn uniformly from the edges of a fixed
+    interaction graph — circuits with controlled interaction structure. *)
+
+val layered :
+  Qls_graph.Rng.t -> n_qubits:int -> n_layers:int -> density:float -> Circuit.t
+(** Layered random circuits: each layer is a random partial matching of
+    the qubits where each qubit participates with probability [density].
+    These resemble the QUEKO "TFL" (Toffoli-like) depth benchmarks. *)

@@ -1,0 +1,1 @@
+lib/core/benchmark.ml: Format List Qls_arch Qls_circuit Qls_graph Qls_layout

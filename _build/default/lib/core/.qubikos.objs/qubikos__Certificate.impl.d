@@ -1,0 +1,1 @@
+lib/core/certificate.ml: Array Benchmark Format Fun Hashtbl List Qls_arch Qls_circuit Qls_graph Qls_layout Qls_router Result

@@ -1,0 +1,1 @@
+lib/core/evaluation.ml: Benchmark Certificate Format Generator Hashtbl List Option Qls_arch Qls_layout Qls_router Unix

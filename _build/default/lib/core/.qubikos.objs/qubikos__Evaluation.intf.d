@@ -1,0 +1,1 @@
+lib/core/evaluation.mli: Certificate Format Qls_arch Qls_router

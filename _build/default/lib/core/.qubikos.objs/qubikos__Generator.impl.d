@@ -1,0 +1,1 @@
+lib/core/generator.ml: Array Benchmark Float List Qls_arch Qls_circuit Qls_graph Qls_layout Queue Set

@@ -1,0 +1,1 @@
+lib/core/generator.mli: Benchmark Qls_arch

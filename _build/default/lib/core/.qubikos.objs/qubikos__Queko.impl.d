@@ -1,0 +1,1 @@
+lib/core/queko.ml: Array List Qls_arch Qls_circuit Qls_graph Qls_layout

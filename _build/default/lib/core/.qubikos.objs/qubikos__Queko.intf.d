@@ -1,0 +1,1 @@
+lib/core/queko.mli: Qls_arch Qls_circuit Qls_layout

@@ -1,0 +1,1 @@
+lib/core/serialize.ml: Array Benchmark Buffer Fun List Printf Qls_arch Qls_circuit Qls_graph Qls_layout String

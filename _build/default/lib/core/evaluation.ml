@@ -1,0 +1,181 @@
+module Device = Qls_arch.Device
+module Router = Qls_router.Router
+module Verifier = Qls_layout.Verifier
+module Metrics = Qls_layout.Metrics
+
+type tool_point = {
+  device_name : string;
+  tool_name : string;
+  optimal : int;
+  circuits : int;
+  mean_swaps : float;
+  ratio : float;
+  min_swaps : int;
+  max_swaps : int;
+  mean_seconds : float;
+}
+
+type figure_config = {
+  swap_counts : int list;
+  circuits_per_point : int;
+  gate_budget : int;
+  single_qubit_ratio : float;
+  sabre_trials : int;
+  seed : int;
+}
+
+let paper_gate_budget device =
+  let n = Device.n_qubits device in
+  if n <= 20 then 300 else if n <= 60 then 1500 else 3000
+
+let default_figure_config device =
+  {
+    swap_counts = [ 5; 10; 15; 20 ];
+    circuits_per_point = 3;
+    gate_budget = paper_gate_budget device;
+    single_qubit_ratio = 0.0;
+    sabre_trials = 5;
+    seed = 1;
+  }
+
+let paper_figure_config device =
+  {
+    (default_figure_config device) with
+    circuits_per_point = 10;
+    sabre_trials = 1000;
+  }
+
+let default_tools config =
+  Qls_router.Registry.paper_tools ~sabre_trials:config.sabre_trials
+    ~seed:config.seed ()
+
+let run_point ?tools ~config ~n_swaps device =
+  let tools = match tools with Some t -> t | None -> default_tools config in
+  let gen_config =
+    {
+      Generator.default_config with
+      n_swaps;
+      gate_budget = config.gate_budget;
+      single_qubit_ratio = config.single_qubit_ratio;
+      seed = config.seed + (1000 * n_swaps);
+    }
+  in
+  let instances =
+    Generator.generate_suite ~config:gen_config ~count:config.circuits_per_point
+      device
+  in
+  List.iter Certificate.check_exn instances;
+  List.map
+    (fun tool ->
+      let swap_counts, times =
+        List.split
+          (List.map
+             (fun bench ->
+               let t0 = Unix.gettimeofday () in
+               let _, report =
+                 Router.run_verified tool device bench.Benchmark.circuit
+               in
+               (report.Verifier.swap_count, Unix.gettimeofday () -. t0))
+             instances)
+      in
+      let mean_swaps = Metrics.mean (List.map float_of_int swap_counts) in
+      {
+        device_name = Device.name device;
+        tool_name = tool.Router.name;
+        optimal = n_swaps;
+        circuits = config.circuits_per_point;
+        mean_swaps;
+        ratio = Metrics.swap_ratio ~optimal:n_swaps ~swap_counts;
+        min_swaps = List.fold_left min max_int swap_counts;
+        max_swaps = List.fold_left max 0 swap_counts;
+        mean_seconds = Metrics.mean times;
+      })
+    tools
+
+let run_figure ?tools ~config device =
+  List.concat_map
+    (fun n_swaps -> run_point ?tools ~config ~n_swaps device)
+    config.swap_counts
+
+let tool_gap_summary points =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun p ->
+      let acc = Option.value ~default:[] (Hashtbl.find_opt tbl p.tool_name) in
+      Hashtbl.replace tbl p.tool_name (p.ratio :: acc))
+    points;
+  Hashtbl.fold (fun tool ratios acc -> (tool, Metrics.mean ratios) :: acc) tbl []
+  |> List.sort (fun (_, a) (_, b) -> compare a b)
+
+let pp_points ppf points =
+  Format.fprintf ppf "%-10s %-8s %7s %8s %10s %7s %7s %9s@,"
+    "device" "tool" "optimal" "circuits" "mean-swaps" "min" "max" "ratio";
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "%-10s %-8s %7d %8d %10.1f %7d %7d %8.2fx@,"
+        p.device_name p.tool_name p.optimal p.circuits p.mean_swaps p.min_swaps
+        p.max_swaps p.ratio)
+    points
+
+type optimality_row = {
+  o_device : string;
+  o_swaps : int;
+  o_circuits : int;
+  o_certified : int;
+  o_exact_confirmed : int;
+  o_exact_unknown : int;
+  o_mean_gates : float;
+}
+
+let run_optimality_study ?(circuits_per_count = 10) ?(swap_counts = [ 1; 2; 3; 4 ])
+    ?(gate_budget = 30) ?(saturation_cap = 1) ?solver ?node_budget ?(seed = 0)
+    device =
+  List.map
+    (fun n_swaps ->
+      let config =
+        {
+          Generator.default_config with
+          n_swaps;
+          gate_budget;
+          saturation_cap;
+          seed = seed + (1000 * n_swaps);
+        }
+      in
+      let instances =
+        Generator.generate_suite ~config ~count:circuits_per_count device
+      in
+      let certified = ref 0
+      and confirmed = ref 0
+      and unknown = ref 0
+      and gates = ref [] in
+      List.iter
+        (fun bench ->
+          gates := float_of_int (Benchmark.two_qubit_count bench) :: !gates;
+          let r = Certificate.check_exact ?solver ?node_budget bench in
+          if r.Certificate.certified then incr certified;
+          match r.Certificate.exact_agrees with
+          | Some true -> incr confirmed
+          | Some false -> ()
+          | None -> incr unknown)
+        instances;
+      {
+        o_device = Device.name device;
+        o_swaps = n_swaps;
+        o_circuits = circuits_per_count;
+        o_certified = !certified;
+        o_exact_confirmed = !confirmed;
+        o_exact_unknown = !unknown;
+        o_mean_gates = Metrics.mean !gates;
+      })
+    swap_counts
+
+let pp_optimality ppf rows =
+  Format.fprintf ppf "%-10s %6s %9s %10s %16s %14s %11s@,"
+    "device" "swaps" "circuits" "certified" "exact-confirmed" "exact-unknown"
+    "mean-gates";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-10s %6d %9d %10d %16d %14d %11.1f@,"
+        r.o_device r.o_swaps r.o_circuits r.o_certified r.o_exact_confirmed
+        r.o_exact_unknown r.o_mean_gates)
+    rows

@@ -1,0 +1,103 @@
+(** Experiment harness reproducing the paper's evaluation (§IV).
+
+    Two experiments:
+
+    - {b Optimality study} (§IV-A, {!run_optimality_study}) — generate
+      small instances, re-prove each with the structural
+      {!Certificate} and the independent {!Qls_router.Exact} solver.
+    - {b Tool evaluation} (§IV-B, Fig. 4, {!run_figure}) — generate
+      instances per (device, SWAP count), run each tool, and report the
+      SWAP ratio [mean inserted SWAPs / optimal SWAPs] per point.
+
+    All configurations are explicit records so the bench harness and CLI
+    can run both scaled-down (default) and paper-scale experiments. *)
+
+type tool_point = {
+  device_name : string;
+  tool_name : string;
+  optimal : int;  (** designed SWAP count of each instance at this point *)
+  circuits : int;  (** instances measured *)
+  mean_swaps : float;
+  ratio : float;  (** the paper's SWAP ratio: [mean_swaps / optimal] *)
+  min_swaps : int;
+  max_swaps : int;
+  mean_seconds : float;
+}
+(** One point of Fig. 4: a (device, tool, SWAP count) triple. *)
+
+type figure_config = {
+  swap_counts : int list;  (** paper: [\[5; 10; 15; 20\]] *)
+  circuits_per_point : int;  (** paper: 10 *)
+  gate_budget : int;  (** paper: 300 / 1500 / 1500 / 3000 by device *)
+  single_qubit_ratio : float;
+  sabre_trials : int;  (** paper: 1000 *)
+  seed : int;
+}
+(** Parameters of one Fig.-4 panel. *)
+
+val paper_gate_budget : Qls_arch.Device.t -> int
+(** The paper's two-qubit gate count for a device: 300 for 16 qubits,
+    1500 for ~50, 3000 for 127 (interpolated by qubit count for other
+    devices). *)
+
+val default_figure_config : Qls_arch.Device.t -> figure_config
+(** Scaled-down defaults that regenerate a panel in minutes: SWAP counts
+    [\[5; 10; 15; 20\]], 3 circuits per point, paper gate budget, 5 SABRE
+    trials. *)
+
+val paper_figure_config : Qls_arch.Device.t -> figure_config
+(** Full paper-scale parameters (10 circuits per point, 1000 SABRE
+    trials). Expect hours of runtime. *)
+
+val run_point :
+  ?tools:Qls_router.Router.t list ->
+  config:figure_config ->
+  n_swaps:int ->
+  Qls_arch.Device.t ->
+  tool_point list
+(** Evaluate every tool on fresh instances with the given designed SWAP
+    count. Instances are shared across tools (paired comparison). Every
+    routed result is re-verified; a verification failure raises. *)
+
+val run_figure :
+  ?tools:Qls_router.Router.t list ->
+  config:figure_config ->
+  Qls_arch.Device.t ->
+  tool_point list
+(** One full Fig.-4 panel: {!run_point} for every configured SWAP count. *)
+
+val tool_gap_summary : tool_point list -> (string * float) list
+(** Mean SWAP ratio per tool across all points — the paper's headline
+    "optimality gap" numbers (abstract: 63x / 117x / 250x / 330x). *)
+
+val pp_points : Format.formatter -> tool_point list -> unit
+(** Render points as an aligned text table. *)
+
+type optimality_row = {
+  o_device : string;
+  o_swaps : int;
+  o_circuits : int;
+  o_certified : int;  (** structural certificate passed *)
+  o_exact_confirmed : int;  (** exact solver refuted [n - 1] swaps *)
+  o_exact_unknown : int;  (** exact solver budget ran out *)
+  o_mean_gates : float;  (** two-qubit gates per instance *)
+}
+(** One row of the §IV-A study. *)
+
+val run_optimality_study :
+  ?circuits_per_count:int ->
+  ?swap_counts:int list ->
+  ?gate_budget:int ->
+  ?saturation_cap:int ->
+  ?solver:Certificate.exact_method ->
+  ?node_budget:int ->
+  ?seed:int ->
+  Qls_arch.Device.t ->
+  optimality_row list
+(** §IV-A: small instances (default: SWAP counts 1–4, 10 circuits each,
+    gate budget 30, saturation cap 1), each re-proved structurally and by
+    the exact solver (the SAT formulation by default, like the paper's
+    OLSQ2). The paper uses 100 circuits per count. *)
+
+val pp_optimality : Format.formatter -> optimality_row list -> unit
+(** Render the study as an aligned text table. *)

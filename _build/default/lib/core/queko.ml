@@ -1,0 +1,82 @@
+module Graph = Qls_graph.Graph
+module Rng = Qls_graph.Rng
+module Gate = Qls_circuit.Gate
+module Circuit = Qls_circuit.Circuit
+module Device = Qls_arch.Device
+module Mapping = Qls_layout.Mapping
+
+type t = {
+  circuit : Circuit.t;
+  device : Device.t;
+  hidden_mapping : Mapping.t;
+  optimal_depth : int;
+}
+
+let generate ?(seed = 0) ?(density = 0.5) ~depth device =
+  if depth < 1 then invalid_arg "Queko.generate: depth must be >= 1";
+  if density <= 0.0 || density > 1.0 then
+    invalid_arg "Queko.generate: density must be in (0, 1]";
+  let rng = Rng.create seed in
+  let n = Device.n_qubits device in
+  let hidden = Mapping.random rng ~n_program:n ~n_physical:n in
+  let prog p =
+    match Mapping.prog hidden p with Some q -> q | None -> assert false
+  in
+  let couplers = Array.of_list (Device.edges device) in
+  let coupling = Device.graph device in
+  let gates = ref [] in
+  (* Each layer is a random matching of couplers (under the hidden
+     mapping), but the first gate of every layer shares a physical qubit
+     with the previous layer's chain gate, so a dependency chain of length
+     exactly [depth] runs through the circuit and the designed depth is
+     tight in both directions. *)
+  let chain = ref (Rng.pick_array rng couplers) in
+  for layer = 1 to depth do
+    let used = Array.make n false in
+    let emit (x, y) =
+      used.(x) <- true;
+      used.(y) <- true;
+      gates := Gate.cx (prog x) (prog y) :: !gates
+    in
+    (if layer = 1 then emit !chain
+     else begin
+       let cx, cy = !chain in
+       let endpoint = if Rng.bool rng then cx else cy in
+       let next = Rng.pick rng (Graph.neighbors coupling endpoint) in
+       chain := (endpoint, next);
+       emit !chain
+     end);
+    let order = Array.copy couplers in
+    Rng.shuffle rng order;
+    Array.iter
+      (fun (x, y) ->
+        if (not used.(x)) && (not used.(y)) && Rng.float rng 1.0 < density then
+          emit (x, y))
+      order
+  done;
+  let circuit = Circuit.create ~n_qubits:n (List.rev !gates) in
+  assert (Circuit.two_qubit_depth circuit = depth);
+  { circuit; device; hidden_mapping = hidden; optimal_depth = depth }
+
+let verify_swap_free t =
+  Qls_circuit.Interaction.swap_free t.circuit (Device.graph t.device)
+
+type suite = Tfl | Bss
+
+let suite_depths = function
+  | Tfl -> [ 5; 10; 15; 20; 25; 30; 35; 40; 45 ]
+  | Bss -> [ 100; 200; 300; 400; 500; 600; 700; 800; 900 ]
+
+let suite_density = function Tfl -> 0.3 | Bss -> 0.8
+
+let generate_suite ?(seed = 0) suite device =
+  List.mapi
+    (fun i depth ->
+      generate ~seed:(seed + i) ~density:(suite_density suite) ~depth device)
+    (suite_depths suite)
+
+let depth_ratio t transpiled =
+  if not (Circuit.equal (Qls_layout.Transpiled.source transpiled) t.circuit) then
+    invalid_arg "Queko.depth_ratio: transpiled circuit for a different source";
+  let physical = Qls_layout.Transpiled.to_physical_circuit transpiled in
+  float_of_int (Circuit.two_qubit_depth physical) /. float_of_int t.optimal_depth

@@ -1,0 +1,56 @@
+(** QUEKO-style benchmarks (Tan & Cong 2020) — the prior work QUBIKOS
+    improves on (paper §I).
+
+    A QUEKO circuit is built backwards from a known mapping: gates are
+    drawn only between program qubits whose images are coupled, so the
+    optimal SWAP count is zero and the hidden mapping is a subgraph
+    monomorphism witness. QUEKO additionally controls the optimal {e
+    depth} by stacking gate layers ("TFL"/"BSS" suites).
+
+    The limitation QUBIKOS addresses is demonstrated by construction: any
+    tool that runs a subgraph-isomorphism placement (e.g.
+    {!Qls_router.Placement.vf2}) solves every QUEKO instance outright,
+    and a QUEKO instance can never measure SWAP optimality gaps because
+    its optimum is always zero. *)
+
+type t = {
+  circuit : Qls_circuit.Circuit.t;
+  device : Qls_arch.Device.t;
+  hidden_mapping : Qls_layout.Mapping.t;  (** the mapping the circuit was built on *)
+  optimal_depth : int;  (** designed two-qubit depth *)
+}
+(** A QUEKO instance; its optimal SWAP count is 0 by construction. *)
+
+val generate :
+  ?seed:int ->
+  ?density:float ->
+  depth:int ->
+  Qls_arch.Device.t ->
+  t
+(** [generate ~depth device] builds a circuit of [depth] layers; each
+    layer is a random partial matching of the couplers under the hidden
+    mapping, with per-layer qubit participation [density] (default 0.5).
+    Every layer contains at least one gate, so the designed two-qubit
+    depth is exactly [depth]. *)
+
+val verify_swap_free : t -> bool
+(** Confirms a subgraph monomorphism exists (the QUEKO promise). *)
+
+type suite = Tfl | Bss
+(** The original QUEKO benchmark families: [Tfl] are shallow
+    "Toffoli-like" circuits (depths 5-45), [Bss] deep "supremacy-style"
+    ones (depths 100-900). *)
+
+val suite_depths : suite -> int list
+(** The designed depths of a suite: TFL 5, 10, ..., 45; BSS 100, 200,
+    ..., 900. *)
+
+val generate_suite : ?seed:int -> suite -> Qls_arch.Device.t -> t list
+(** One instance per suite depth (seeds [seed, seed+1, ...]). *)
+
+val depth_ratio : t -> Qls_layout.Transpiled.t -> float
+(** QUEKO's own metric: the transpiled circuit's two-qubit depth (SWAPs
+    included) divided by the known optimal depth. 1.0 means the tool
+    found a depth-optimal result.
+    @raise Invalid_argument if the transpiled circuit is for a different
+    source circuit. *)

@@ -1,0 +1,228 @@
+module Graph = Qls_graph.Graph
+module Circuit = Qls_circuit.Circuit
+module Qasm = Qls_circuit.Qasm
+module Device = Qls_arch.Device
+module Topologies = Qls_arch.Topologies
+module Mapping = Qls_layout.Mapping
+module Transpiled = Qls_layout.Transpiled
+
+let version = 1
+
+let mapping_line name m =
+  let parts =
+    Array.to_list (Mapping.to_array m) |> List.map string_of_int
+  in
+  name ^ " " ^ String.concat " " parts
+
+let ops_line ops =
+  let token = function
+    | Transpiled.Gate i -> Printf.sprintf "G%d" i
+    | Transpiled.Swap (p, p') -> Printf.sprintf "S%d:%d" p p'
+  in
+  "ops " ^ String.concat " " (List.map token ops)
+
+let graph_line g =
+  let edges =
+    List.map (fun (u, v) -> Printf.sprintf "%d:%d" u v) (Graph.edges g)
+  in
+  Printf.sprintf "interaction %d %s" (Graph.n_vertices g) (String.concat " " edges)
+
+let to_string bench =
+  let device = bench.Benchmark.device in
+  (match Topologies.by_name (Device.name device) with
+  | Some d
+    when Device.n_qubits d = Device.n_qubits device
+         && Device.edges d = Device.edges device ->
+      ()
+  | Some _ | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Serialize: device %S is not resolvable through the registry"
+           (Device.name device)));
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "QUBIKOS %d" version;
+  line "device %s" (Device.name device);
+  line "seed %d" bench.Benchmark.seed;
+  line "optimal_swaps %d" bench.Benchmark.optimal_swaps;
+  line "%s" (mapping_line "initial" bench.Benchmark.initial_mapping);
+  line "%s" (ops_line (Transpiled.ops bench.Benchmark.designed));
+  List.iter
+    (fun s ->
+      let p, p' = s.Benchmark.swap in
+      line "section %d swap %d %d anchor %d target %d special %d"
+        s.Benchmark.index p p' s.Benchmark.anchor s.Benchmark.target
+        s.Benchmark.special_circuit_index;
+      line "backbone %s"
+        (String.concat " "
+           (List.map string_of_int s.Benchmark.backbone_circuit_indices));
+      line "%s" (graph_line s.Benchmark.interaction);
+      line "%s" (mapping_line "before" s.Benchmark.mapping_before);
+      line "%s" (mapping_line "after" s.Benchmark.mapping_after))
+    bench.Benchmark.sections;
+  line "BEGIN QASM";
+  Buffer.add_string buf (Qasm.to_string bench.Benchmark.circuit);
+  line "END QASM";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let fail ln msg = failwith (Printf.sprintf "Serialize: line %d: %s" ln msg)
+
+let parse_int ln s =
+  match int_of_string_opt s with
+  | Some i -> i
+  | None -> fail ln (Printf.sprintf "expected an integer, got %S" s)
+
+let parse_ints ln parts = List.map (parse_int ln) parts
+
+let parse_pair ln s =
+  match String.split_on_char ':' s with
+  | [ a; b ] -> (parse_int ln a, parse_int ln b)
+  | _ -> fail ln (Printf.sprintf "expected u:v, got %S" s)
+
+let of_string text =
+  let lines = Array.of_list (String.split_on_char '\n' text) in
+  let n_lines = Array.length lines in
+  let pos = ref 0 in
+  let peek () = if !pos < n_lines then Some lines.(!pos) else None in
+  let next () =
+    match peek () with
+    | Some l ->
+        incr pos;
+        (l, !pos)
+    | None -> failwith "Serialize: unexpected end of input"
+  in
+  let expect_fields key =
+    let l, ln = next () in
+    match String.split_on_char ' ' (String.trim l) with
+    | k :: rest when k = key -> (rest, ln)
+    | _ -> fail ln (Printf.sprintf "expected a %S record, got %S" key l)
+  in
+  (* header *)
+  let v, ln = expect_fields "QUBIKOS" in
+  (match v with
+  | [ n ] when parse_int ln n = version -> ()
+  | _ -> fail ln "unsupported format version");
+  let dev_fields, ln = expect_fields "device" in
+  let device =
+    match dev_fields with
+    | [ name ] -> (
+        match Topologies.by_name name with
+        | Some d -> d
+        | None -> fail ln (Printf.sprintf "unknown device %S" name))
+    | _ -> fail ln "malformed device record"
+  in
+  let seed =
+    let fields, ln = expect_fields "seed" in
+    match fields with [ s ] -> parse_int ln s | _ -> fail ln "malformed seed"
+  in
+  let optimal_swaps =
+    let fields, ln = expect_fields "optimal_swaps" in
+    match fields with [ s ] -> parse_int ln s | _ -> fail ln "malformed optimal_swaps"
+  in
+  let n_phys = Device.n_qubits device in
+  let read_mapping key =
+    let fields, ln = expect_fields key in
+    Mapping.of_array ~n_physical:n_phys
+      (Array.of_list (parse_ints ln fields))
+  in
+  let initial = read_mapping "initial" in
+  let ops =
+    let fields, ln = expect_fields "ops" in
+    List.map
+      (fun tok ->
+        if String.length tok < 2 then fail ln (Printf.sprintf "bad op %S" tok)
+        else if tok.[0] = 'G' then
+          Transpiled.Gate (parse_int ln (String.sub tok 1 (String.length tok - 1)))
+        else if tok.[0] = 'S' then begin
+          let p, p' = parse_pair ln (String.sub tok 1 (String.length tok - 1)) in
+          Transpiled.Swap (p, p')
+        end
+        else fail ln (Printf.sprintf "bad op %S" tok))
+      fields
+  in
+  (* sections until BEGIN QASM *)
+  let sections = ref [] in
+  let rec read_sections () =
+    match peek () with
+    | Some l when String.trim l = "BEGIN QASM" ->
+        ignore (next ())
+    | Some _ ->
+        let fields, ln = expect_fields "section" in
+        let index, swap, anchor, target, special =
+          match fields with
+          | [ i; "swap"; p; p'; "anchor"; a; "target"; t; "special"; ci ] ->
+              ( parse_int ln i,
+                (parse_int ln p, parse_int ln p'),
+                parse_int ln a,
+                parse_int ln t,
+                parse_int ln ci )
+          | _ -> fail ln "malformed section record"
+        in
+        let backbone, ln = expect_fields "backbone" in
+        let backbone = parse_ints ln backbone in
+        let inter_fields, ln = expect_fields "interaction" in
+        let interaction =
+          match inter_fields with
+          | n :: edges ->
+              Graph.create (parse_int ln n) (List.map (parse_pair ln) edges)
+          | [] -> fail ln "malformed interaction record"
+        in
+        let mapping_before = read_mapping "before" in
+        let mapping_after = read_mapping "after" in
+        sections :=
+          {
+            Benchmark.index;
+            swap;
+            anchor;
+            target;
+            special_circuit_index = special;
+            backbone_circuit_indices = backbone;
+            interaction;
+            mapping_before;
+            mapping_after;
+          }
+          :: !sections;
+        read_sections ()
+    | None -> failwith "Serialize: missing QASM block"
+  in
+  read_sections ();
+  (* QASM until END QASM *)
+  let qasm = Buffer.create 1024 in
+  let rec read_qasm () =
+    let l, _ = next () in
+    if String.trim l = "END QASM" then ()
+    else begin
+      Buffer.add_string qasm (l ^ "\n");
+      read_qasm ()
+    end
+  in
+  read_qasm ();
+  let circuit = Qasm.of_string (Buffer.contents qasm) in
+  let designed = Transpiled.create ~source:circuit ~device ~initial ops in
+  {
+    Benchmark.device;
+    circuit;
+    optimal_swaps;
+    initial_mapping = initial;
+    designed;
+    sections = List.rev !sections;
+    seed;
+  }
+
+let save path bench =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string bench))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      of_string (really_input_string ic n))

@@ -1,0 +1,1 @@
+lib/graph/vf2.ml: Array Fun Graph List Option

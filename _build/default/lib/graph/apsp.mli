@@ -1,0 +1,29 @@
+(** All-pairs shortest-path distances for unweighted graphs.
+
+    Every router in {!Qls_router} scores SWAP candidates by the physical
+    distance between the qubits of pending gates, so the device distance
+    matrix is computed once per device and shared. *)
+
+type t
+(** A precomputed distance matrix. *)
+
+val compute : Graph.t -> t
+(** [compute g] runs one BFS per vertex: O(n · (n + m)). Distances between
+    disconnected vertices are {!unreachable}. *)
+
+val unreachable : int
+(** Sentinel distance for disconnected pairs ([max_int]). *)
+
+val dist : t -> int -> int -> int
+(** [dist t u v] is the hop distance from [u] to [v] ([0] when [u = v]). *)
+
+val diameter : t -> int
+(** Largest finite pairwise distance ([0] for graphs with [<= 1]
+    vertex).
+    @raise Invalid_argument if the graph is disconnected. *)
+
+val eccentricity : t -> int -> int
+(** [eccentricity t v] is the largest finite distance from [v]. *)
+
+val n : t -> int
+(** Number of vertices the matrix covers. *)

@@ -1,0 +1,56 @@
+let path n =
+  Graph.create n (List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+
+let cycle n =
+  if n < 3 then invalid_arg "Generators.cycle: need at least 3 vertices";
+  Graph.create n ((n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1)))
+
+let grid rows cols =
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then edges := (id r c, id r (c + 1)) :: !edges;
+      if r + 1 < rows then edges := (id r c, id (r + 1) c) :: !edges
+    done
+  done;
+  Graph.create (rows * cols) !edges
+
+let complete n =
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  Graph.create n !edges
+
+let star n =
+  if n < 1 then invalid_arg "Generators.star: need at least 1 vertex";
+  Graph.create n (List.init (n - 1) (fun i -> (0, i + 1)))
+
+let random_connected rng ~n ~extra_edges =
+  if n < 1 then invalid_arg "Generators.random_connected: need >= 1 vertex";
+  (* Random attachment tree: vertex i (> 0) attaches to a uniform earlier
+     vertex, over a random vertex relabelling. *)
+  let relabel = Rng.permutation rng n in
+  let tree =
+    List.init (max 0 (n - 1)) (fun i ->
+        let v = i + 1 in
+        (relabel.(Rng.int rng v), relabel.(v)))
+  in
+  let g = Graph.create n tree in
+  let non_edges = Array.of_list (Graph.complement_edges g) in
+  Rng.shuffle rng non_edges;
+  let k = min extra_edges (Array.length non_edges) in
+  let extra = Array.to_list (Array.sub non_edges 0 k) in
+  Graph.add_edges g extra
+
+let gnp rng ~n ~p =
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Rng.float rng 1.0 < p then edges := (u, v) :: !edges
+    done
+  done;
+  Graph.create n !edges

@@ -1,0 +1,25 @@
+(** Parametric graph generators used for devices and tests. *)
+
+val path : int -> Graph.t
+(** [path n] is the line graph [0 - 1 - ... - n-1]. *)
+
+val cycle : int -> Graph.t
+(** [cycle n] is the ring on [n >= 3] vertices.
+    @raise Invalid_argument if [n < 3]. *)
+
+val grid : int -> int -> Graph.t
+(** [grid rows cols] is the 2-D mesh; vertex [(r, c)] is [r * cols + c]. *)
+
+val complete : int -> Graph.t
+(** [complete n] is K_n. *)
+
+val star : int -> Graph.t
+(** [star n] is one centre (vertex 0) connected to [n - 1] leaves. *)
+
+val random_connected : Rng.t -> n:int -> extra_edges:int -> Graph.t
+(** [random_connected rng ~n ~extra_edges] is a uniform random spanning
+    tree (random Prüfer-free attachment) plus [extra_edges] distinct random
+    non-tree edges (fewer if the graph saturates). Always connected. *)
+
+val gnp : Rng.t -> n:int -> p:float -> Graph.t
+(** Erdős–Rényi G(n, p). Not necessarily connected. *)

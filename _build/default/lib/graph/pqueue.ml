@@ -1,0 +1,74 @@
+type 'a entry = { prio : float; stamp : int; value : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable size : int;
+  mutable next_stamp : int;
+}
+
+let create () = { heap = [||]; size = 0; next_stamp = 0 }
+let is_empty q = q.size = 0
+let size q = q.size
+
+let less a b = a.prio < b.prio || (a.prio = b.prio && a.stamp < b.stamp)
+
+let grow q entry =
+  let cap = Array.length q.heap in
+  if q.size = cap then begin
+    let ncap = max 16 (2 * cap) in
+    let heap = Array.make ncap entry in
+    Array.blit q.heap 0 heap 0 q.size;
+    q.heap <- heap
+  end
+
+let push q prio value =
+  let entry = { prio; stamp = q.next_stamp; value } in
+  q.next_stamp <- q.next_stamp + 1;
+  grow q entry;
+  q.heap.(q.size) <- entry;
+  q.size <- q.size + 1;
+  (* Sift up. *)
+  let i = ref (q.size - 1) in
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    less q.heap.(!i) q.heap.(parent)
+  do
+    let parent = (!i - 1) / 2 in
+    let tmp = q.heap.(parent) in
+    q.heap.(parent) <- q.heap.(!i);
+    q.heap.(!i) <- tmp;
+    i := parent
+  done
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.heap.(0) <- q.heap.(q.size);
+      (* Sift down. *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < q.size && less q.heap.(l) q.heap.(!smallest) then smallest := l;
+        if r < q.size && less q.heap.(r) q.heap.(!smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          let tmp = q.heap.(!smallest) in
+          q.heap.(!smallest) <- q.heap.(!i);
+          q.heap.(!i) <- tmp;
+          i := !smallest
+        end
+      done
+    end;
+    Some (top.prio, top.value)
+  end
+
+let clear q =
+  q.heap <- [||];
+  q.size <- 0

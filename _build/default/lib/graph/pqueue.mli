@@ -1,0 +1,27 @@
+(** Minimal mutable binary min-heap priority queue.
+
+    Used by the A*-based router and the exact solver. Priorities are
+    floats; entries with equal priority pop in insertion order (a
+    monotonically increasing tiebreak counter is kept internally), which
+    keeps searches deterministic. *)
+
+type 'a t
+(** A min-priority queue of ['a]. *)
+
+val create : unit -> 'a t
+(** An empty queue. *)
+
+val is_empty : 'a t -> bool
+(** Whether the queue holds no elements. *)
+
+val size : 'a t -> int
+(** Number of queued elements. *)
+
+val push : 'a t -> float -> 'a -> unit
+(** [push q prio x] inserts [x] with priority [prio]. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-priority entry, FIFO among ties. *)
+
+val clear : 'a t -> unit
+(** Drop all elements. *)

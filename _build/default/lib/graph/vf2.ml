@@ -1,0 +1,213 @@
+type stats = { nodes_visited : int }
+
+exception Budget_exhausted
+
+(* Order the positive-degree pattern vertices so that every vertex after
+   the first of its component has at least one earlier neighbour. Within
+   that constraint, prefer high-degree vertices first (fail-fast). *)
+let variable_order pattern =
+  let n = Graph.n_vertices pattern in
+  let placed = Array.make n false in
+  let order = ref [] in
+  let remaining = ref (List.filter (fun v -> Graph.degree pattern v > 0) (List.init n Fun.id)) in
+  let count_placed_nbrs v =
+    Array.fold_left
+      (fun acc w -> if placed.(w) then acc + 1 else acc)
+      0
+      (Graph.neighbors_array pattern v)
+  in
+  while !remaining <> [] do
+    (* Choose the vertex with (most placed neighbours, then highest degree). *)
+    let best =
+      List.fold_left
+        (fun best v ->
+          let key = (count_placed_nbrs v, Graph.degree pattern v) in
+          match best with
+          | None -> Some (v, key)
+          | Some (_, bkey) -> if key > bkey then Some (v, key) else best)
+        None !remaining
+    in
+    match best with
+    | None -> assert false
+    | Some (v, _) ->
+        placed.(v) <- true;
+        order := v :: !order;
+        remaining := List.filter (fun w -> w <> v) !remaining
+  done;
+  Array.of_list (List.rev !order)
+
+type state = {
+  pattern : Graph.t;
+  target : Graph.t;
+  core_p : int array; (* pattern vertex -> target vertex or -1 *)
+  core_t : int array; (* target vertex -> pattern vertex or -1 *)
+  order : int array;
+  node_limit : int;
+  mutable visited : int;
+}
+
+let unmapped_nbr_count g core v =
+  Array.fold_left
+    (fun acc w -> if core.(w) = -1 then acc + 1 else acc)
+    0
+    (Graph.neighbors_array g v)
+
+let feasible st h m =
+  st.core_t.(m) = -1
+  && Graph.degree st.target m >= Graph.degree st.pattern h
+  && Array.for_all
+       (fun h' ->
+         let m' = st.core_p.(h') in
+         m' = -1 || Graph.mem_edge st.target m m')
+       (Graph.neighbors_array st.pattern h)
+  && unmapped_nbr_count st.target st.core_t m
+     >= unmapped_nbr_count st.pattern st.core_p h
+
+let candidates st h =
+  (* If h has a mapped neighbour, its image must be adjacent to that
+     neighbour's image; pick the mapped neighbour with the smallest image
+     neighbourhood to enumerate. Otherwise (new component) enumerate all
+     unmapped target vertices. *)
+  let best = ref None in
+  Array.iter
+    (fun h' ->
+      let m' = st.core_p.(h') in
+      if m' >= 0 then
+        let d = Graph.degree st.target m' in
+        match !best with
+        | Some (_, bd) when bd <= d -> ()
+        | _ -> best := Some (m', d))
+    (Graph.neighbors_array st.pattern h);
+  match !best with
+  | Some (m', _) -> Array.to_list (Graph.neighbors_array st.target m')
+  | None ->
+      List.filter (fun m -> st.core_t.(m) = -1)
+        (List.init (Graph.n_vertices st.target) Fun.id)
+
+(* Depth-first search; [on_solution] returns [true] to stop the search. *)
+let rec search st depth on_solution =
+  st.visited <- st.visited + 1;
+  if st.visited > st.node_limit then raise Budget_exhausted;
+  if depth = Array.length st.order then on_solution ()
+  else begin
+    let h = st.order.(depth) in
+    let rec try_candidates = function
+      | [] -> false
+      | m :: rest ->
+          if feasible st h m then begin
+            st.core_p.(h) <- m;
+            st.core_t.(m) <- h;
+            let stop = search st (depth + 1) on_solution in
+            if stop then true
+            else begin
+              st.core_p.(h) <- -1;
+              st.core_t.(m) <- -1;
+              try_candidates rest
+            end
+          end
+          else try_candidates rest
+    in
+    try_candidates (candidates st h)
+  end
+
+let complete_isolated st =
+  (* Assign degree-0 pattern vertices to arbitrary unmapped target
+     vertices. Always possible because |pattern| <= |target|. *)
+  let free = ref [] in
+  Array.iteri (fun m p -> if p = -1 then free := m :: !free) st.core_t;
+  Array.iteri
+    (fun h m ->
+      if m = -1 then
+        match !free with
+        | [] -> assert false
+        | f :: rest ->
+            st.core_p.(h) <- f;
+            st.core_t.(f) <- h;
+            free := rest)
+    st.core_p
+
+let make_state ?(node_limit = max_int) ~pattern ~target () =
+  if Graph.n_vertices pattern > Graph.n_vertices target then
+    invalid_arg "Vf2: pattern larger than target";
+  {
+    pattern;
+    target;
+    core_p = Array.make (Graph.n_vertices pattern) (-1);
+    core_t = Array.make (Graph.n_vertices target) (-1);
+    order = variable_order pattern;
+    node_limit;
+    visited = 0;
+  }
+
+let find_with_stats ?node_limit ~pattern ~target () =
+  let st = make_state ?node_limit ~pattern ~target () in
+  let result =
+    try search st 0 (fun () -> true) with Budget_exhausted -> false
+  in
+  let mapping =
+    if result then begin
+      complete_isolated st;
+      Some (Array.copy st.core_p)
+    end
+    else None
+  in
+  (mapping, { nodes_visited = st.visited })
+
+let find ?node_limit ~pattern ~target () =
+  fst (find_with_stats ?node_limit ~pattern ~target ())
+
+let exists ?node_limit ~pattern ~target () =
+  Option.is_some (find ?node_limit ~pattern ~target ())
+
+let extend ~pattern ~target ~fixed =
+  let st = make_state ~pattern ~target () in
+  List.iter
+    (fun (h, m) ->
+      if h < 0 || h >= Graph.n_vertices pattern || m < 0 || m >= Graph.n_vertices target
+      then invalid_arg "Vf2.extend: fixed pair out of range";
+      if st.core_p.(h) <> -1 || st.core_t.(m) <> -1 then
+        invalid_arg "Vf2.extend: conflicting fixed assignment";
+      st.core_p.(h) <- m;
+      st.core_t.(m) <- h)
+    fixed;
+  (* The fixed part must already be edge-consistent. *)
+  let consistent =
+    Graph.fold_edges
+      (fun u v ok ->
+        ok
+        &&
+        let mu = st.core_p.(u) and mv = st.core_p.(v) in
+        mu = -1 || mv = -1 || Graph.mem_edge target mu mv)
+      pattern true
+  in
+  if not consistent then None
+  else begin
+    (* Re-order so already-fixed vertices come first (they are just
+       skipped by the candidate loop when pre-assigned). *)
+    let order =
+      Array.of_list
+        (List.filter (fun h -> st.core_p.(h) = -1) (Array.to_list st.order))
+    in
+    let st = { st with order } in
+    if (try search st 0 (fun () -> true) with Budget_exhausted -> false) then begin
+      complete_isolated st;
+      Some (Array.copy st.core_p)
+    end
+    else None
+  end
+
+let count ?(limit = max_int) ~pattern ~target () =
+  let st = make_state ~pattern ~target () in
+  let found = ref 0 in
+  (try
+     ignore
+       (search st 0 (fun () ->
+            incr found;
+            !found >= limit))
+   with Budget_exhausted -> ());
+  !found
+
+let is_isomorphic g h =
+  Graph.n_vertices g = Graph.n_vertices h
+  && Graph.n_edges g = Graph.n_edges h
+  && exists ~pattern:g ~target:h ()

@@ -1,0 +1,61 @@
+(** VF2 subgraph monomorphism (Cordella, Foggia, Sansone & Vento, 2004).
+
+    QLS semantics: a circuit is executable on a device with no SWAP gates
+    iff its interaction graph [H] admits a *monomorphism* into the coupling
+    graph [G] — an injective vertex map under which every interaction edge
+    lands on a coupling edge (non-induced: extra coupling edges are fine).
+
+    This module is used three ways in the reproduction:
+    - {!Qubikos.Certificate} proves Lemma 1 of the paper by checking that
+      each generated section's interaction graph has {e no} monomorphism
+      into the device;
+    - the QUEKO contrast experiment solves QUEKO benchmarks outright by
+      finding a monomorphism (which is exactly why QUEKO cannot measure
+      SWAP optimality gaps);
+    - {!Qls_router} tools use it to detect SWAP-free instances.
+
+    The implementation is the standard VF2 state-space search with
+    degree-based candidate pruning and a connectivity-first variable
+    ordering. *)
+
+type stats = { nodes_visited : int }
+(** Search-effort counter for benchmarking. *)
+
+val find :
+  ?node_limit:int -> pattern:Graph.t -> target:Graph.t -> unit -> int array option
+(** [find ~pattern ~target ()] is [Some f] where [f.(h) = g] maps pattern
+    vertex [h] to target vertex [g], if a monomorphism exists, else
+    [None]. Vertices of the pattern with degree [0] are assigned greedily
+    to leftover target vertices at the end (they impose no edge
+    constraints).
+
+    [node_limit] caps the number of search-tree nodes; when exhausted the
+    search raises [Exit]-free and returns [None] — use only where a missed
+    embedding is acceptable (heuristics), never in the certificate.
+    @raise Invalid_argument if the pattern has more vertices than the
+    target. *)
+
+val find_with_stats :
+  ?node_limit:int -> pattern:Graph.t -> target:Graph.t -> unit -> int array option * stats
+(** Like {!find} but also reports search effort. *)
+
+val exists : ?node_limit:int -> pattern:Graph.t -> target:Graph.t -> unit -> bool
+(** [exists ~pattern ~target ()] is [true] iff a monomorphism exists. *)
+
+val extend :
+  pattern:Graph.t -> target:Graph.t -> fixed:(int * int) list -> int array option
+(** [extend ~pattern ~target ~fixed] searches for a monomorphism that
+    extends the partial assignment [fixed] (pairs [(pattern_v, target_v)]).
+    Used to test whether a partial placement obtained from one QUBIKOS
+    section can be completed for the next (paper §III-C).
+    @raise Invalid_argument on an inconsistent or out-of-range [fixed]. *)
+
+val count : ?limit:int -> pattern:Graph.t -> target:Graph.t -> unit -> int
+(** [count ~pattern ~target ()] counts monomorphisms, stopping at [limit]
+    (default [max_int]). Counting all self-monomorphisms of a graph with
+    [n_edges pattern = n_edges target] counts automorphisms — the paper's
+    "axes of symmetry" measure for devices. *)
+
+val is_isomorphic : Graph.t -> Graph.t -> bool
+(** Graph isomorphism for same-size graphs (monomorphism + equal edge
+    counts). *)

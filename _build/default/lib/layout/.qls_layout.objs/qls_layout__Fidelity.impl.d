@@ -1,0 +1,1 @@
+lib/layout/fidelity.ml: Array Mapping Qls_arch Qls_circuit Transpiled

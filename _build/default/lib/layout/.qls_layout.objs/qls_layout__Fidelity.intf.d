@@ -1,0 +1,1 @@
+lib/layout/fidelity.mli: Qls_arch Transpiled

@@ -1,0 +1,1 @@
+lib/layout/mapping.ml: Array Format Fun List Printf Qls_graph

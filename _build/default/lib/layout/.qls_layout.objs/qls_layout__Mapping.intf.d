@@ -1,0 +1,1 @@
+lib/layout/mapping.mli: Format Qls_graph

@@ -1,0 +1,1 @@
+lib/layout/metrics.ml: Array List

@@ -1,0 +1,1 @@
+lib/layout/transpiled.ml: Format List Mapping Qls_arch Qls_circuit

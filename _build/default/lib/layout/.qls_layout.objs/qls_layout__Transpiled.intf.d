@@ -1,0 +1,1 @@
+lib/layout/transpiled.mli: Format Mapping Qls_arch Qls_circuit

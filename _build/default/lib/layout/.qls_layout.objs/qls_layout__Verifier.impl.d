@@ -1,0 +1,1 @@
+lib/layout/verifier.ml: Array Format List Mapping Printf Qls_arch Qls_circuit Result Transpiled

@@ -1,0 +1,1 @@
+lib/layout/verifier.mli: Format Transpiled

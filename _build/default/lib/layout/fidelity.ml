@@ -1,0 +1,49 @@
+module Gate = Qls_circuit.Gate
+module Circuit = Qls_circuit.Circuit
+module Device = Qls_arch.Device
+module Noise = Qls_arch.Noise
+
+let check_binding noise t =
+  if Device.name (Noise.device noise) <> Device.name (Transpiled.device t)
+     || Device.n_qubits (Noise.device noise) <> Device.n_qubits (Transpiled.device t)
+  then invalid_arg "Fidelity: noise model bound to a different device"
+
+let log1p_neg rate = log (1.0 -. rate)
+
+let components noise t =
+  check_binding noise t;
+  let gates = ref 0.0 in
+  let swaps = ref 0.0 in
+  let physical = Transpiled.to_physical_circuit t in
+  Array.iter
+    (fun g ->
+      match g with
+      | Gate.G1 { q; _ } -> gates := !gates +. log1p_neg (Noise.q1_error noise q)
+      | Gate.G2 { a; b; name } ->
+          let e = log1p_neg (Noise.q2_error noise a b) in
+          if name = "swap" then swaps := !swaps +. (3.0 *. e)
+          else gates := !gates +. e)
+    (Circuit.gates physical);
+  (!gates, !swaps)
+
+let readout_term noise t =
+  let device = Transpiled.device t in
+  let n_prog = Circuit.n_qubits (Transpiled.source t) in
+  let final = Transpiled.final_mapping t in
+  let acc = ref 0.0 in
+  for q = 0 to n_prog - 1 do
+    acc := !acc +. log1p_neg (Noise.readout_error noise (Mapping.phys final q))
+  done;
+  ignore device;
+  !acc
+
+let log_success ?(with_readout = false) noise t =
+  let gates, swaps = components noise t in
+  gates +. swaps +. (if with_readout then readout_term noise t else 0.0)
+
+let success_probability ?with_readout noise t =
+  exp (log_success ?with_readout noise t)
+
+let swap_overhead_cost noise t =
+  let _, swaps = components noise t in
+  swaps

@@ -1,0 +1,28 @@
+(** Fidelity estimation for transpiled circuits.
+
+    Multiplies per-operation success rates under a {!Qls_arch.Noise}
+    model: each single-qubit gate succeeds with [1 - q1], each two-qubit
+    gate with [1 - q2] on its coupler, each inserted SWAP with
+    [(1 - q2)^3] (a SWAP compiles to three CNOTs on superconducting
+    hardware), and, optionally, each qubit is read out at the end.
+
+    This turns the paper's motivating claim — SWAP overhead destroys
+    fidelity — into a measurable quantity: a tool with a 63x SWAP
+    optimality gap does not lose 63x fidelity, it loses
+    [(1 - q2)^(3 * extra_swaps)], which at realistic error rates reaches
+    "essentially zero" well before the gaps the paper reports. *)
+
+val log_success : ?with_readout:bool -> Qls_arch.Noise.t -> Transpiled.t -> float
+(** Natural log of the estimated success probability (always [<= 0]).
+    Robust for deep circuits where the probability underflows.
+    @raise Invalid_argument if the noise model is bound to a different
+    device than the transpiled circuit. *)
+
+val success_probability : ?with_readout:bool -> Qls_arch.Noise.t -> Transpiled.t -> float
+(** [exp (log_success ...)] — may underflow to [0.] for hopeless
+    circuits, which is the honest answer. *)
+
+val swap_overhead_cost : Qls_arch.Noise.t -> Transpiled.t -> float
+(** Log-fidelity lost to the inserted SWAPs alone (a [<= 0] number):
+    the difference between {!log_success} of the circuit and of the same
+    circuit with its SWAPs assumed free. *)

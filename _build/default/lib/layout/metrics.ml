@@ -1,0 +1,34 @@
+let mean = function
+  | [] -> invalid_arg "Metrics.mean: empty"
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let swap_ratio ~optimal ~swap_counts =
+  if optimal <= 0 then invalid_arg "Metrics.swap_ratio: optimal must be positive";
+  if swap_counts = [] then invalid_arg "Metrics.swap_ratio: no samples";
+  mean (List.map float_of_int swap_counts) /. float_of_int optimal
+
+let geometric_mean = function
+  | [] -> invalid_arg "Metrics.geometric_mean: empty"
+  | xs ->
+      List.iter
+        (fun x ->
+          if x <= 0.0 then
+            invalid_arg "Metrics.geometric_mean: non-positive value")
+        xs;
+      exp (mean (List.map log xs))
+
+let median = function
+  | [] -> invalid_arg "Metrics.median: empty"
+  | xs ->
+      let arr = Array.of_list xs in
+      Array.sort compare arr;
+      let n = Array.length arr in
+      if n mod 2 = 1 then arr.(n / 2)
+      else (arr.((n / 2) - 1) +. arr.(n / 2)) /. 2.0
+
+let stddev = function
+  | [] -> invalid_arg "Metrics.stddev: empty"
+  | xs ->
+      let m = mean xs in
+      let var = mean (List.map (fun x -> (x -. m) ** 2.0) xs) in
+      sqrt var

@@ -1,0 +1,26 @@
+(** Aggregate quality metrics for router evaluations (paper §IV-B).
+
+    The paper's headline metric is the {e SWAP ratio}: average SWAP count
+    over a circuit set divided by the (known) optimal SWAP count. A ratio
+    of 1 means the tool is optimal; the paper calls the ratio of a tool on
+    a benchmark suite its {e optimality gap}. *)
+
+val swap_ratio : optimal:int -> swap_counts:int list -> float
+(** [swap_ratio ~optimal ~swap_counts] is
+    [mean swap_counts / optimal].
+    @raise Invalid_argument if [optimal <= 0] or the list is empty. *)
+
+val mean : float list -> float
+(** Arithmetic mean. @raise Invalid_argument on empty input. *)
+
+val geometric_mean : float list -> float
+(** Geometric mean of positive values — used for cross-architecture
+    summaries where ratios span orders of magnitude.
+    @raise Invalid_argument on empty input or non-positive values. *)
+
+val median : float list -> float
+(** Median. @raise Invalid_argument on empty input. *)
+
+val stddev : float list -> float
+(** Population standard deviation ([0.] for singletons).
+    @raise Invalid_argument on empty input. *)

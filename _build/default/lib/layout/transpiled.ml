@@ -1,0 +1,71 @@
+module Circuit = Qls_circuit.Circuit
+module Gate = Qls_circuit.Gate
+module Device = Qls_arch.Device
+
+type op = Gate of int | Swap of int * int
+
+type t = {
+  source : Circuit.t;
+  device : Device.t;
+  initial : Mapping.t;
+  ops : op list;
+}
+
+let create ~source ~device ~initial ops =
+  if Mapping.n_program initial <> Circuit.n_qubits source then
+    invalid_arg "Transpiled.create: mapping/program qubit count mismatch";
+  if Mapping.n_physical initial <> Device.n_qubits device then
+    invalid_arg "Transpiled.create: mapping/device qubit count mismatch";
+  { source; device; initial; ops }
+
+let source t = t.source
+let device t = t.device
+let initial_mapping t = t.initial
+let ops t = t.ops
+
+let swaps t =
+  List.filter_map
+    (function Swap (p, p') -> Some (p, p') | Gate _ -> None)
+    t.ops
+
+let swap_count t = List.length (swaps t)
+let final_mapping t = Mapping.apply_swaps t.initial (swaps t)
+
+let mapping_at t k =
+  let rec go m i = function
+    | [] -> m
+    | _ when i >= k -> m
+    | Swap (p, p') :: rest -> go (Mapping.swap_physical m p p') (i + 1) rest
+    | Gate _ :: rest -> go m (i + 1) rest
+  in
+  go t.initial 0 t.ops
+
+let to_physical_circuit t =
+  let n_phys = Device.n_qubits t.device in
+  let m = ref t.initial in
+  let out =
+    List.map
+      (fun op ->
+        match op with
+        | Swap (p, p') ->
+            m := Mapping.swap_physical !m p p';
+            Gate.swap p p'
+        | Gate i ->
+            let g = Circuit.gate t.source i in
+            Gate.map_qubits (fun q -> Mapping.phys !m q) g)
+      t.ops
+  in
+  Circuit.create ~n_qubits:n_phys out
+
+let depth t = Circuit.depth (to_physical_circuit t)
+
+let pp ppf t =
+  let n_swap = swap_count t in
+  Format.fprintf ppf
+    "@[<v>transpiled: %d source gates + %d swaps on %s@,swaps: %a@]"
+    (Circuit.length t.source) n_swap
+    (Device.name t.device)
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       (fun ppf (p, p') -> Format.fprintf ppf "(%d,%d)" p p'))
+    (swaps t)

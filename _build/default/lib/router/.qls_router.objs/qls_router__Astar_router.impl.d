@@ -1,0 +1,1 @@
+lib/router/astar_router.ml: Array Bytes Char Hashtbl Int List Option Placement Qls_arch Qls_circuit Qls_graph Qls_layout Route_state Router Set

@@ -1,0 +1,1 @@
+lib/router/astar_router.mli: Qls_arch Qls_circuit Qls_layout Router

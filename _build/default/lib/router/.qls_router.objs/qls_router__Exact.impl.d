@@ -1,0 +1,1 @@
+lib/router/exact.ml: Array Fun Hashtbl List Printf Qls_arch Qls_circuit Qls_graph Qls_layout Router

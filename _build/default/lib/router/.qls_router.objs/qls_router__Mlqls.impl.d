@@ -1,0 +1,1 @@
+lib/router/mlqls.ml: Array Fun Hashtbl List Option Qls_arch Qls_circuit Qls_graph Qls_layout Router Sabre

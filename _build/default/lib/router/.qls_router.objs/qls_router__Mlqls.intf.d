@@ -1,0 +1,1 @@
+lib/router/mlqls.mli: Qls_arch Qls_circuit Qls_layout Router Sabre

@@ -1,0 +1,1 @@
+lib/router/olsq.mli: Qls_arch Qls_circuit Qls_layout

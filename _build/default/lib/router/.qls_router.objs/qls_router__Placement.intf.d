@@ -1,0 +1,1 @@
+lib/router/placement.mli: Qls_arch Qls_circuit Qls_graph Qls_layout

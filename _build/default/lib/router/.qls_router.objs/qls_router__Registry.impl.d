@@ -1,0 +1,1 @@
+lib/router/registry.ml: Astar_router Exact Mlqls Olsq Printf Router Sabre Tket_router Transition_router

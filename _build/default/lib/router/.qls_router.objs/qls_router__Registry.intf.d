@@ -1,0 +1,1 @@
+lib/router/registry.mli: Router

@@ -1,0 +1,1 @@
+lib/router/route_state.ml: Array Int List Printf Qls_arch Qls_circuit Qls_graph Qls_layout Queue Set

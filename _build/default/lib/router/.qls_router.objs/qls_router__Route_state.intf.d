@@ -1,0 +1,1 @@
+lib/router/route_state.mli: Qls_arch Qls_circuit Qls_layout

@@ -1,0 +1,1 @@
+lib/router/router.mli: Qls_arch Qls_circuit Qls_layout

@@ -1,0 +1,1 @@
+lib/router/tket_router.ml: Float List Placement Qls_arch Qls_circuit Qls_graph Qls_layout Route_state Router

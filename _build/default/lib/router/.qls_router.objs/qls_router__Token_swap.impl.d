@@ -1,0 +1,1 @@
+lib/router/token_swap.ml: Array Hashtbl List Printf Qls_arch Qls_graph Qls_layout Queue String

@@ -1,0 +1,1 @@
+lib/router/token_swap.mli: Qls_arch Qls_layout

@@ -1,0 +1,1 @@
+lib/router/transition_router.ml: Array List Placement Qls_arch Qls_circuit Qls_graph Qls_layout Route_state Router Token_swap

@@ -1,0 +1,152 @@
+module Rng = Qls_graph.Rng
+module Pqueue = Qls_graph.Pqueue
+module Dag = Qls_circuit.Dag
+module Device = Qls_arch.Device
+module Mapping = Qls_layout.Mapping
+
+type options = { lookahead_weight : float; node_budget : int; seed : int }
+
+let default_options = { lookahead_weight = 0.5; node_budget = 10_000; seed = 0 }
+
+let mapping_key mapping =
+  let arr = Mapping.to_array mapping in
+  let b = Bytes.create (Array.length arr) in
+  Array.iteri (fun i p -> Bytes.set b i (Char.chr (p land 0xff))) arr;
+  Bytes.to_string b
+
+(* Distance excess of a gate set under a mapping. *)
+let excess device mapping pairs =
+  List.fold_left
+    (fun acc (a, b) ->
+      acc + Device.distance device (Mapping.phys mapping a) (Mapping.phys mapping b) - 1)
+    0 pairs
+
+let heuristic ~opts device mapping ~target_pairs ~lookahead_pairs =
+  let h_layer = float_of_int ((excess device mapping target_pairs + 1) / 2) in
+  let h_look =
+    match lookahead_pairs with
+    | [] -> 0.0
+    | ps -> opts.lookahead_weight *. float_of_int (excess device mapping ps) /. 2.0
+  in
+  h_layer +. h_look
+
+(* A* from [mapping] to a mapping making every pair in [target_pairs]
+   adjacent. Returns the SWAP sequence, or [None] when the node budget is
+   exhausted. *)
+let astar ~opts device mapping ~target_pairs ~lookahead_pairs =
+  let open_set = Pqueue.create () in
+  let closed = Hashtbl.create 4096 in
+  let relevant m =
+    (* Couplers touching a physical qubit that holds a target-layer qubit. *)
+    let module IS = Set.Make (Int) in
+    let phys =
+      List.fold_left
+        (fun acc (a, b) -> IS.add (Mapping.phys m a) (IS.add (Mapping.phys m b) acc))
+        IS.empty target_pairs
+    in
+    List.filter
+      (fun (p, p') -> IS.mem p phys || IS.mem p' phys)
+      (Device.edges device)
+  in
+  (* The budget counts queue insertions: each stored state holds a full
+     mapping, so this also bounds peak memory. *)
+  let pushed = ref 0 in
+  Pqueue.push open_set
+    (heuristic ~opts device mapping ~target_pairs ~lookahead_pairs)
+    (mapping, 0, []);
+  let result = ref None in
+  let budget_hit = ref false in
+  while Option.is_none !result && (not !budget_hit) && not (Pqueue.is_empty open_set) do
+    match Pqueue.pop open_set with
+    | None -> ()
+    | Some (_, (m, g, swaps_rev)) ->
+        let key = mapping_key m in
+        if not (Hashtbl.mem closed key) then begin
+          Hashtbl.add closed key ();
+          if excess device m target_pairs = 0 then
+            result := Some (List.rev swaps_rev)
+          else
+            List.iter
+              (fun (p, p') ->
+                let m' = Mapping.swap_physical m p p' in
+                let key' = mapping_key m' in
+                if not (Hashtbl.mem closed key') && not !budget_hit then begin
+                  incr pushed;
+                  if !pushed > opts.node_budget then budget_hit := true
+                  else begin
+                    let g' = g + 1 in
+                    let f =
+                      float_of_int g'
+                      +. heuristic ~opts device m' ~target_pairs ~lookahead_pairs
+                    in
+                    Pqueue.push open_set f (m', g', (p, p') :: swaps_rev)
+                  end
+                end)
+              (relevant m)
+        end
+  done;
+  !result
+
+(* Budget fallback: route the layer's gates one at a time along shortest
+   paths. *)
+let fallback_swaps device mapping target_pairs =
+  let m = ref mapping in
+  let swaps = ref [] in
+  List.iter
+    (fun (a, b) ->
+      let pa = Mapping.phys !m a and pb = Mapping.phys !m b in
+      if Device.distance device pa pb > 1 then
+        match Qls_graph.Bfs.path (Device.graph device) pa pb with
+        | None | Some [] | Some [ _ ] -> ()
+        | Some path ->
+            let rec go = function
+              | p :: p' :: (_ :: _ as rest) ->
+                  swaps := (p, p') :: !swaps;
+                  m := Mapping.swap_physical !m p p';
+                  go (p' :: rest)
+              | _ -> ()
+            in
+            go path)
+    target_pairs;
+  List.rev !swaps
+
+let route ?(options = default_options) ?initial device circuit =
+  let opts = options in
+  let start =
+    match initial with
+    | Some m -> m
+    | None -> Placement.identity device circuit
+  in
+  let st = Route_state.create ~device ~source:circuit ~initial:start in
+  ignore (Route_state.advance st);
+  while not (Route_state.finished st) do
+    let dag = Route_state.dag st in
+    let layers = Route_state.remaining_layers st ~max_layers:2 in
+    let target, lookahead =
+      match layers with
+      | [] -> ([], [])
+      | [ l0 ] -> (l0, [])
+      | l0 :: l1 :: _ -> (l0, l1)
+    in
+    let target_pairs = List.map (Dag.pair dag) target in
+    let lookahead_pairs = List.map (Dag.pair dag) lookahead in
+    let mapping = Route_state.mapping st in
+    let swaps =
+      match astar ~opts device mapping ~target_pairs ~lookahead_pairs with
+      | Some swaps -> swaps
+      | None -> fallback_swaps device mapping target_pairs
+    in
+    List.iter (fun (p, p') -> Route_state.apply_swap st p p') swaps;
+    let emitted = Route_state.advance st in
+    (* The A* goal guarantees the whole layer became executable; the
+       fallback guarantees at least one gate did. *)
+    if emitted = 0 then
+      failwith "Astar_router: no progress after layer search (bug)"
+  done;
+  Route_state.finish st
+
+let router ?(options = default_options) () =
+  {
+    Router.name = "qmap";
+    route = (fun ?initial device circuit -> route ~options ?initial device circuit);
+  }

@@ -1,0 +1,47 @@
+(** A QMAP-style layer-by-layer A* mapper (Zulehner, Paler & Wille 2018/19;
+    the algorithm behind MQT QMAP's heuristic mode).
+
+    The circuit's two-qubit gates are partitioned into ASAP layers of
+    parallel gates. For each layer in sequence, an A* search over SWAP
+    sequences transforms the current mapping into one under which {e every}
+    gate of the layer is executable; the search cost is the number of
+    SWAPs, the heuristic is the summed distance excess of the layer's
+    gates (divided by 2, admissible: one SWAP improves at most two layer
+    gates by one each), optionally augmented with a discounted next-layer
+    lookahead term (QMAP's default behaviour, which sacrifices
+    admissibility for speed, exactly as the original tool does).
+
+    Satisfying whole layers at a time is QMAP's signature locality: it
+    produces clean per-layer mappings but no global routing plan, which is
+    the behaviour behind the very large optimality gaps the paper measures
+    on big devices (§IV-B).
+
+    When A* exceeds its node budget on a layer the router falls back to
+    shortest-path routing of that layer's gates one by one (QMAP similarly
+    bounds its search frontier). *)
+
+type options = {
+  lookahead_weight : float;
+      (** weight of the next-layer heuristic term, 0 = admissible,
+          default 0.5 *)
+  node_budget : int;
+      (** A* queue insertions allowed per layer (bounds time {e and} peak
+          memory, since each queued state carries a mapping), default
+          10_000 *)
+  seed : int;  (** tie-breaking stream for the fallback *)
+}
+
+val default_options : options
+(** Lookahead 0.5, budget 10k. *)
+
+val route :
+  ?options:options ->
+  ?initial:Qls_layout.Mapping.t ->
+  Qls_arch.Device.t ->
+  Qls_circuit.Circuit.t ->
+  Qls_layout.Transpiled.t
+(** Run the mapper. The default initial placement is identity (QMAP's
+    heuristic default), which is part of why its gap is large. *)
+
+val router : ?options:options -> unit -> Router.t
+(** Package as ["qmap"]. *)

@@ -1,0 +1,78 @@
+module Graph = Qls_graph.Graph
+module Rng = Qls_graph.Rng
+module Vf2_impl = Qls_graph.Vf2
+module Circuit = Qls_circuit.Circuit
+module Interaction = Qls_circuit.Interaction
+module Device = Qls_arch.Device
+module Mapping = Qls_layout.Mapping
+
+let random rng device circuit =
+  Mapping.random rng ~n_program:(Circuit.n_qubits circuit)
+    ~n_physical:(Device.n_qubits device)
+
+let identity device circuit =
+  Mapping.identity ~n_program:(Circuit.n_qubits circuit)
+    ~n_physical:(Device.n_qubits device)
+
+let vf2 ?node_limit device circuit =
+  match
+    Vf2_impl.find ?node_limit
+      ~pattern:(Interaction.of_circuit circuit)
+      ~target:(Device.graph device) ()
+  with
+  | None -> None
+  | Some assignment ->
+      Some (Mapping.of_array ~n_physical:(Device.n_qubits device) assignment)
+
+let degree_greedy rng device circuit =
+  let inter = Interaction.of_circuit circuit in
+  let n_prog = Circuit.n_qubits circuit in
+  let n_phys = Device.n_qubits device in
+  if n_prog > n_phys then
+    invalid_arg "Placement.degree_greedy: circuit larger than device";
+  let order =
+    List.sort
+      (fun q q' -> compare (Graph.degree inter q') (Graph.degree inter q))
+      (List.init n_prog Fun.id)
+  in
+  let assignment = Array.make n_prog (-1) in
+  let taken = Array.make n_phys false in
+  let place q =
+    let placed_partners =
+      List.filter (fun q' -> assignment.(q') >= 0) (Graph.neighbors inter q)
+    in
+    let candidates = List.filter (fun p -> not taken.(p)) (List.init n_phys Fun.id) in
+    let score p =
+      let dist_sum =
+        List.fold_left
+          (fun acc q' -> acc + Device.distance device p assignment.(q'))
+          0 placed_partners
+      in
+      (* Lower is better: distance first, then prefer high physical degree
+         (negated), then a random jitter for tie diversity. *)
+      (dist_sum, -Device.degree device p, Rng.int rng 1_000_000)
+    in
+    let best =
+      List.fold_left
+        (fun best p ->
+          let s = score p in
+          match best with
+          | None -> Some (p, s)
+          | Some (_, bs) -> if s < bs then Some (p, s) else best)
+        None candidates
+    in
+    match best with
+    | Some (p, _) ->
+        assignment.(q) <- p;
+        taken.(p) <- true
+    | None -> assert false
+  in
+  List.iter place order;
+  Mapping.of_array ~n_physical:n_phys assignment
+
+let spread_cost device circuit mapping =
+  let inter = Interaction.of_circuit circuit in
+  Graph.fold_edges
+    (fun q q' acc ->
+      acc + Device.distance device (Mapping.phys mapping q) (Mapping.phys mapping q') - 1)
+    inter 0

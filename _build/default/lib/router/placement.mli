@@ -1,0 +1,36 @@
+(** Initial-mapping (placement) strategies.
+
+    A placement maps program qubits to physical qubits before routing
+    starts. QUEKO-class benchmarks are solved entirely at this stage
+    (subgraph isomorphism); QUBIKOS benchmarks are constructed so that no
+    placement avoids SWAPs (paper §III-C), making the routing stage — and
+    hence this separation — observable. *)
+
+val random :
+  Qls_graph.Rng.t -> Qls_arch.Device.t -> Qls_circuit.Circuit.t -> Qls_layout.Mapping.t
+(** Uniform random injective placement. *)
+
+val identity : Qls_arch.Device.t -> Qls_circuit.Circuit.t -> Qls_layout.Mapping.t
+(** Program qubit [q] on physical qubit [q]. *)
+
+val vf2 :
+  ?node_limit:int ->
+  Qls_arch.Device.t ->
+  Qls_circuit.Circuit.t ->
+  Qls_layout.Mapping.t option
+(** SWAP-free placement via subgraph monomorphism of the whole interaction
+    graph, when one exists. This solves every QUEKO instance outright. *)
+
+val degree_greedy :
+  Qls_graph.Rng.t -> Qls_arch.Device.t -> Qls_circuit.Circuit.t -> Qls_layout.Mapping.t
+(** Interaction-degree-driven greedy placement: program qubits in
+    decreasing interaction degree are placed on the free physical qubit
+    that minimises summed distance to already-placed interaction partners
+    (ties broken by physical degree then uniformly). A standard
+    light-weight placement used as ML-QLS's coarse-level seed. *)
+
+val spread_cost :
+  Qls_arch.Device.t -> Qls_circuit.Circuit.t -> Qls_layout.Mapping.t -> int
+(** Sum over interaction edges of [(distance - 1)] under the mapping — 0
+    iff the placement is SWAP-free for the whole circuit. Used to compare
+    placements. *)

@@ -1,0 +1,17 @@
+(** Name-indexed registry of the routing tools.
+
+    The four evaluated tools (paper §IV-B) are ["sabre"] (LightSABRE),
+    ["tket"], ["qmap"] and ["mlqls"]; ["sabre-decay"] is the case-study
+    variant (§IV-C), ["transition"] a Childs-style token-swapping router
+    (an extra baseline), and ["exact"] the optimality prover (§IV-A). *)
+
+val paper_tools : ?sabre_trials:int -> ?seed:int -> unit -> Router.t list
+(** The four heuristic tools in paper order: SABRE, ML-QLS, QMAP, t|ket⟩.
+    [sabre_trials] (default 20; the paper uses 1000) applies to SABRE
+    only, matching the paper's setup. *)
+
+val by_name : ?sabre_trials:int -> ?seed:int -> string -> Router.t option
+(** Look a tool up by name (see above for the known names). *)
+
+val names : string list
+(** All registered names. *)

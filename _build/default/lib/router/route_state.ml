@@ -1,0 +1,214 @@
+module Circuit = Qls_circuit.Circuit
+module Gate = Qls_circuit.Gate
+module Dag = Qls_circuit.Dag
+module Device = Qls_arch.Device
+module Mapping = Qls_layout.Mapping
+module Transpiled = Qls_layout.Transpiled
+
+type t = {
+  device : Device.t;
+  source : Circuit.t;
+  dag : Dag.t;
+  initial : Mapping.t;
+  mutable mapping : Mapping.t;
+  mutable ops_rev : Transpiled.op list;
+  indeg : int array;          (* remaining unexecuted predecessors per DAG vertex *)
+  mutable front : int list;   (* vertices with indeg 0, not yet emitted *)
+  mutable emitted : int;      (* two-qubit gates emitted *)
+  mutable n_swaps : int;
+  pending_1q : int list array; (* per program qubit: 1q gate indices, ascending *)
+}
+
+let create ~device ~source ~initial =
+  if Mapping.n_program initial <> Circuit.n_qubits source then
+    invalid_arg "Route_state.create: mapping size mismatch";
+  if Mapping.n_physical initial <> Device.n_qubits device then
+    invalid_arg "Route_state.create: device size mismatch";
+  let dag = Dag.of_circuit source in
+  let n = Dag.n_gates dag in
+  let indeg = Array.init n (fun v -> Dag.in_degree dag v) in
+  let front = Dag.front_layer dag in
+  let pending_1q = Array.make (max 1 (Circuit.n_qubits source)) [] in
+  Array.iteri
+    (fun i g ->
+      match g with
+      | Gate.G1 { q; _ } -> pending_1q.(q) <- i :: pending_1q.(q)
+      | Gate.G2 _ -> ())
+    (Circuit.gates source);
+  Array.iteri (fun q l -> pending_1q.(q) <- List.rev l) pending_1q;
+  {
+    device;
+    source;
+    dag;
+    initial;
+    mapping = initial;
+    ops_rev = [];
+    indeg;
+    front;
+    emitted = 0;
+    n_swaps = 0;
+    pending_1q;
+  }
+
+let device t = t.device
+let dag t = t.dag
+let mapping t = t.mapping
+let front t = t.front
+let done_count t = t.emitted
+let remaining t = Dag.n_gates t.dag - t.emitted
+let finished t = remaining t = 0
+
+let gate_distance t v =
+  let a, b = Dag.pair t.dag v in
+  Device.distance t.device (Mapping.phys t.mapping a) (Mapping.phys t.mapping b)
+
+let executable t v = gate_distance t v = 1
+
+(* Emit the pending single-qubit gates on qubit [q] that precede source
+   position [before]. *)
+let flush_1q t q ~before =
+  let rec go = function
+    | i :: rest when i < before ->
+        t.ops_rev <- Transpiled.Gate i :: t.ops_rev;
+        go rest
+    | rest -> rest
+  in
+  t.pending_1q.(q) <- go t.pending_1q.(q)
+
+let emit_gate t v =
+  let a, b = Dag.pair t.dag v in
+  let ci = Dag.circuit_index t.dag v in
+  flush_1q t a ~before:ci;
+  flush_1q t b ~before:ci;
+  t.ops_rev <- Transpiled.Gate ci :: t.ops_rev;
+  t.emitted <- t.emitted + 1;
+  List.iter
+    (fun w ->
+      t.indeg.(w) <- t.indeg.(w) - 1;
+      if t.indeg.(w) = 0 then t.front <- w :: t.front)
+    (Dag.successors t.dag v)
+
+let advance t =
+  let emitted_total = ref 0 in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let exec, blocked = List.partition (fun v -> executable t v) t.front in
+    if exec <> [] then begin
+      (* Keep deterministic order: lower DAG index first. *)
+      let exec = List.sort compare exec in
+      t.front <- blocked;
+      List.iter (fun v -> emit_gate t v) exec;
+      emitted_total := !emitted_total + List.length exec;
+      progress := true
+    end
+  done;
+  !emitted_total
+
+let apply_swap t p p' =
+  if not (Device.coupled t.device p p') then
+    invalid_arg
+      (Printf.sprintf "Route_state.apply_swap: (%d,%d) is not a coupler" p p');
+  t.mapping <- Mapping.swap_physical t.mapping p p';
+  t.n_swaps <- t.n_swaps + 1;
+  t.ops_rev <- Transpiled.Swap (p, p') :: t.ops_rev
+
+let swap_count t = t.n_swaps
+
+let force_route_first t =
+  match List.sort compare t.front with
+  | [] -> ()
+  | v :: _ -> (
+      let a, b = Dag.pair t.dag v in
+      let pa = Mapping.phys t.mapping a and pb = Mapping.phys t.mapping b in
+      match Qls_graph.Bfs.path (Device.graph t.device) pa pb with
+      | None | Some [] | Some [ _ ] -> ()
+      | Some path ->
+          (* Walk qubit [a] along the path until adjacent to [b]. *)
+          let rec go = function
+            | p :: p' :: (_ :: _ as rest) ->
+                apply_swap t p p';
+                go (p' :: rest)
+            | _ -> ()
+          in
+          go path)
+
+let swap_candidates t =
+  let module IS = Set.Make (Int) in
+  let phys_front =
+    List.fold_left
+      (fun acc v ->
+        let a, b = Dag.pair t.dag v in
+        IS.add (Mapping.phys t.mapping a) (IS.add (Mapping.phys t.mapping b) acc))
+      IS.empty t.front
+  in
+  List.filter
+    (fun (p, p') -> IS.mem p phys_front || IS.mem p' phys_front)
+    (Device.edges t.device)
+
+let extended_set t ~size =
+  (* Breadth-first through successors of the front layer, skipping
+     already-emitted vertices; nearer successors first, capped at [size]. *)
+  let module IS = Set.Make (Int) in
+  let seen = ref (IS.of_list t.front) in
+  let out = ref [] in
+  let count = ref 0 in
+  let queue = Queue.create () in
+  List.iter (fun v -> Queue.add v queue) (List.sort compare t.front);
+  while !count < size && not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    List.iter
+      (fun w ->
+        if !count < size && not (IS.mem w !seen) then begin
+          seen := IS.add w !seen;
+          out := w :: !out;
+          incr count;
+          Queue.add w queue
+        end)
+      (Dag.successors t.dag v)
+  done;
+  List.rev !out
+
+let remaining_layers t ~max_layers =
+  let indeg = Array.copy t.indeg in
+  let layers = ref [] in
+  let current = ref (List.sort compare t.front) in
+  let n_layers = ref 0 in
+  while !current <> [] && !n_layers < max_layers do
+    layers := !current :: !layers;
+    incr n_layers;
+    let next = ref [] in
+    List.iter
+      (fun v ->
+        List.iter
+          (fun w ->
+            indeg.(w) <- indeg.(w) - 1;
+            if indeg.(w) = 0 then next := w :: !next)
+          (Dag.successors t.dag v))
+      !current;
+    current := List.sort compare !next
+  done;
+  List.rev !layers
+
+let front_pairs_physical t =
+  List.map
+    (fun v ->
+      let a, b = Dag.pair t.dag v in
+      (Mapping.phys t.mapping a, Mapping.phys t.mapping b))
+    t.front
+
+let snapshot_mapping t = t.mapping
+
+let ops_so_far t = List.rev t.ops_rev
+
+let finish t =
+  if not (finished t) then
+    invalid_arg "Route_state.finish: two-qubit gates remain";
+  Array.iteri
+    (fun q pending ->
+      ignore q;
+      List.iter (fun i -> t.ops_rev <- Transpiled.Gate i :: t.ops_rev) pending)
+    t.pending_1q;
+  Array.iteri (fun q _ -> t.pending_1q.(q) <- []) t.pending_1q;
+  Transpiled.create ~source:t.source ~device:t.device ~initial:t.initial
+    (List.rev t.ops_rev)

@@ -1,0 +1,101 @@
+(** Shared routing machinery.
+
+    Every heuristic router in this library follows the same skeleton:
+    keep a current mapping, greedily emit every executable gate (eager
+    execution never costs SWAPs), and when the front layer is blocked,
+    insert a SWAP chosen by the router's own cost function. This module
+    owns that skeleton — front-layer maintenance, dependency bookkeeping,
+    single-qubit gate scheduling, op-sequence accumulation — so router
+    modules contain only their decision logic.
+
+    Single-qubit gates never constrain layout; they are re-attached in a
+    per-qubit-order-preserving way: each is emitted immediately before the
+    first two-qubit gate that follows it on its qubit (or at the very end).
+    The {!Qls_layout.Verifier} accepts the result by construction. *)
+
+type t
+(** Mutable routing state. *)
+
+val create :
+  device:Qls_arch.Device.t ->
+  source:Qls_circuit.Circuit.t ->
+  initial:Qls_layout.Mapping.t ->
+  t
+(** Fresh state; no gates are emitted yet (call {!advance}). *)
+
+val device : t -> Qls_arch.Device.t
+(** The target device. *)
+
+val dag : t -> Qls_circuit.Dag.t
+(** The two-qubit dependency DAG of the source circuit. *)
+
+val mapping : t -> Qls_layout.Mapping.t
+(** Current program→physical mapping. *)
+
+val front : t -> int list
+(** DAG vertices whose predecessors have all executed — the SABRE
+    "front layer" [F]. *)
+
+val done_count : t -> int
+(** Number of two-qubit gates already emitted. *)
+
+val remaining : t -> int
+(** Number of two-qubit gates not yet emitted. *)
+
+val finished : t -> bool
+(** Whether every two-qubit gate has been emitted. *)
+
+val gate_distance : t -> int -> int
+(** [gate_distance t v] is the current physical distance between the two
+    qubits of DAG vertex [v]. *)
+
+val executable : t -> int -> bool
+(** Whether DAG vertex [v] is executable under the current mapping
+    (distance 1). *)
+
+val advance : t -> int
+(** Emit every currently executable front gate, transitively; returns how
+    many two-qubit gates were emitted. After [advance t = 0] and
+    [not (finished t)], the front layer is blocked and a SWAP is needed. *)
+
+val apply_swap : t -> int -> int -> unit
+(** [apply_swap t p p'] records a SWAP on the coupled physical pair and
+    updates the mapping.
+    @raise Invalid_argument if [(p, p')] is not a coupler. *)
+
+val swap_count : t -> int
+(** SWAPs inserted so far. *)
+
+val force_route_first : t -> unit
+(** Escape hatch (LightSABRE's "release valve"): route the lowest-index
+    blocked front gate along a shortest physical path, inserting the
+    SWAPs directly. Guarantees that the next {!advance} makes progress,
+    which keeps every heuristic router's main loop terminating. No-op on
+    an empty front. *)
+
+val swap_candidates : t -> (int * int) list
+(** Couplers touching at least one physical qubit that currently holds a
+    front-layer program qubit — the standard SWAP candidate set. *)
+
+val extended_set : t -> size:int -> int list
+(** The SABRE "extended set": up to [size] DAG vertices following the
+    front layer, collected breadth-first through the successor relation
+    (nearer successors first). *)
+
+val remaining_layers : t -> max_layers:int -> int list list
+(** ASAP timeslices of the not-yet-emitted two-qubit gates, starting from
+    the current front layer, capped at [max_layers] slices. This is the
+    lookahead structure of the t|ket⟩-style router. *)
+
+val front_pairs_physical : t -> (int * int) list
+(** Physical qubit pairs of the front-layer gates. *)
+
+val snapshot_mapping : t -> Qls_layout.Mapping.t
+(** Alias of {!mapping} (mappings are immutable values). *)
+
+val finish : t -> Qls_layout.Transpiled.t
+(** Emit the trailing single-qubit gates and package the result.
+    @raise Invalid_argument if two-qubit gates remain. *)
+
+val ops_so_far : t -> Qls_layout.Transpiled.op list
+(** The op sequence accumulated so far (earliest first). *)

@@ -1,0 +1,17 @@
+type t = {
+  name : string;
+  route :
+    ?initial:Qls_layout.Mapping.t ->
+    Qls_arch.Device.t ->
+    Qls_circuit.Circuit.t ->
+    Qls_layout.Transpiled.t;
+}
+
+let run_verified r ?initial device circuit =
+  let transpiled = r.route ?initial device circuit in
+  let report = Qls_layout.Verifier.check_exn transpiled in
+  (transpiled, report)
+
+let swap_count r ?initial device circuit =
+  let _, report = run_verified r ?initial device circuit in
+  report.Qls_layout.Verifier.swap_count

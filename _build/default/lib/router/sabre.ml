@@ -1,0 +1,210 @@
+module Rng = Qls_graph.Rng
+module Circuit = Qls_circuit.Circuit
+module Gate = Qls_circuit.Gate
+module Dag = Qls_circuit.Dag
+module Device = Qls_arch.Device
+module Mapping = Qls_layout.Mapping
+module Transpiled = Qls_layout.Transpiled
+
+type options = {
+  trials : int;
+  seed : int;
+  extended_set_size : int;
+  extended_set_weight : float;
+  decay_increment : float;
+  decay_reset_interval : int;
+  lookahead_decay : float option;
+  bidirectional_passes : int;
+  release_valve_after : int;
+}
+
+let default_options =
+  {
+    trials = 1;
+    seed = 0;
+    extended_set_size = 20;
+    extended_set_weight = 0.5;
+    decay_increment = 0.001;
+    decay_reset_interval = 5;
+    lookahead_decay = None;
+    bidirectional_passes = 2;
+    release_valve_after = 32;
+  }
+
+let with_trials trials opts = { opts with trials }
+
+type decision = {
+  front_gates : (int * int) list;
+  candidates : ((int * int) * float) list;
+  chosen : int * int;
+}
+
+(* Physical distance of program pair (a, b) if the contents of physical
+   qubits p and p' were exchanged. *)
+let dist_after_swap device mapping p p' a b =
+  let reloc x =
+    let px = Mapping.phys mapping x in
+    if px = p then p' else if px = p' then p else px
+  in
+  Device.distance device (reloc a) (reloc b)
+
+let score_swap ~opts ~st ~decay (p, p') =
+  let device = Route_state.device st in
+  let dag = Route_state.dag st in
+  let mapping = Route_state.mapping st in
+  let front = Route_state.front st in
+  let basic =
+    List.fold_left
+      (fun acc v ->
+        let a, b = Dag.pair dag v in
+        acc +. float_of_int (dist_after_swap device mapping p p' a b))
+      0.0 front
+    /. float_of_int (max 1 (List.length front))
+  in
+  let extended = Route_state.extended_set st ~size:opts.extended_set_size in
+  let lookahead =
+    match extended with
+    | [] -> 0.0
+    | _ ->
+        let acc = ref 0.0 and wsum = ref 0.0 in
+        List.iteri
+          (fun k v ->
+            let a, b = Dag.pair dag v in
+            let w =
+              match opts.lookahead_decay with
+              | None -> 1.0
+              | Some gamma -> gamma ** float_of_int k
+            in
+            acc :=
+              !acc +. (w *. float_of_int (dist_after_swap device mapping p p' a b));
+            wsum := !wsum +. w)
+          extended;
+        (* Stock SABRE divides the extended-set cost by |E| (each lookahead
+           gate weighted equally — exactly the behaviour the paper's case
+           study exposes); with lookahead decay we normalise by the weight
+           mass instead so magnitudes stay comparable. *)
+        (match opts.lookahead_decay with
+        | None -> !acc /. float_of_int (List.length extended)
+        | Some _ -> if !wsum > 0.0 then !acc /. !wsum else 0.0)
+  in
+  let decay_factor = Float.max decay.(p) decay.(p') in
+  decay_factor *. (basic +. (opts.extended_set_weight *. lookahead))
+
+let routing_pass ~opts ~rng ~trace ~device ~initial circuit =
+  let st = Route_state.create ~device ~source:circuit ~initial in
+  let n_phys = Device.n_qubits device in
+  let decay = Array.make n_phys 1.0 in
+  let decisions = ref [] in
+  let rounds_since_reset = ref 0 in
+  let stuck = ref 0 in
+  ignore (Route_state.advance st);
+  while not (Route_state.finished st) do
+    if !stuck > opts.release_valve_after then begin
+      Route_state.force_route_first st;
+      stuck := 0;
+      Array.fill decay 0 n_phys 1.0
+    end
+    else begin
+      let candidates = Route_state.swap_candidates st in
+      let scored =
+        List.map (fun sw -> (sw, score_swap ~opts ~st ~decay sw)) candidates
+      in
+      let best_score =
+        List.fold_left (fun acc (_, s) -> Float.min acc s) infinity scored
+      in
+      let ties =
+        List.filter (fun (_, s) -> s <= best_score +. 1e-12) scored
+      in
+      let chosen, _ = Rng.pick rng ties in
+      if trace then begin
+        let dag = Route_state.dag st in
+        let front_gates =
+          List.map (fun v -> Dag.pair dag v) (List.sort compare (Route_state.front st))
+        in
+        let sorted =
+          List.sort (fun (_, s) (_, s') -> compare s s') scored
+        in
+        decisions := { front_gates; candidates = sorted; chosen } :: !decisions
+      end;
+      let p, p' = chosen in
+      Route_state.apply_swap st p p';
+      decay.(p) <- decay.(p) +. opts.decay_increment;
+      decay.(p') <- decay.(p') +. opts.decay_increment;
+      incr rounds_since_reset;
+      if !rounds_since_reset >= opts.decay_reset_interval then begin
+        Array.fill decay 0 n_phys 1.0;
+        rounds_since_reset := 0
+      end
+    end;
+    let emitted = Route_state.advance st in
+    if emitted > 0 then begin
+      Array.fill decay 0 n_phys 1.0;
+      rounds_since_reset := 0;
+      stuck := 0
+    end
+    else incr stuck
+  done;
+  (Route_state.finish st, List.rev !decisions)
+
+let reverse_circuit circuit =
+  let gates = Circuit.gates circuit in
+  let n = Array.length gates in
+  Circuit.of_array ~n_qubits:(Circuit.n_qubits circuit)
+    (Array.init n (fun i -> gates.(n - 1 - i)))
+
+(* One SABRE trial: refine the initial mapping with alternating
+   forward/backward passes, then run the output pass. *)
+let run_trial ~opts ~rng ~trace ~device ~initial circuit =
+  let reversed = reverse_circuit circuit in
+  let refine_rng = Rng.split rng in
+  let mapping = ref initial in
+  for pass = 0 to opts.bidirectional_passes - 1 do
+    let c = if pass mod 2 = 0 then circuit else reversed in
+    let result, _ =
+      routing_pass ~opts ~rng:refine_rng ~trace:false ~device ~initial:!mapping c
+    in
+    mapping := Transpiled.final_mapping result
+  done;
+  routing_pass ~opts ~rng ~trace ~device ~initial:!mapping circuit
+
+let route ?(options = default_options) ?initial device circuit =
+  let opts = options in
+  let n_trials = max 1 opts.trials in
+  let best = ref None in
+  for trial = 0 to n_trials - 1 do
+    let rng = Rng.create ((opts.seed * 1_000_003) + trial) in
+    let start =
+      match initial with
+      | Some m -> m
+      | None -> Placement.random rng device circuit
+    in
+    let result, _ = run_trial ~opts ~rng ~trace:false ~device ~initial:start circuit in
+    let swaps = Transpiled.swap_count result in
+    match !best with
+    | Some (_, best_swaps) when best_swaps <= swaps -> ()
+    | Some _ | None -> best := Some (result, swaps)
+  done;
+  match !best with
+  | Some (result, _) -> result
+  | None -> assert false
+
+let route_traced ?(options = default_options) ?initial device circuit =
+  let opts = options in
+  let rng = Rng.create (opts.seed * 1_000_003) in
+  let start =
+    match initial with
+    | Some m -> m
+    | None -> Placement.random rng device circuit
+  in
+  run_trial ~opts ~rng ~trace:true ~device ~initial:start circuit
+
+let router ?(options = default_options) () =
+  let name =
+    match options.lookahead_decay with
+    | None -> "sabre"
+    | Some _ -> "sabre-decay"
+  in
+  {
+    Router.name;
+    route = (fun ?initial device circuit -> route ~options ?initial device circuit);
+  }

@@ -1,0 +1,84 @@
+(** SABRE / LightSABRE (Li, Ding & Xie 2019; Zou et al. 2024).
+
+    The stock configuration reproduces the published Qiskit cost model the
+    paper's case study (§IV-C) hinges on: when the front layer is blocked,
+    every SWAP touching a front-layer qubit is scored
+
+    {v
+      score(s) = max(decay) * ( basic(F) / |F|  +  w * lookahead(E) / |E| )
+    v}
+
+    where [basic] sums post-SWAP physical distances over the front layer
+    [F], [lookahead] sums them over the {e extended set} [E] (the next
+    [extended_set_size = 20] two-qubit gates, each weighted equally,
+    [w = 0.5]), and [decay] penalises recently swapped qubits
+    ([+0.001] per use, reset every [5] rounds and on progress). The paper
+    shows this equal weighting of near and far lookahead gates produces
+    provably suboptimal routing on QUBIKOS circuits and suggests decaying
+    the lookahead with distance-from-execution; [lookahead_decay]
+    implements that fix and is exercised by the case-study experiment.
+
+    LightSABRE refinements implemented: best-of-N randomised trials and a
+    release valve that escapes oscillation by routing the oldest blocked
+    gate along a shortest path.
+
+    Initial mappings, unless supplied, are refined with SABRE's
+    bidirectional passes: forward and backward routing passes alternate,
+    each seeding the next pass's initial mapping with the final mapping of
+    the previous one. *)
+
+type options = {
+  trials : int;  (** independent randomised trials, best SWAP count wins *)
+  seed : int;  (** base RNG seed; trial [i] uses an independent stream *)
+  extended_set_size : int;  (** lookahead window, Qiskit default 20 *)
+  extended_set_weight : float;  (** lookahead weight [w], Qiskit default 0.5 *)
+  decay_increment : float;  (** per-use decay bump, Qiskit default 0.001 *)
+  decay_reset_interval : int;  (** rounds between decay resets, default 5 *)
+  lookahead_decay : float option;
+      (** [None] = stock equal weighting; [Some gamma] weights the [k]-th
+          extended-set gate by [gamma^k] (paper §IV-C's proposed fix) *)
+  bidirectional_passes : int;
+      (** mapping-refinement passes before the final forward pass;
+          [2] gives the classic forward-backward-forward SABRE *)
+  release_valve_after : int;
+      (** consecutive non-progressing SWAPs tolerated before the release
+          valve fires *)
+}
+
+val default_options : options
+(** Qiskit-flavoured defaults: 1 trial, extended set 20 @ 0.5, decay
+    0.001/5, no lookahead decay, 2 refinement passes, valve after 32. *)
+
+val with_trials : int -> options -> options
+(** Functional update of {!field-trials}. *)
+
+val route :
+  ?options:options ->
+  ?initial:Qls_layout.Mapping.t ->
+  Qls_arch.Device.t ->
+  Qls_circuit.Circuit.t ->
+  Qls_layout.Transpiled.t
+(** Run SABRE. When [initial] is given, trials keep that placement fixed
+    and only randomise tie-breaking (router-only evaluation mode). *)
+
+val router : ?options:options -> unit -> Router.t
+(** Package as a {!Router.t} named ["sabre"] (or ["sabre-decay"] when
+    [lookahead_decay] is set). *)
+
+(** Instrumentation for the §IV-C case study: the scores SABRE assigned to
+    each candidate SWAP at one decision point. *)
+type decision = {
+  front_gates : (int * int) list;  (** program-qubit pairs blocked in [F] *)
+  candidates : ((int * int) * float) list;
+      (** physical SWAP candidates with their scores, best first *)
+  chosen : int * int;  (** the SWAP SABRE picked *)
+}
+
+val route_traced :
+  ?options:options ->
+  ?initial:Qls_layout.Mapping.t ->
+  Qls_arch.Device.t ->
+  Qls_circuit.Circuit.t ->
+  Qls_layout.Transpiled.t * decision list
+(** Single-trial routing that records every SWAP decision (uses trial 0's
+    stream; ignores [trials]). *)

@@ -1,0 +1,84 @@
+module Rng = Qls_graph.Rng
+module Dag = Qls_circuit.Dag
+module Device = Qls_arch.Device
+module Mapping = Qls_layout.Mapping
+
+type options = {
+  lookahead_slices : int;
+  slice_discount : float;
+  seed : int;
+  vf2_node_limit : int;
+  release_valve_after : int;
+}
+
+let default_options =
+  {
+    lookahead_slices = 4;
+    slice_discount = 0.7;
+    seed = 0;
+    vf2_node_limit = 200_000;
+    release_valve_after = 32;
+  }
+
+let dist_after_swap device mapping p p' a b =
+  let reloc x =
+    let px = Mapping.phys mapping x in
+    if px = p then p' else if px = p' then p else px
+  in
+  Device.distance device (reloc a) (reloc b)
+
+let score_swap ~opts ~st (p, p') =
+  let device = Route_state.device st in
+  let dag = Route_state.dag st in
+  let mapping = Route_state.mapping st in
+  let layers = Route_state.remaining_layers st ~max_layers:opts.lookahead_slices in
+  let total = ref 0.0 in
+  List.iteri
+    (fun k layer ->
+      let w = opts.slice_discount ** float_of_int k in
+      List.iter
+        (fun v ->
+          let a, b = Dag.pair dag v in
+          total := !total +. (w *. float_of_int (dist_after_swap device mapping p p' a b)))
+        layer)
+    layers;
+  !total
+
+let route ?(options = default_options) ?initial device circuit =
+  let opts = options in
+  let rng = Rng.create opts.seed in
+  let start =
+    match initial with
+    | Some m -> m
+    | None -> (
+        match Placement.vf2 ~node_limit:opts.vf2_node_limit device circuit with
+        | Some m -> m
+        | None -> Placement.degree_greedy rng device circuit)
+  in
+  let st = Route_state.create ~device ~source:circuit ~initial:start in
+  let stuck = ref 0 in
+  ignore (Route_state.advance st);
+  while not (Route_state.finished st) do
+    if !stuck > opts.release_valve_after then begin
+      Route_state.force_route_first st;
+      stuck := 0
+    end
+    else begin
+      let candidates = Route_state.swap_candidates st in
+      let scored =
+        List.map (fun sw -> (sw, score_swap ~opts ~st sw)) candidates
+      in
+      let best = List.fold_left (fun acc (_, s) -> Float.min acc s) infinity scored in
+      let ties = List.filter (fun (_, s) -> s <= best +. 1e-12) scored in
+      let (p, p'), _ = Rng.pick rng ties in
+      Route_state.apply_swap st p p'
+    end;
+    if Route_state.advance st > 0 then stuck := 0 else incr stuck
+  done;
+  Route_state.finish st
+
+let router ?(options = default_options) () =
+  {
+    Router.name = "tket";
+    route = (fun ?initial device circuit -> route ~options ?initial device circuit);
+  }

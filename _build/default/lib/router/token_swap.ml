@@ -1,0 +1,242 @@
+module Graph = Qls_graph.Graph
+module Device = Qls_arch.Device
+module Mapping = Qls_layout.Mapping
+
+type target = Fixed of int | Free
+
+let count_misplaced mapping ~target =
+  let n = ref 0 in
+  for q = 0 to Mapping.n_program mapping - 1 do
+    match target q with
+    | Fixed p -> if Mapping.phys mapping q <> p then incr n
+    | Free -> ()
+  done;
+  !n
+
+let apply device mapping swaps =
+  List.fold_left
+    (fun m (p, p') ->
+      if not (Device.coupled device p p') then
+        invalid_arg
+          (Printf.sprintf "Token_swap.apply: (%d,%d) is not a coupler" p p');
+      Mapping.swap_physical m p p')
+    mapping swaps
+
+let validate_targets device mapping ~target =
+  let n_phys = Device.n_qubits device in
+  let claimed = Array.make n_phys false in
+  for q = 0 to Mapping.n_program mapping - 1 do
+    match target q with
+    | Free -> ()
+    | Fixed p ->
+        if p < 0 || p >= n_phys then
+          invalid_arg
+            (Printf.sprintf "Token_swap: target position %d out of range" p);
+        if claimed.(p) then
+          invalid_arg
+            (Printf.sprintf "Token_swap: position %d demanded twice" p);
+        claimed.(p) <- true
+  done
+
+(* Greedy prepass: apply the coupler swap with the best strict decrease in
+   total distance-to-destination until none remains. *)
+let happy_swaps device mapping ~target =
+  let dest = Array.make (Device.n_qubits device) (-1) in
+  (* dest.(p) = destination of the token currently on p, or -1 *)
+  let refresh m =
+    Array.fill dest 0 (Array.length dest) (-1);
+    for q = 0 to Mapping.n_program m - 1 do
+      match target q with
+      | Fixed p -> dest.(Mapping.phys m q) <- p
+      | Free -> ()
+    done
+  in
+  let gain (x, y) =
+    let d_of src dst = if dst < 0 then 0 else Device.distance device src dst in
+    let before = d_of x dest.(x) + d_of y dest.(y) in
+    let after = d_of y dest.(x) + d_of x dest.(y) in
+    before - after
+  in
+  let swaps = ref [] in
+  let m = ref mapping in
+  let continue = ref true in
+  while !continue do
+    refresh !m;
+    let best =
+      List.fold_left
+        (fun acc e ->
+          let g = gain e in
+          match acc with
+          | Some (_, bg) when bg >= g -> acc
+          | _ -> if g > 0 then Some (e, g) else acc)
+        None (Device.edges device)
+    in
+    match best with
+    | Some ((x, y), _) ->
+        swaps := (x, y) :: !swaps;
+        m := Mapping.swap_physical !m x y
+    | None -> continue := false
+  done;
+  (!m, List.rev !swaps)
+
+(* Spanning-tree token sorting: peel leaves of a BFS spanning tree; for
+   each peeled position, walk its final content home along tree paths
+   (which stay inside the unpeeled subtree). *)
+let tree_sort device mapping ~target =
+  let coupling = Device.graph device in
+  let n = Device.n_qubits device in
+  (* BFS spanning tree. *)
+  let parent = Array.make n (-1) in
+  let order = Qls_graph.Bfs.order coupling 0 in
+  let seen = Array.make n false in
+  List.iter
+    (fun v ->
+      seen.(v) <- true;
+      Array.iter
+        (fun w -> if (not seen.(w)) && parent.(w) < 0 && w <> 0 then parent.(w) <- v)
+        (Graph.neighbors_array coupling v))
+    order;
+  let tree_deg = Array.make n 0 in
+  for v = 1 to n - 1 do
+    tree_deg.(v) <- tree_deg.(v) + 1;
+    tree_deg.(parent.(v)) <- tree_deg.(parent.(v)) + 1
+  done;
+  let children = Array.make n [] in
+  for v = 1 to n - 1 do
+    children.(parent.(v)) <- v :: children.(parent.(v))
+  done;
+  (* Elimination order: repeatedly remove leaves. *)
+  let eliminated = Array.make n false in
+  let elim_order = ref [] in
+  let queue = Queue.create () in
+  for v = 0 to n - 1 do
+    if tree_deg.(v) <= 1 then Queue.add v queue
+  done;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    if not eliminated.(v) then begin
+      eliminated.(v) <- true;
+      elim_order := v :: !elim_order;
+      let bump w =
+        if not eliminated.(w) then begin
+          tree_deg.(w) <- tree_deg.(w) - 1;
+          if tree_deg.(w) <= 1 then Queue.add w queue
+        end
+      in
+      if v <> 0 && not eliminated.(parent.(v)) then bump parent.(v);
+      List.iter (fun c -> if not eliminated.(c) then bump c) children.(v)
+    end
+  done;
+  let elim_order = List.rev !elim_order in
+  Array.fill eliminated 0 n false;
+  (* Final content per position: fixed targets first, then keep free
+     tokens in place where possible, then fill arbitrarily.
+     Content encoding: program qubit id, or -1 for an empty slot. *)
+  let final = Array.make n min_int in
+  for q = 0 to Mapping.n_program mapping - 1 do
+    match target q with Fixed p -> final.(p) <- q | Free -> ()
+  done;
+  let fixed_q = Array.make (Mapping.n_program mapping) false in
+  for q = 0 to Mapping.n_program mapping - 1 do
+    match target q with Fixed _ -> fixed_q.(q) <- true | Free -> ()
+  done;
+  (* Free contents in a stable order: keep position if unclaimed. *)
+  let leftovers = ref [] in
+  for p = 0 to n - 1 do
+    let c = match Mapping.prog mapping p with Some q -> q | None -> -1 in
+    let is_free = c < 0 || not fixed_q.(c) in
+    if is_free then
+      if final.(p) = min_int then final.(p) <- c else leftovers := c :: !leftovers
+  done;
+  for p = 0 to n - 1 do
+    if final.(p) = min_int then begin
+      match !leftovers with
+      | c :: rest ->
+          final.(p) <- c;
+          leftovers := rest
+      | [] -> assert false
+    end
+  done;
+  let swaps = ref [] in
+  let m = ref mapping in
+  let content_pos c =
+    (* current position of content c (program qubit, or an empty slot) *)
+    if c >= 0 then Mapping.phys !m c
+    else begin
+      (* nearest currently-empty, non-eliminated position: any will do,
+         empties are interchangeable *)
+      let found = ref (-1) in
+      for p = n - 1 downto 0 do
+        if (not eliminated.(p)) && Mapping.prog !m p = None then found := p
+      done;
+      if !found < 0 then invalid_arg "Token_swap: no free slot for empty content";
+      !found
+    end
+  in
+  List.iter
+    (fun leaf ->
+      let c = final.(leaf) in
+      let src = content_pos c in
+      if src <> leaf then begin
+        (* walk content from src to leaf along the tree path *)
+        let path =
+          let rec up v acc = if v = -1 then acc else up parent.(v) (v :: acc) in
+          let root_a = up src [] and root_b = up leaf [] in
+          (* strip the common prefix to the LCA *)
+          let rec strip xs ys lca =
+            match (xs, ys) with
+            | x :: xs', y :: ys' when x = y -> strip xs' ys' x
+            | _ -> (lca, xs, ys)
+          in
+          let lca, a_tail, b_tail = strip root_a root_b (-1) in
+          List.rev a_tail @ [ lca ] @ b_tail
+        in
+        let rec walk = function
+          | x :: y :: rest ->
+              swaps := (x, y) :: !swaps;
+              m := Mapping.swap_physical !m x y;
+              walk (y :: rest)
+          | _ -> ()
+        in
+        walk path
+      end;
+      eliminated.(leaf) <- true)
+    elim_order;
+  (!m, List.rev !swaps)
+
+let route device ~current ~target =
+  validate_targets device current ~target;
+  let m1, pre = happy_swaps device current ~target in
+  if count_misplaced m1 ~target = 0 then pre
+  else begin
+    let m2, rest = tree_sort device m1 ~target in
+    assert (count_misplaced m2 ~target = 0);
+    pre @ rest
+  end
+
+let optimal ?(max_swaps = 10) device ~current ~target =
+  validate_targets device current ~target;
+  let key m =
+    String.concat ","
+      (List.map string_of_int (Array.to_list (Mapping.to_array m)))
+  in
+  let seen = Hashtbl.create 4096 in
+  let queue = Queue.create () in
+  Hashtbl.add seen (key current) ();
+  Queue.add (current, [], 0) queue;
+  let result = ref None in
+  while !result = None && not (Queue.is_empty queue) do
+    let m, swaps_rev, depth = Queue.pop queue in
+    if count_misplaced m ~target = 0 then result := Some (List.rev swaps_rev)
+    else if depth < max_swaps then
+      List.iter
+        (fun (x, y) ->
+          let m' = Mapping.swap_physical m x y in
+          let k = key m' in
+          if not (Hashtbl.mem seen k) then begin
+            Hashtbl.add seen k ();
+            Queue.add (m', (x, y) :: swaps_rev, depth + 1) queue
+          end)
+        (Device.edges device)
+  done;
+  !result

@@ -1,0 +1,52 @@
+(** Token swapping on coupling graphs.
+
+    Given a device and a target relocation of program qubits, produce a
+    SWAP sequence realising it. Token swapping is the permutation-routing
+    core of several QLS approaches: t|ket⟩ ships a token-swapping stage,
+    and transition-based routers (Childs, Schoute & Unsal 2019; also the
+    spirit of OLSQ2's transitions) alternate "choose a mapping for the
+    next slice" with "token-swap into it". {!Transition_router} builds on
+    this module.
+
+    Two complete algorithms are provided:
+
+    - {!route}: spanning-tree token sorting — peel a leaf of a BFS
+      spanning tree, walk the token destined for it home, recurse on the
+      rest. O(n²) swaps worst case, simple and total on any connected
+      graph; a greedy pass first applies every {e happy swap} (both
+      tokens get strictly closer to their destinations), which
+      substantially shortens typical sequences.
+    - {!optimal}: breadth-first search over permutations — exponential,
+      for small instances and for cross-checking {!route} in tests. *)
+
+type target =
+  | Fixed of int  (** this token must end on the given physical qubit *)
+  | Free  (** don't-care: the token may end anywhere *)
+
+val route :
+  Qls_arch.Device.t -> current:Qls_layout.Mapping.t -> target:(int -> target) ->
+  (int * int) list
+(** [route device ~current ~target] returns SWAPs (physical pairs, in
+    order) after which every program qubit [q] with [target q = Fixed p]
+    sits on [p]. Free qubits and empty slots absorb the remaining
+    positions.
+    @raise Invalid_argument if two qubits demand the same position, or a
+    demanded position is out of range. *)
+
+val apply :
+  Qls_arch.Device.t -> Qls_layout.Mapping.t -> (int * int) list ->
+  Qls_layout.Mapping.t
+(** Fold the SWAP sequence over a mapping (checking each pair is a
+    coupler).
+    @raise Invalid_argument on a non-coupler pair. *)
+
+val optimal :
+  ?max_swaps:int -> Qls_arch.Device.t -> current:Qls_layout.Mapping.t ->
+  target:(int -> target) -> (int * int) list option
+(** Minimum-length SWAP sequence by BFS over reachable mappings, or
+    [None] if [max_swaps] (default 10) is exceeded. Exponential — tests
+    and tiny instances only. *)
+
+val count_misplaced :
+  Qls_layout.Mapping.t -> target:(int -> target) -> int
+(** Number of program qubits not yet on their [Fixed] position. *)

@@ -1,0 +1,31 @@
+(** A transition-based router (after Childs, Schoute & Unsal 2019).
+
+    The circuit is consumed slice by slice: for each blocked front layer,
+    choose a coupler for every blocked gate (greedily, nearest free
+    coupler first), then {!Token_swap.route} the mapping into one where
+    all of them are satisfied, and execute the whole slice.
+
+    This is the algorithmic skeleton behind OLSQ2's transition encoding
+    and t|ket⟩'s permutation stage, included as a fifth baseline beyond
+    the paper's four tools: it makes globally coherent moves per slice but
+    pays for ignoring everything past the current slice. *)
+
+type options = {
+  seed : int;  (** tie-breaking stream *)
+  vf2_node_limit : int;  (** budget for the initial placement try *)
+}
+
+val default_options : options
+(** Seed 0, VF2 limit 200k. *)
+
+val route :
+  ?options:options ->
+  ?initial:Qls_layout.Mapping.t ->
+  Qls_arch.Device.t ->
+  Qls_circuit.Circuit.t ->
+  Qls_layout.Transpiled.t
+(** Run the router. Initial placement: VF2 when the circuit is SWAP-free,
+    else interaction-degree greedy. *)
+
+val router : ?options:options -> unit -> Router.t
+(** Package as ["transition"]. *)

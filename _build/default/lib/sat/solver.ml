@@ -1,0 +1,355 @@
+(* CDCL with two-watched literals, 1UIP learning, VSIDS-style activities,
+   phase saving and geometric restarts. *)
+
+type result = Sat | Unsat | Unknown
+
+type t = {
+  nv : int;
+  (* clause database: each clause is an int array of internal literals *)
+  mutable clauses : int array array;
+  mutable n_clauses : int;
+  (* watches.(lit) = clause indices watching [lit] *)
+  mutable watches : int list array;
+  (* assignment per variable index: -1 unassigned / 0 false / 1 true *)
+  assign : int array;
+  level : int array;
+  reason : int array; (* clause index or -1 *)
+  trail : int array;
+  mutable trail_size : int;
+  mutable qhead : int;
+  mutable trail_lim : int list; (* trail sizes at decision points *)
+  activity : float array;
+  mutable var_inc : float;
+  phase : bool array;
+  seen : bool array;
+  mutable pending_units : int list; (* units added before solving *)
+  mutable root_unsat : bool;
+  mutable started : bool;
+  mutable model : bool array option;
+  mutable conflicts : int;
+  mutable decisions : int;
+}
+
+(* Internal literal encoding: positive v -> 2(v-1), negative v -> 2(v-1)+1. *)
+let lit_of_dimacs l =
+  if l > 0 then 2 * (l - 1) else (2 * (-l - 1)) + 1
+
+let neg l = l lxor 1
+let var_idx l = l lsr 1
+let is_pos l = l land 1 = 0
+
+let create nv =
+  if nv < 0 then invalid_arg "Solver.create: negative variable count";
+  {
+    nv;
+    clauses = Array.make 64 [||];
+    n_clauses = 0;
+    watches = Array.make (max 2 (2 * nv)) [];
+    assign = Array.make (max 1 nv) (-1);
+    level = Array.make (max 1 nv) 0;
+    reason = Array.make (max 1 nv) (-1);
+    trail = Array.make (max 1 nv) 0;
+    trail_size = 0;
+    qhead = 0;
+    trail_lim = [];
+    activity = Array.make (max 1 nv) 0.0;
+    var_inc = 1.0;
+    phase = Array.make (max 1 nv) false;
+    seen = Array.make (max 1 nv) false;
+    pending_units = [];
+    root_unsat = false;
+    started = false;
+    model = None;
+    conflicts = 0;
+    decisions = 0;
+  }
+
+let n_vars t = t.nv
+
+let lit_value t l =
+  let a = t.assign.(var_idx l) in
+  if a < 0 then -1 else if is_pos l then a else 1 - a
+
+let push_clause t c =
+  if t.n_clauses = Array.length t.clauses then begin
+    let bigger = Array.make (2 * t.n_clauses) [||] in
+    Array.blit t.clauses 0 bigger 0 t.n_clauses;
+    t.clauses <- bigger
+  end;
+  t.clauses.(t.n_clauses) <- c;
+  t.n_clauses <- t.n_clauses + 1;
+  t.n_clauses - 1
+
+let watch t l ci = t.watches.(l) <- ci :: t.watches.(l)
+
+let add_clause t lits =
+  if t.started then invalid_arg "Solver.add_clause: solving already started";
+  List.iter
+    (fun l ->
+      let v = abs l in
+      if l = 0 || v > t.nv then
+        invalid_arg (Printf.sprintf "Solver.add_clause: bad literal %d" l))
+    lits;
+  let lits = List.sort_uniq compare (List.map lit_of_dimacs lits) in
+  let tautology =
+    List.exists (fun l -> List.mem (neg l) lits) lits
+  in
+  if not tautology then
+    match lits with
+    | [] -> t.root_unsat <- true
+    | [ l ] -> t.pending_units <- l :: t.pending_units
+    | l0 :: l1 :: _ ->
+        let c = Array.of_list lits in
+        let ci = push_clause t c in
+        watch t l0 ci;
+        watch t l1 ci
+
+let enqueue t l reason =
+  let v = var_idx l in
+  t.assign.(v) <- (if is_pos l then 1 else 0);
+  t.level.(v) <- List.length t.trail_lim;
+  t.reason.(v) <- reason;
+  t.phase.(v) <- is_pos l;
+  t.trail.(t.trail_size) <- l;
+  t.trail_size <- t.trail_size + 1
+
+(* Returns the conflicting clause index, or -1. *)
+let propagate t =
+  let conflict = ref (-1) in
+  while !conflict < 0 && t.qhead < t.trail_size do
+    let l = t.trail.(t.qhead) in
+    t.qhead <- t.qhead + 1;
+    let false_lit = neg l in
+    let watchers = t.watches.(false_lit) in
+    t.watches.(false_lit) <- [];
+    let rec go = function
+      | [] -> ()
+      | ci :: rest ->
+          if !conflict >= 0 then
+            (* conflict already found: keep remaining watchers untouched *)
+            t.watches.(false_lit) <- ci :: (t.watches.(false_lit) @ rest)
+          else begin
+            let c = t.clauses.(ci) in
+            (* normalise: c.(1) is the false literal *)
+            if c.(0) = false_lit then begin
+              c.(0) <- c.(1);
+              c.(1) <- false_lit
+            end;
+            if lit_value t c.(0) = 1 then begin
+              (* satisfied: keep watching *)
+              t.watches.(false_lit) <- ci :: t.watches.(false_lit);
+              go rest
+            end
+            else begin
+              (* find a new literal to watch *)
+              let n = Array.length c in
+              let found = ref false in
+              let k = ref 2 in
+              while (not !found) && !k < n do
+                if lit_value t c.(!k) <> 0 then begin
+                  c.(1) <- c.(!k);
+                  c.(!k) <- false_lit;
+                  watch t c.(1) ci;
+                  found := true
+                end;
+                incr k
+              done;
+              if !found then go rest
+              else begin
+                (* clause is unit or conflicting under c.(0) *)
+                t.watches.(false_lit) <- ci :: t.watches.(false_lit);
+                if lit_value t c.(0) = 0 then begin
+                  conflict := ci;
+                  go rest
+                end
+                else begin
+                  if lit_value t c.(0) = -1 then enqueue t c.(0) ci;
+                  go rest
+                end
+              end
+            end
+          end
+    in
+    go watchers
+  done;
+  !conflict
+
+let bump t v =
+  t.activity.(v) <- t.activity.(v) +. t.var_inc;
+  if t.activity.(v) > 1e100 then begin
+    for i = 0 to t.nv - 1 do
+      t.activity.(i) <- t.activity.(i) *. 1e-100
+    done;
+    t.var_inc <- t.var_inc *. 1e-100
+  end
+
+let decay t = t.var_inc <- t.var_inc /. 0.95
+
+let current_level t = List.length t.trail_lim
+
+(* First-UIP conflict analysis. Returns (learnt clause with the asserting
+   literal first, backjump level). *)
+let analyze t conflict_ci =
+  let learnt_tail = ref [] in
+  let counter = ref 0 in
+  let p = ref (-1) in
+  let idx = ref (t.trail_size - 1) in
+  let ci = ref conflict_ci in
+  let cur = current_level t in
+  let continue = ref true in
+  while !continue do
+    let c = t.clauses.(!ci) in
+    Array.iter
+      (fun q ->
+        if !p >= 0 && q = !p then ()
+        else begin
+          let v = var_idx q in
+          if (not t.seen.(v)) && t.level.(v) > 0 then begin
+            t.seen.(v) <- true;
+            bump t v;
+            if t.level.(v) >= cur then incr counter
+            else learnt_tail := q :: !learnt_tail
+          end
+        end)
+      c;
+    (* advance to the next seen literal on the trail *)
+    while not t.seen.(var_idx t.trail.(!idx)) do
+      decr idx
+    done;
+    let lit = t.trail.(!idx) in
+    let v = var_idx lit in
+    t.seen.(v) <- false;
+    decr counter;
+    decr idx;
+    if !counter = 0 then begin
+      p := lit;
+      continue := false
+    end
+    else begin
+      p := lit;
+      ci := t.reason.(v)
+    end
+  done;
+  List.iter (fun q -> t.seen.(var_idx q) <- false) !learnt_tail;
+  let backjump =
+    List.fold_left (fun acc q -> max acc (t.level.(var_idx q))) 0 !learnt_tail
+  in
+  (neg !p :: !learnt_tail, backjump)
+
+let backtrack t lvl =
+  let keep =
+    (* trail size at the start of level lvl + 1 *)
+    match t.trail_lim with
+    | [] -> t.trail_size
+    | lims ->
+        let arr = Array.of_list (List.rev lims) in
+        if lvl >= Array.length arr then t.trail_size else arr.(lvl)
+  in
+  for i = t.trail_size - 1 downto keep do
+    let v = var_idx t.trail.(i) in
+    t.assign.(v) <- -1;
+    t.reason.(v) <- -1
+  done;
+  t.trail_size <- keep;
+  t.qhead <- keep;
+  let rec drop lims =
+    if List.length lims > lvl then drop (List.tl lims) else lims
+  in
+  t.trail_lim <- drop t.trail_lim
+
+let pick_branch t =
+  let best = ref (-1) in
+  for v = 0 to t.nv - 1 do
+    if t.assign.(v) < 0 && (!best < 0 || t.activity.(v) > t.activity.(!best))
+    then best := v
+  done;
+  !best
+
+let solve ?(conflict_budget = 2_000_000) t =
+  t.started <- true;
+  t.model <- None;
+  t.conflicts <- 0;
+  t.decisions <- 0;
+  if t.root_unsat then Unsat
+  else begin
+    (* enqueue root units *)
+    let ok = ref true in
+    List.iter
+      (fun l ->
+        match lit_value t l with
+        | 1 -> ()
+        | 0 -> ok := false
+        | _ -> enqueue t l (-1))
+      t.pending_units;
+    if not !ok then Unsat
+    else begin
+      let result = ref Unknown in
+      let restart_limit = ref 100 in
+      let since_restart = ref 0 in
+      (try
+         while !result = Unknown do
+           let confl = propagate t in
+           if confl >= 0 then begin
+             t.conflicts <- t.conflicts + 1;
+             incr since_restart;
+             if t.conflicts > conflict_budget then raise Exit;
+             if current_level t = 0 then begin
+               result := Unsat;
+               raise Exit
+             end;
+             let learnt, backjump = analyze t confl in
+             decay t;
+             backtrack t backjump;
+             (match learnt with
+             | [ l ] -> enqueue t l (-1)
+             | l :: _ ->
+                 let c = Array.of_list learnt in
+                 let ci = push_clause t c in
+                 (* watch the asserting literal and one backjump-level lit *)
+                 watch t c.(0) ci;
+                 (* move a literal of the backjump level to slot 1 *)
+                 let n = Array.length c in
+                 let best = ref 1 in
+                 for k = 2 to n - 1 do
+                   if t.level.(var_idx c.(k)) > t.level.(var_idx c.(!best)) then
+                     best := k
+                 done;
+                 let tmp = c.(1) in
+                 c.(1) <- c.(!best);
+                 c.(!best) <- tmp;
+                 watch t c.(1) ci;
+                 enqueue t l ci
+             | [] -> assert false)
+           end
+           else if !since_restart > !restart_limit then begin
+             since_restart := 0;
+             restart_limit := !restart_limit * 3 / 2;
+             backtrack t 0
+           end
+           else begin
+             match pick_branch t with
+             | -1 ->
+                 (* full assignment: SAT *)
+                 t.model <-
+                   Some (Array.init t.nv (fun v -> t.assign.(v) = 1));
+                 result := Sat
+             | v ->
+                 t.decisions <- t.decisions + 1;
+                 t.trail_lim <- t.trail_size :: t.trail_lim;
+                 let l = 2 * v + if t.phase.(v) then 0 else 1 in
+                 enqueue t l (-1)
+           end
+         done
+       with Exit -> ());
+      (match !result with Unknown when t.conflicts <= conflict_budget -> () | _ -> ());
+      !result
+    end
+  end
+
+let value t v =
+  if v < 1 || v > t.nv then invalid_arg "Solver.value: variable out of range";
+  match t.model with
+  | Some m -> m.(v - 1)
+  | None -> invalid_arg "Solver.value: no model (last solve was not Sat)"
+
+let stats t = (t.conflicts, t.decisions)

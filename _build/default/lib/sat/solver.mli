@@ -1,0 +1,44 @@
+(** A CDCL SAT solver.
+
+    OLSQ2 — the exact tool the paper uses to verify QUBIKOS optimality —
+    is a SAT-based solver (PySAT + Z3). This module is the corresponding
+    substrate built from scratch: conflict-driven clause learning with
+    two-watched-literal propagation, first-UIP learning, VSIDS-style
+    activity decision ordering and geometric restarts. It is used by
+    {!Qls_router.Olsq} to solve the transition encoding of layout
+    synthesis, giving the repository a second, fully independent exact
+    optimality checker (cross-validated against {!Qls_router.Exact} and
+    the brute-force oracle in the test suite).
+
+    Variables are integers [1 .. n]; literals are non-zero integers where
+    [-v] is the negation of [v] (DIMACS convention). *)
+
+type t
+(** A solver instance. *)
+
+type result = Sat | Unsat | Unknown
+(** [Unknown] is returned only when a conflict budget is exhausted. *)
+
+val create : int -> t
+(** [create n_vars] makes a solver over variables [1 .. n_vars]. *)
+
+val n_vars : t -> int
+(** The number of variables. *)
+
+val add_clause : t -> int list -> unit
+(** Add a clause (a disjunction of literals). Adding the empty clause, or
+    clauses that immediately conflict at level 0, makes the instance
+    unsatisfiable. Tautologies and duplicate literals are handled.
+    @raise Invalid_argument on a literal out of range, or if called after
+    solving has started. *)
+
+val solve : ?conflict_budget:int -> t -> result
+(** Run the CDCL search (default budget: 2 million conflicts). *)
+
+val value : t -> int -> bool
+(** [value t v] is the assignment of variable [v] in the model after
+    {!solve} returned [Sat].
+    @raise Invalid_argument if there is no model. *)
+
+val stats : t -> int * int
+(** [(conflicts, decisions)] of the last solve. *)

@@ -1,0 +1,594 @@
+(* Tests for the qls_graph library: RNG, graphs, BFS, APSP, priority
+   queue, VF2 and generators. *)
+
+module Rng = Qls_graph.Rng
+module Graph = Qls_graph.Graph
+module Bfs = Qls_graph.Bfs
+module Apsp = Qls_graph.Apsp
+module Pqueue = Qls_graph.Pqueue
+module Vf2 = Qls_graph.Vf2
+module Generators = Qls_graph.Generators
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_case name f = Alcotest.test_case name `Quick f
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rng_tests =
+  [
+    test_case "same seed, same stream" (fun () ->
+        let a = Rng.create 42 and b = Rng.create 42 in
+        for _ = 1 to 100 do
+          Alcotest.(check int64) "bits64" (Rng.bits64 a) (Rng.bits64 b)
+        done);
+    test_case "different seeds differ" (fun () ->
+        let a = Rng.create 1 and b = Rng.create 2 in
+        let same = ref true in
+        for _ = 1 to 10 do
+          if Rng.bits64 a <> Rng.bits64 b then same := false
+        done;
+        check_bool "streams differ" false !same);
+    test_case "copy is independent" (fun () ->
+        let a = Rng.create 7 in
+        let b = Rng.copy a in
+        Alcotest.(check int64) "equal next" (Rng.bits64 a) (Rng.bits64 b));
+    test_case "split decorrelates" (fun () ->
+        let a = Rng.create 9 in
+        let b = Rng.split a in
+        check_bool "split differs from parent" true (Rng.bits64 a <> Rng.bits64 b));
+    test_case "int bound validation" (fun () ->
+        let rng = Rng.create 0 in
+        Alcotest.check_raises "zero bound"
+          (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+            ignore (Rng.int rng 0)));
+    test_case "int respects bound" (fun () ->
+        let rng = Rng.create 3 in
+        for _ = 1 to 1000 do
+          let v = Rng.int rng 17 in
+          check_bool "in range" true (v >= 0 && v < 17)
+        done);
+    test_case "int bound 1 is constant" (fun () ->
+        let rng = Rng.create 5 in
+        for _ = 1 to 10 do
+          check_int "always 0" 0 (Rng.int rng 1)
+        done);
+    test_case "float respects bound" (fun () ->
+        let rng = Rng.create 11 in
+        for _ = 1 to 1000 do
+          let v = Rng.float rng 2.5 in
+          check_bool "in range" true (v >= 0.0 && v < 2.5)
+        done);
+    test_case "pick empty rejected" (fun () ->
+        let rng = Rng.create 0 in
+        Alcotest.check_raises "empty" (Invalid_argument "Rng.pick: empty list")
+          (fun () -> ignore (Rng.pick rng [])));
+    test_case "pick singleton" (fun () ->
+        let rng = Rng.create 0 in
+        check_int "only element" 99 (Rng.pick rng [ 99 ]));
+    test_case "permutation is a permutation" (fun () ->
+        let rng = Rng.create 13 in
+        let p = Rng.permutation rng 50 in
+        let sorted = Array.copy p in
+        Array.sort compare sorted;
+        Alcotest.(check (array int)) "0..49" (Array.init 50 Fun.id) sorted);
+    test_case "shuffle preserves multiset" (fun () ->
+        let rng = Rng.create 17 in
+        let xs = [| 1; 2; 2; 3; 5; 8 |] in
+        let ys = Array.copy xs in
+        Rng.shuffle rng ys;
+        Array.sort compare ys;
+        Alcotest.(check (array int)) "sorted equal" [| 1; 2; 2; 3; 5; 8 |] ys);
+    test_case "bool is not constant" (fun () ->
+        let rng = Rng.create 23 in
+        let trues = ref 0 in
+        for _ = 1 to 200 do
+          if Rng.bool rng then incr trues
+        done;
+        check_bool "mixed" true (!trues > 50 && !trues < 150));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Graph                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let graph_tests =
+  [
+    test_case "create canonicalises and dedupes" (fun () ->
+        let g = Graph.create 4 [ (1, 0); (0, 1); (2, 3) ] in
+        check_int "edges" 2 (Graph.n_edges g);
+        Alcotest.(check (list (pair int int))) "canonical" [ (0, 1); (2, 3) ]
+          (Graph.edges g));
+    test_case "self-loop rejected" (fun () ->
+        Alcotest.check_raises "loop"
+          (Invalid_argument "Graph.create: self-loop on 2") (fun () ->
+            ignore (Graph.create 4 [ (2, 2) ])));
+    test_case "endpoint range checked" (fun () ->
+        Alcotest.check_raises "range"
+          (Invalid_argument "Graph: vertex 5 outside [0, 4)") (fun () ->
+            ignore (Graph.create 4 [ (1, 5) ])));
+    test_case "mem_edge is symmetric" (fun () ->
+        let g = Graph.create 5 [ (1, 3); (0, 4) ] in
+        check_bool "1-3" true (Graph.mem_edge g 1 3);
+        check_bool "3-1" true (Graph.mem_edge g 3 1);
+        check_bool "0-3" false (Graph.mem_edge g 0 3);
+        check_bool "self" false (Graph.mem_edge g 3 3));
+    test_case "neighbors sorted" (fun () ->
+        let g = Graph.create 6 [ (3, 5); (3, 0); (3, 4); (3, 1) ] in
+        Alcotest.(check (list int)) "sorted" [ 0; 1; 4; 5 ] (Graph.neighbors g 3));
+    test_case "degree and max_degree" (fun () ->
+        let g = Generators.star 7 in
+        check_int "centre" 6 (Graph.degree g 0);
+        check_int "leaf" 1 (Graph.degree g 3);
+        check_int "max" 6 (Graph.max_degree g));
+    test_case "degree_histogram" (fun () ->
+        let g = Generators.star 5 in
+        Alcotest.(check (list (pair int int))) "histogram" [ (1, 4); (4, 1) ]
+          (Graph.degree_histogram g));
+    test_case "add and remove edges" (fun () ->
+        let g = Graph.create 4 [ (0, 1) ] in
+        let g2 = Graph.add_edges g [ (1, 2); (0, 1) ] in
+        check_int "added one new" 2 (Graph.n_edges g2);
+        let g3 = Graph.remove_edge g2 2 1 in
+        check_bool "removed" false (Graph.mem_edge g3 1 2);
+        check_int "size" 1 (Graph.n_edges g3));
+    test_case "induced subgraph relabels" (fun () ->
+        let g = Generators.cycle 5 in
+        let sub, back = Graph.induced g [ 1; 2; 3 ] in
+        check_int "3 vertices" 3 (Graph.n_vertices sub);
+        check_int "2 edges" 2 (Graph.n_edges sub);
+        Alcotest.(check (array int)) "back map" [| 1; 2; 3 |] back);
+    test_case "induced rejects duplicates" (fun () ->
+        let g = Generators.path 4 in
+        Alcotest.check_raises "dup"
+          (Invalid_argument "Graph.induced: duplicate vertex in selection")
+          (fun () -> ignore (Graph.induced g [ 1; 1 ])));
+    test_case "union_edges" (fun () ->
+        let a = Graph.create 3 [ (0, 1) ] and b = Graph.create 4 [ (2, 3) ] in
+        let u = Graph.union_edges a b in
+        check_int "vertices" 4 (Graph.n_vertices u);
+        check_int "edges" 2 (Graph.n_edges u));
+    test_case "components of forest" (fun () ->
+        let g = Graph.create 6 [ (0, 1); (2, 3) ] in
+        Alcotest.(check (list (list int))) "components"
+          [ [ 0; 1 ]; [ 2; 3 ]; [ 4 ]; [ 5 ] ]
+          (Graph.components g));
+    test_case "component_ids consistent" (fun () ->
+        let g = Graph.create 5 [ (0, 4); (1, 2) ] in
+        let ids = Graph.component_ids g in
+        check_bool "0 and 4 together" true (ids.(0) = ids.(4));
+        check_bool "1 and 2 together" true (ids.(1) = ids.(2));
+        check_bool "0 and 1 apart" true (ids.(0) <> ids.(1)));
+    test_case "is_connected" (fun () ->
+        check_bool "path" true (Graph.is_connected (Generators.path 5));
+        check_bool "empty graph of 1" true (Graph.is_connected (Graph.empty 1));
+        check_bool "two isolated" false (Graph.is_connected (Graph.empty 2)));
+    test_case "relabel by permutation" (fun () ->
+        let g = Generators.path 3 in
+        let r = Graph.relabel g [| 2; 0; 1 |] in
+        (* path 0-1-2 becomes 2-0-1 *)
+        check_bool "2-0" true (Graph.mem_edge r 2 0);
+        check_bool "0-1" true (Graph.mem_edge r 0 1);
+        check_bool "2-1 gone" false (Graph.mem_edge r 2 1));
+    test_case "relabel rejects non-permutation" (fun () ->
+        let g = Generators.path 3 in
+        Alcotest.check_raises "dup"
+          (Invalid_argument "Graph.relabel: not a permutation") (fun () ->
+            ignore (Graph.relabel g [| 0; 0; 1 |])));
+    test_case "complement_edges of path3" (fun () ->
+        let g = Generators.path 3 in
+        Alcotest.(check (list (pair int int))) "complement" [ (0, 2) ]
+          (Graph.complement_edges g));
+    test_case "fold and iter agree" (fun () ->
+        let g = Generators.cycle 6 in
+        let count = Graph.fold_edges (fun _ _ acc -> acc + 1) g 0 in
+        let count' = ref 0 in
+        Graph.iter_edges (fun _ _ -> incr count') g;
+        check_int "fold" 6 count;
+        check_int "iter" 6 !count');
+    test_case "equal is structural" (fun () ->
+        let a = Graph.create 3 [ (0, 1) ] and b = Graph.create 3 [ (1, 0) ] in
+        check_bool "equal" true (Graph.equal a b);
+        check_bool "different n" false (Graph.equal a (Graph.create 4 [ (0, 1) ])));
+    test_case "to_dot mentions all edges" (fun () ->
+        let contains hay needle =
+          let nl = String.length needle and hl = String.length hay in
+          let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+          go 0
+        in
+        let dot = Graph.to_dot ~name:"t" (Generators.path 3) in
+        check_bool "header" true (contains dot "graph t {");
+        check_bool "edge 0-1" true (contains dot "0 -- 1");
+        check_bool "edge 1-2" true (contains dot "1 -- 2"));
+  ]
+
+(* Property tests for Graph. *)
+let graph_arb =
+  QCheck.make
+    ~print:(fun (n, edges) ->
+      Printf.sprintf "n=%d edges=%s" n
+        (String.concat ","
+           (List.map (fun (u, v) -> Printf.sprintf "(%d,%d)" u v) edges)))
+    QCheck.Gen.(
+      sized (fun size ->
+          let n = 2 + (size mod 14) in
+          let* m = int_bound (2 * n) in
+          let edge = pair (int_bound (n - 1)) (int_bound (n - 1)) in
+          let* edges = list_size (return m) edge in
+          return (n, List.filter (fun (u, v) -> u <> v) edges)))
+
+let graph_props =
+  [
+    QCheck.Test.make ~name:"handshake: sum of degrees = 2|E|" ~count:200
+      graph_arb (fun (n, edges) ->
+        let g = Graph.create n edges in
+        let total = ref 0 in
+        for v = 0 to n - 1 do
+          total := !total + Graph.degree g v
+        done;
+        !total = 2 * Graph.n_edges g);
+    QCheck.Test.make ~name:"mem_edge agrees with edge list" ~count:200 graph_arb
+      (fun (n, edges) ->
+        let g = Graph.create n edges in
+        List.for_all (fun (u, v) -> Graph.mem_edge g u v) (Graph.edges g)
+        && List.for_all
+             (fun (u, v) -> not (Graph.mem_edge g u v))
+             (Graph.complement_edges g));
+    QCheck.Test.make ~name:"components partition the vertex set" ~count:200
+      graph_arb (fun (n, edges) ->
+        let g = Graph.create n edges in
+        let all = List.concat (Graph.components g) in
+        List.sort compare all = List.init n Fun.id);
+    QCheck.Test.make ~name:"relabel preserves isomorphism" ~count:100 graph_arb
+      (fun (n, edges) ->
+        let g = Graph.create n edges in
+        let rng = Rng.create (Hashtbl.hash edges) in
+        let perm = Rng.permutation rng n in
+        Vf2.is_isomorphic g (Graph.relabel g perm));
+    QCheck.Test.make ~name:"complement and edges form the complete graph"
+      ~count:100 graph_arb (fun (n, edges) ->
+        let g = Graph.create n edges in
+        Graph.n_edges g + List.length (Graph.complement_edges g)
+        = n * (n - 1) / 2);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Bfs                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let bfs_tests =
+  [
+    test_case "distances on a path" (fun () ->
+        let d = Bfs.distances (Generators.path 5) 0 in
+        Alcotest.(check (array int)) "distances" [| 0; 1; 2; 3; 4 |] d);
+    test_case "distances mark unreachable" (fun () ->
+        let g = Graph.create 3 [ (0, 1) ] in
+        let d = Bfs.distances g 0 in
+        check_int "unreachable" max_int d.(2));
+    test_case "multi-source distances" (fun () ->
+        let d = Bfs.multi_source_distances (Generators.path 5) [ 0; 4 ] in
+        Alcotest.(check (array int)) "min of both" [| 0; 1; 2; 1; 0 |] d);
+    test_case "multi-source rejects empty" (fun () ->
+        Alcotest.check_raises "empty"
+          (Invalid_argument "Bfs.multi_source_distances: no sources") (fun () ->
+            ignore (Bfs.multi_source_distances (Generators.path 3) [])));
+    test_case "order starts at source and covers component" (fun () ->
+        let order = Bfs.order (Generators.cycle 5) 2 in
+        check_int "head" 2 (List.hd order);
+        check_int "length" 5 (List.length order));
+    test_case "edge_order covers all reachable edges once" (fun () ->
+        let g = Generators.grid 3 3 in
+        let eo = Bfs.edge_order g ~sources:[ 0 ] ~skip:(fun _ _ -> false) in
+        check_int "all edges" (Graph.n_edges g) (List.length eo);
+        let canon (u, v) = if u < v then (u, v) else (v, u) in
+        let dedup = List.sort_uniq compare (List.map canon eo) in
+        check_int "unique" (Graph.n_edges g) (List.length dedup));
+    test_case "edge_order respects skip" (fun () ->
+        let g = Generators.path 3 in
+        let eo = Bfs.edge_order g ~sources:[ 0 ]
+            ~skip:(fun u v -> (min u v, max u v) = (1, 2)) in
+        Alcotest.(check (list (pair int int))) "only first edge" [ (0, 1) ] eo);
+    test_case "edge_order chain property" (fun () ->
+        (* every emitted edge shares a vertex with an earlier edge or a
+           source — the property §III-B of the paper relies on *)
+        let g = Generators.grid 4 4 in
+        let sources = [ 5 ] in
+        let eo = Bfs.edge_order g ~sources ~skip:(fun _ _ -> false) in
+        let seen = ref [ 5 ] in
+        List.iter
+          (fun (u, v) ->
+            let ok = List.mem u !seen || List.mem v !seen in
+            check_bool "chains" true ok;
+            seen := u :: v :: !seen)
+          eo);
+    test_case "path endpoints and length" (fun () ->
+        let g = Generators.grid 3 3 in
+        match Bfs.path g 0 8 with
+        | None -> Alcotest.fail "expected path"
+        | Some p ->
+            check_int "starts" 0 (List.hd p);
+            check_int "ends" 8 (List.nth p (List.length p - 1));
+            check_int "shortest" ((Bfs.distances g 0).(8) + 1) (List.length p));
+    test_case "path in disconnected graph" (fun () ->
+        let g = Graph.create 4 [ (0, 1); (2, 3) ] in
+        check_bool "no path" true (Bfs.path g 0 3 = None));
+    test_case "path to itself" (fun () ->
+        let g = Generators.path 3 in
+        Alcotest.(check (option (list int))) "trivial" (Some [ 1 ]) (Bfs.path g 1 1));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Apsp                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let apsp_tests =
+  [
+    test_case "matches per-source BFS" (fun () ->
+        let g = Generators.grid 3 4 in
+        let t = Apsp.compute g in
+        for src = 0 to 11 do
+          let d = Bfs.distances g src in
+          for dst = 0 to 11 do
+            check_int "distance" d.(dst) (Apsp.dist t src dst)
+          done
+        done);
+    test_case "diameter of cycle" (fun () ->
+        check_int "cycle 8" 4 (Apsp.diameter (Apsp.compute (Generators.cycle 8))));
+    test_case "diameter rejects disconnected" (fun () ->
+        let t = Apsp.compute (Graph.create 3 [ (0, 1) ]) in
+        Alcotest.check_raises "disconnected"
+          (Invalid_argument "Apsp.diameter: graph is disconnected") (fun () ->
+            ignore (Apsp.diameter t)));
+    test_case "eccentricity of path ends and middle" (fun () ->
+        let t = Apsp.compute (Generators.path 5) in
+        check_int "end" 4 (Apsp.eccentricity t 0);
+        check_int "middle" 2 (Apsp.eccentricity t 2));
+    test_case "dist range checked" (fun () ->
+        let t = Apsp.compute (Generators.path 3) in
+        Alcotest.check_raises "range"
+          (Invalid_argument "Apsp.dist: vertex out of range") (fun () ->
+            ignore (Apsp.dist t 0 7)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Pqueue                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let pqueue_tests =
+  [
+    test_case "pops in priority order" (fun () ->
+        let q = Pqueue.create () in
+        List.iter (fun p -> Pqueue.push q p (int_of_float p)) [ 3.; 1.; 2.; 0.5 ];
+        let order = ref [] in
+        let rec drain () =
+          match Pqueue.pop q with
+          | None -> ()
+          | Some (_, v) ->
+              order := v :: !order;
+              drain ()
+        in
+        drain ();
+        Alcotest.(check (list int)) "ascending" [ 0; 1; 2; 3 ] (List.rev !order));
+    test_case "FIFO among ties" (fun () ->
+        let q = Pqueue.create () in
+        Pqueue.push q 1.0 "a";
+        Pqueue.push q 1.0 "b";
+        Pqueue.push q 1.0 "c";
+        let pop () = match Pqueue.pop q with Some (_, v) -> v | None -> "?" in
+        Alcotest.(check string) "first" "a" (pop ());
+        Alcotest.(check string) "second" "b" (pop ());
+        Alcotest.(check string) "third" "c" (pop ()));
+    test_case "size and is_empty" (fun () ->
+        let q = Pqueue.create () in
+        check_bool "empty" true (Pqueue.is_empty q);
+        Pqueue.push q 1.0 ();
+        check_int "one" 1 (Pqueue.size q);
+        ignore (Pqueue.pop q);
+        check_bool "empty again" true (Pqueue.is_empty q));
+    test_case "clear drops everything" (fun () ->
+        let q = Pqueue.create () in
+        for i = 1 to 10 do
+          Pqueue.push q (float_of_int i) i
+        done;
+        Pqueue.clear q;
+        check_bool "empty" true (Pqueue.is_empty q));
+  ]
+
+let pqueue_props =
+  [
+    QCheck.Test.make ~name:"pqueue pops sorted" ~count:200
+      QCheck.(list (float_range 0.0 100.0))
+      (fun prios ->
+        let q = Pqueue.create () in
+        List.iter (fun p -> Pqueue.push q p p) prios;
+        let rec drain acc =
+          match Pqueue.pop q with
+          | None -> List.rev acc
+          | Some (p, _) -> drain (p :: acc)
+        in
+        let out = drain [] in
+        out = List.sort compare prios);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Vf2                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let check_valid_monomorphism pattern target f =
+  let injective =
+    let seen = Hashtbl.create 16 in
+    Array.for_all
+      (fun m ->
+        if Hashtbl.mem seen m then false
+        else begin
+          Hashtbl.add seen m ();
+          true
+        end)
+      f
+  in
+  injective
+  && Graph.fold_edges
+       (fun u v ok -> ok && Graph.mem_edge target f.(u) f.(v))
+       pattern true
+
+let vf2_tests =
+  [
+    test_case "path embeds in grid" (fun () ->
+        let pattern = Generators.path 5 and target = Generators.grid 3 3 in
+        match Vf2.find ~pattern ~target () with
+        | None -> Alcotest.fail "expected embedding"
+        | Some f -> check_bool "valid" true (check_valid_monomorphism pattern target f));
+    test_case "K1,5 does not embed in grid3x3" (fun () ->
+        (* max degree of the grid is 4 — the paper's Fig. 2(c) argument *)
+        check_bool "no embedding" false
+          (Vf2.exists ~pattern:(Generators.star 6) ~target:(Generators.grid 3 3) ()));
+    test_case "triangle does not embed in a tree" (fun () ->
+        check_bool "no" false
+          (Vf2.exists ~pattern:(Generators.cycle 3) ~target:(Generators.path 9) ()));
+    test_case "triangle embeds in K4" (fun () ->
+        check_bool "yes" true
+          (Vf2.exists ~pattern:(Generators.cycle 3) ~target:(Generators.complete 4) ()));
+    test_case "pattern larger than target rejected" (fun () ->
+        Alcotest.check_raises "size"
+          (Invalid_argument "Vf2: pattern larger than target") (fun () ->
+            ignore (Vf2.exists ~pattern:(Generators.path 5) ~target:(Generators.path 3) ())));
+    test_case "isolated pattern vertices are placed" (fun () ->
+        let pattern = Graph.create 4 [ (0, 1) ] in
+        let target = Generators.path 4 in
+        match Vf2.find ~pattern ~target () with
+        | None -> Alcotest.fail "expected embedding"
+        | Some f ->
+            check_bool "valid" true (check_valid_monomorphism pattern target f));
+    test_case "automorphism counts" (fun () ->
+        let count g = Vf2.count ~pattern:g ~target:g () in
+        check_int "cycle 5" 10 (count (Generators.cycle 5));
+        check_int "path 4" 2 (count (Generators.path 4));
+        check_int "K4" 24 (count (Generators.complete 4));
+        check_int "grid 3x3" 8 (count (Generators.grid 3 3)));
+    test_case "count limit stops early" (fun () ->
+        check_int "limited" 3
+          (Vf2.count ~limit:3 ~pattern:(Generators.complete 4)
+             ~target:(Generators.complete 4) ()));
+    test_case "extend with consistent fixed pairs" (fun () ->
+        let pattern = Generators.path 3 and target = Generators.grid 3 3 in
+        match Vf2.extend ~pattern ~target ~fixed:[ (1, 4) ] with
+        | None -> Alcotest.fail "expected completion"
+        | Some f ->
+            check_int "fixed kept" 4 f.(1);
+            check_bool "valid" true (check_valid_monomorphism pattern target f));
+    test_case "extend with impossible fixed pair" (fun () ->
+        (* Fixing both path endpoints on non-adjacent grid corners at
+           distance > 2 makes the 3-path unsatisfiable. *)
+        let pattern = Generators.path 2 and target = Generators.grid 3 3 in
+        check_bool "infeasible" true
+          (Vf2.extend ~pattern ~target ~fixed:[ (0, 0); (1, 8) ] = None));
+    test_case "extend rejects conflicting fixed" (fun () ->
+        let pattern = Generators.path 3 and target = Generators.grid 3 3 in
+        Alcotest.check_raises "conflict"
+          (Invalid_argument "Vf2.extend: conflicting fixed assignment")
+          (fun () ->
+            ignore (Vf2.extend ~pattern ~target ~fixed:[ (0, 2); (1, 2) ])));
+    test_case "is_isomorphic distinguishes path and star" (fun () ->
+        check_bool "not iso" false
+          (Vf2.is_isomorphic (Generators.path 4) (Generators.star 4));
+        check_bool "iso to self" true
+          (Vf2.is_isomorphic (Generators.cycle 6) (Generators.cycle 6)));
+    test_case "node_limit gives up gracefully" (fun () ->
+        let pattern = Generators.cycle 12 and target = Generators.grid 5 5 in
+        check_bool "budget too small" true
+          (Vf2.find ~node_limit:2 ~pattern ~target () = None));
+    test_case "find_with_stats counts nodes" (fun () ->
+        let _, stats =
+          Vf2.find_with_stats ~pattern:(Generators.path 3)
+            ~target:(Generators.grid 3 3) ()
+        in
+        check_bool "visited some" true (stats.Vf2.nodes_visited > 0));
+  ]
+
+let vf2_props =
+  [
+    QCheck.Test.make ~name:"relabelled subgraph always embeds" ~count:100
+      graph_arb (fun (n, edges) ->
+        let g = Graph.create n edges in
+        let rng = Rng.create (Hashtbl.hash (n, edges)) in
+        let perm = Rng.permutation rng n in
+        let target =
+          Graph.add_edges (Graph.relabel g perm)
+            (match Graph.complement_edges (Graph.relabel g perm) with
+            | [] -> []
+            | e :: _ -> [ e ])
+        in
+        match Vf2.find ~pattern:g ~target () with
+        | None -> false
+        | Some f -> check_valid_monomorphism g target f);
+    QCheck.Test.make ~name:"found monomorphisms are valid" ~count:100
+      (QCheck.pair graph_arb graph_arb)
+      (fun ((n1, e1), (n2, e2)) ->
+        let pattern = Graph.create n1 e1 in
+        let target = Graph.create (n1 + n2) e2 in
+        match Vf2.find ~pattern ~target () with
+        | None -> true
+        | Some f -> check_valid_monomorphism pattern target f);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let generators_tests =
+  [
+    test_case "path shape" (fun () ->
+        let g = Generators.path 6 in
+        check_int "edges" 5 (Graph.n_edges g);
+        check_int "end degree" 1 (Graph.degree g 0);
+        check_int "mid degree" 2 (Graph.degree g 3));
+    test_case "cycle shape" (fun () ->
+        let g = Generators.cycle 7 in
+        check_int "edges" 7 (Graph.n_edges g);
+        check_bool "closes" true (Graph.mem_edge g 0 6));
+    test_case "cycle too small" (fun () ->
+        Alcotest.check_raises "small"
+          (Invalid_argument "Generators.cycle: need at least 3 vertices")
+          (fun () -> ignore (Generators.cycle 2)));
+    test_case "grid shape" (fun () ->
+        let g = Generators.grid 3 4 in
+        check_int "vertices" 12 (Graph.n_vertices g);
+        check_int "edges" 17 (Graph.n_edges g);
+        check_int "corner degree" 2 (Graph.degree g 0));
+    test_case "complete graph" (fun () ->
+        let g = Generators.complete 6 in
+        check_int "edges" 15 (Graph.n_edges g));
+    test_case "random_connected is connected" (fun () ->
+        let rng = Rng.create 31 in
+        for _ = 1 to 20 do
+          let g = Generators.random_connected rng ~n:12 ~extra_edges:4 in
+          check_bool "connected" true (Graph.is_connected g);
+          check_int "edge count" 15 (Graph.n_edges g)
+        done);
+    test_case "random_connected saturates extra edges" (fun () ->
+        let rng = Rng.create 37 in
+        let g = Generators.random_connected rng ~n:4 ~extra_edges:100 in
+        check_int "complete" 6 (Graph.n_edges g));
+    test_case "gnp extremes" (fun () ->
+        let rng = Rng.create 41 in
+        check_int "p=0" 0 (Graph.n_edges (Generators.gnp rng ~n:10 ~p:0.0));
+        check_int "p=1" 45 (Graph.n_edges (Generators.gnp rng ~n:10 ~p:1.0)));
+  ]
+
+let () =
+  Alcotest.run "qls_graph"
+    [
+      ("rng", rng_tests);
+      ("graph", graph_tests);
+      ("graph-properties", List.map QCheck_alcotest.to_alcotest graph_props);
+      ("bfs", bfs_tests);
+      ("apsp", apsp_tests);
+      ("pqueue", pqueue_tests);
+      ("pqueue-properties", List.map QCheck_alcotest.to_alcotest pqueue_props);
+      ("vf2", vf2_tests);
+      ("vf2-properties", List.map QCheck_alcotest.to_alcotest vf2_props);
+      ("generators", generators_tests);
+    ]

@@ -1,0 +1,242 @@
+(* End-to-end integration tests: full pipelines across all libraries.
+
+   These tests intentionally cross module boundaries — generate on real
+   device topologies, serialise through QASM, route with every tool,
+   verify every result, and hold the routers to the generator's optimum
+   as a lower bound. *)
+
+module Gate = Qls_circuit.Gate
+module Circuit = Qls_circuit.Circuit
+module Qasm = Qls_circuit.Qasm
+module Topologies = Qls_arch.Topologies
+module Device = Qls_arch.Device
+module Mapping = Qls_layout.Mapping
+module Transpiled = Qls_layout.Transpiled
+module Verifier = Qls_layout.Verifier
+module Router = Qls_router.Router
+module Registry = Qls_router.Registry
+module Sabre = Qls_router.Sabre
+module Exact = Qls_router.Exact
+module Benchmark = Qubikos.Benchmark
+module Generator = Qubikos.Generator
+module Certificate = Qubikos.Certificate
+module Queko = Qubikos.Queko
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let test_case name f = Alcotest.test_case name `Quick f
+
+let gen device ~n_swaps ~gate_budget ~seed =
+  Generator.generate
+    ~config:{ Generator.default_config with n_swaps; gate_budget; seed }
+    device
+
+(* ------------------------------------------------------------------ *)
+(* Generate -> certify -> route -> verify, on every paper device       *)
+(* ------------------------------------------------------------------ *)
+
+let pipeline_tests =
+  List.map
+    (fun device ->
+      test_case
+        (Printf.sprintf "generate+certify+route on %s" (Device.name device))
+        (fun () ->
+          let bench = gen device ~n_swaps:3 ~gate_budget:120 ~seed:5 in
+          Certificate.check_exn bench;
+          List.iter
+            (fun tool ->
+              let _, report =
+                Router.run_verified tool device bench.Benchmark.circuit
+              in
+              check_bool
+                (Printf.sprintf "%s respects the optimum" tool.Router.name)
+                true
+                (report.Verifier.swap_count >= bench.Benchmark.optimal_swaps))
+            (Registry.paper_tools ~sabre_trials:2 ())))
+    [ Topologies.aspen4 (); Topologies.falcon27 (); Topologies.grid 3 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Lower bound holds for every tool on many random instances           *)
+(* ------------------------------------------------------------------ *)
+
+let lower_bound_props =
+  [
+    QCheck.Test.make
+      ~name:"no tool ever beats the generator's designed optimum" ~count:15
+      QCheck.(pair (int_range 1 4) (int_range 0 1_000))
+      (fun (n_swaps, seed) ->
+        let device = Topologies.aspen4 () in
+        let bench = gen device ~n_swaps ~gate_budget:60 ~seed in
+        List.for_all
+          (fun tool ->
+            Router.swap_count tool device bench.Benchmark.circuit >= n_swaps)
+          (Registry.paper_tools ~sabre_trials:1 ()));
+    QCheck.Test.make
+      ~name:"exact solver matches the designed optimum on small instances"
+      ~count:8
+      QCheck.(pair (int_range 1 2) (int_range 0 1_000))
+      (fun (n_swaps, seed) ->
+        let device = Topologies.grid 3 3 in
+        let bench =
+          Generator.generate
+            ~config:
+              {
+                Generator.default_config with
+                n_swaps;
+                gate_budget = 25;
+                saturation_cap = 1;
+                seed;
+              }
+            device
+        in
+        match Exact.minimum_swaps ~max_swaps:4 device bench.Benchmark.circuit with
+        | Exact.Optimal { swaps; _ } -> swaps = n_swaps
+        | Exact.Unknown_above _ -> QCheck.assume_fail ());
+    QCheck.Test.make
+      ~name:"SAT solver matches the designed optimum on small instances"
+      ~count:10
+      QCheck.(pair (int_range 1 3) (int_range 0 1_000))
+      (fun (n_swaps, seed) ->
+        let device = Topologies.aspen4 () in
+        let bench =
+          Generator.generate
+            ~config:
+              {
+                Generator.default_config with
+                n_swaps;
+                gate_budget = 30;
+                saturation_cap = 1;
+                seed;
+              }
+            device
+        in
+        match
+          Qls_router.Olsq.minimum_swaps ~max_swaps:4 device
+            bench.Benchmark.circuit
+        with
+        | Qls_router.Olsq.Optimal { swaps; witness } ->
+            swaps = n_swaps && Verifier.is_valid witness
+        | Qls_router.Olsq.Unknown_above _ -> false);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* QASM as the interchange boundary                                    *)
+(* ------------------------------------------------------------------ *)
+
+let qasm_tests =
+  [
+    test_case "benchmark survives QASM and routes identically" (fun () ->
+        let device = Topologies.aspen4 () in
+        let bench = gen device ~n_swaps:2 ~gate_budget:80 ~seed:3 in
+        let reread = Qasm.of_string (Qasm.to_string bench.Benchmark.circuit) in
+        check_bool "circuit identical" true
+          (Circuit.equal reread bench.Benchmark.circuit);
+        let sabre = Sabre.router () in
+        let s1 = Router.swap_count sabre device bench.Benchmark.circuit in
+        let s2 = Router.swap_count sabre device reread in
+        check_int "same routing result" s1 s2);
+    test_case "transpiled physical circuit emits and parses as QASM" (fun () ->
+        let device = Topologies.grid 3 3 in
+        let bench = gen device ~n_swaps:2 ~gate_budget:40 ~seed:8 in
+        let physical = Transpiled.to_physical_circuit bench.Benchmark.designed in
+        let reread = Qasm.of_string (Qasm.to_string physical) in
+        check_bool "physical circuit round-trips" true (Circuit.equal physical reread);
+        check_int "contains the designed swaps" 2
+          (Array.fold_left
+             (fun acc g -> if Gate.is_swap g then acc + 1 else acc)
+             0 (Circuit.gates reread)));
+    test_case "queko instance round-trips and stays swap-free" (fun () ->
+        let device = Topologies.sycamore54 () in
+        let q = Queko.generate ~seed:2 ~depth:10 device in
+        let reread = Qasm.of_string (Qasm.to_string q.Queko.circuit) in
+        check_bool "still swap-free" true
+          (Qls_circuit.Interaction.swap_free reread (Device.graph device)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Single-qubit gates through the whole pipeline                       *)
+(* ------------------------------------------------------------------ *)
+
+let single_qubit_tests =
+  [
+    test_case "instances with 1q gates route and verify with every tool"
+      (fun () ->
+        let device = Topologies.grid 3 3 in
+        let bench =
+          Generator.generate
+            ~config:
+              {
+                Generator.default_config with
+                n_swaps = 2;
+                gate_budget = 40;
+                single_qubit_ratio = 0.4;
+                seed = 6;
+              }
+            device
+        in
+        Certificate.check_exn bench;
+        check_bool "has 1q gates" true
+          (Circuit.single_qubit_count bench.Benchmark.circuit > 0);
+        List.iter
+          (fun tool ->
+            let t, _ = Router.run_verified tool device bench.Benchmark.circuit in
+            check_int
+              (Printf.sprintf "%s emits every gate" tool.Router.name)
+              (Circuit.length bench.Benchmark.circuit)
+              (List.length
+                 (List.filter
+                    (function Transpiled.Gate _ -> true | Transpiled.Swap _ -> false)
+                    (Transpiled.ops t))))
+          (Registry.paper_tools ~sabre_trials:1 ()));
+    test_case "exact solver preserves 1q gates" (fun () ->
+        let device = Topologies.line 4 in
+        let c =
+          Circuit.create ~n_qubits:3
+            [ Gate.h 0; Gate.cx 0 1; Gate.x 1; Gate.cx 1 2; Gate.h 2; Gate.cx 0 2 ]
+        in
+        match Exact.minimum_swaps device c with
+        | Exact.Optimal { witness; _ } ->
+            let r = Verifier.check_exn witness in
+            check_bool "valid" true (r.Verifier.swap_count >= 1)
+        | Exact.Unknown_above _ -> Alcotest.fail "small instance must solve");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Device registry end-to-end                                          *)
+(* ------------------------------------------------------------------ *)
+
+let registry_tests =
+  [
+    test_case "generation works on every by_name device" (fun () ->
+        List.iter
+          (fun name ->
+            match Topologies.by_name name with
+            | None -> Alcotest.fail ("unknown device " ^ name)
+            | Some device ->
+                let bench = gen device ~n_swaps:1 ~gate_budget:0 ~seed:1 in
+                Certificate.check_exn bench)
+          [ "aspen4"; "sycamore"; "rochester"; "eagle"; "falcon"; "grid3x3";
+            "line6"; "ring7"; "heavyhex3" ]);
+    test_case "router-only mode: tools accept an initial mapping" (fun () ->
+        let device = Topologies.aspen4 () in
+        let bench = gen device ~n_swaps:2 ~gate_budget:60 ~seed:9 in
+        let initial = bench.Benchmark.initial_mapping in
+        List.iter
+          (fun tool ->
+            let t = tool.Router.route ~initial device bench.Benchmark.circuit in
+            check_bool
+              (Printf.sprintf "%s keeps the given mapping" tool.Router.name)
+              true
+              (Mapping.equal (Transpiled.initial_mapping t) initial))
+          (Registry.paper_tools ~sabre_trials:1 ()));
+  ]
+
+let () =
+  Alcotest.run "integration"
+    [
+      ("pipeline", pipeline_tests);
+      ("lower-bound", List.map QCheck_alcotest.to_alcotest lower_bound_props);
+      ("qasm-boundary", qasm_tests);
+      ("single-qubit", single_qubit_tests);
+      ("registry", registry_tests);
+    ]

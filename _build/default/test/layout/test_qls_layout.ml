@@ -1,0 +1,392 @@
+(* Tests for the qls_layout library: mappings, transpiled circuits, the
+   verifier and metrics. *)
+
+module Gate = Qls_circuit.Gate
+module Circuit = Qls_circuit.Circuit
+module Topologies = Qls_arch.Topologies
+module Mapping = Qls_layout.Mapping
+module Transpiled = Qls_layout.Transpiled
+module Verifier = Qls_layout.Verifier
+module Metrics = Qls_layout.Metrics
+module Fidelity = Qls_layout.Fidelity
+module Rng = Qls_graph.Rng
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let test_case name f = Alcotest.test_case name `Quick f
+
+(* ------------------------------------------------------------------ *)
+(* Mapping                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let mapping_tests =
+  [
+    test_case "identity" (fun () ->
+        let m = Mapping.identity ~n_program:3 ~n_physical:5 in
+        check_int "phys" 2 (Mapping.phys m 2);
+        Alcotest.(check (option int)) "prog" (Some 2) (Mapping.prog m 2);
+        Alcotest.(check (option int)) "empty slot" None (Mapping.prog m 4));
+    test_case "identity rejects too many program qubits" (fun () ->
+        check_bool "raises" true
+          (try
+             ignore (Mapping.identity ~n_program:5 ~n_physical:3);
+             false
+           with Invalid_argument _ -> true));
+    test_case "of_array validates collisions" (fun () ->
+        check_bool "raises" true
+          (try
+             ignore (Mapping.of_array ~n_physical:4 [| 1; 1 |]);
+             false
+           with Invalid_argument _ -> true));
+    test_case "of_array validates range" (fun () ->
+        check_bool "raises" true
+          (try
+             ignore (Mapping.of_array ~n_physical:4 [| 0; 9 |]);
+             false
+           with Invalid_argument _ -> true));
+    test_case "swap_physical moves both occupants" (fun () ->
+        let m = Mapping.of_array ~n_physical:4 [| 0; 1 |] in
+        let m' = Mapping.swap_physical m 0 1 in
+        check_int "q0" 1 (Mapping.phys m' 0);
+        check_int "q1" 0 (Mapping.phys m' 1));
+    test_case "swap_physical with an empty slot" (fun () ->
+        let m = Mapping.of_array ~n_physical:4 [| 0 |] in
+        let m' = Mapping.swap_physical m 0 3 in
+        check_int "moved" 3 (Mapping.phys m' 0);
+        Alcotest.(check (option int)) "old slot empty" None (Mapping.prog m' 0));
+    test_case "swap_physical is an involution" (fun () ->
+        let rng = Rng.create 5 in
+        let m = Mapping.random rng ~n_program:6 ~n_physical:9 in
+        let m' = Mapping.swap_physical (Mapping.swap_physical m 2 7) 2 7 in
+        check_bool "identity" true (Mapping.equal m m'));
+    test_case "swap_physical rejects identical qubits" (fun () ->
+        let m = Mapping.identity ~n_program:2 ~n_physical:4 in
+        check_bool "raises" true
+          (try
+             ignore (Mapping.swap_physical m 1 1);
+             false
+           with Invalid_argument _ -> true));
+    test_case "apply_swaps composes left to right" (fun () ->
+        let m = Mapping.of_array ~n_physical:3 [| 0 |] in
+        let m' = Mapping.apply_swaps m [ (0, 1); (1, 2) ] in
+        check_int "walked" 2 (Mapping.phys m' 0));
+    test_case "compose_program_perm" (fun () ->
+        let m = Mapping.of_array ~n_physical:4 [| 2; 3 |] in
+        let m' = Mapping.compose_program_perm m [| 1; 0 |] in
+        check_int "q0 takes q1's slot" 3 (Mapping.phys m' 0);
+        check_int "q1 takes q0's slot" 2 (Mapping.phys m' 1));
+    test_case "to_array is a copy" (fun () ->
+        let m = Mapping.identity ~n_program:3 ~n_physical:3 in
+        let a = Mapping.to_array m in
+        a.(0) <- 99;
+        check_int "unchanged" 0 (Mapping.phys m 0));
+  ]
+
+let mapping_props =
+  [
+    QCheck.Test.make ~name:"phys and prog are mutually inverse" ~count:200
+      QCheck.(int_range 0 10_000)
+      (fun seed ->
+        let rng = Rng.create seed in
+        let m = Mapping.random rng ~n_program:7 ~n_physical:12 in
+        let ok = ref true in
+        for q = 0 to 6 do
+          if Mapping.prog m (Mapping.phys m q) <> Some q then ok := false
+        done;
+        for p = 0 to 11 do
+          match Mapping.prog m p with
+          | Some q -> if Mapping.phys m q <> p then ok := false
+          | None -> ()
+        done;
+        !ok);
+    QCheck.Test.make ~name:"random mappings are injective" ~count:200
+      QCheck.(int_range 0 10_000)
+      (fun seed ->
+        let rng = Rng.create seed in
+        let m = Mapping.random rng ~n_program:9 ~n_physical:9 in
+        let a = Mapping.to_array m in
+        List.length (List.sort_uniq compare (Array.to_list a)) = 9);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Transpiled — the paper's Fig. 1(e) worked example                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Fig. 1: the triangle circuit mapped to the 4-qubit line with
+   q0->p0, q1->p1, q2->p2 and one SWAP(p1, p2) before the final CNOT. *)
+let fig1e () =
+  let source =
+    Circuit.create ~n_qubits:3
+      [ Gate.h 0; Gate.h 1; Gate.cx 0 1; Gate.cx 1 2; Gate.cx 0 2 ]
+  in
+  let device = Topologies.line 4 in
+  let initial = Mapping.of_array ~n_physical:4 [| 0; 1; 2 |] in
+  let ops =
+    [
+      Transpiled.Gate 0; Transpiled.Gate 1; Transpiled.Gate 2; Transpiled.Gate 3;
+      Transpiled.Swap (1, 2); Transpiled.Gate 4;
+    ]
+  in
+  Transpiled.create ~source ~device ~initial ops
+
+let transpiled_tests =
+  [
+    test_case "create validates sizes" (fun () ->
+        let source = Circuit.create ~n_qubits:3 [ Gate.h 0 ] in
+        let device = Topologies.line 4 in
+        check_bool "raises" true
+          (try
+             ignore
+               (Transpiled.create ~source ~device
+                  ~initial:(Mapping.identity ~n_program:2 ~n_physical:4)
+                  []);
+             false
+           with Invalid_argument _ -> true));
+    test_case "swap accounting" (fun () ->
+        let t = fig1e () in
+        check_int "one swap" 1 (Transpiled.swap_count t);
+        Alcotest.(check (list (pair int int))) "swaps" [ (1, 2) ] (Transpiled.swaps t));
+    test_case "final mapping reflects the swap" (fun () ->
+        let m = Transpiled.final_mapping (fig1e ()) in
+        check_int "q1 moved" 2 (Mapping.phys m 1);
+        check_int "q2 moved" 1 (Mapping.phys m 2));
+    test_case "mapping_at before and after the swap" (fun () ->
+        let t = fig1e () in
+        check_int "before" 1 (Mapping.phys (Transpiled.mapping_at t 4) 1);
+        check_int "after" 2 (Mapping.phys (Transpiled.mapping_at t 5) 1));
+    test_case "physical circuit matches Fig. 1(e)" (fun () ->
+        let pc = Transpiled.to_physical_circuit (fig1e ()) in
+        check_int "qubits" 4 (Circuit.n_qubits pc);
+        check_int "gates" 6 (Circuit.length pc);
+        check_bool "swap gate present" true (Gate.is_swap (Circuit.gate pc 4));
+        (* final CNOT runs on physical (0, 1) after the swap *)
+        check_bool "final cnot relocated" true
+          (Gate.equal (Gate.cx 0 1) (Circuit.gate pc 5)));
+    test_case "depth computed on the physical circuit" (fun () ->
+        check_bool "positive" true (Transpiled.depth (fig1e ()) > 0));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Verifier                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let verifier_tests =
+  [
+    test_case "the Fig. 1(e) result is valid with 1 swap" (fun () ->
+        match Verifier.check (fig1e ()) with
+        | Error _ -> Alcotest.fail "expected valid"
+        | Ok r -> check_int "swap count" 1 r.Verifier.swap_count);
+    test_case "missing gate detected" (fun () ->
+        let t = fig1e () in
+        let ops = List.filteri (fun i _ -> i <> 3) (Transpiled.ops t) in
+        let t' =
+          Transpiled.create ~source:(Transpiled.source t)
+            ~device:(Transpiled.device t)
+            ~initial:(Transpiled.initial_mapping t) ops
+        in
+        match Verifier.check t' with
+        | Ok _ -> Alcotest.fail "expected invalid"
+        | Error vs ->
+            check_bool "missing" true
+              (List.exists (function Verifier.Missing_gate 3 -> true | _ -> false) vs));
+    test_case "duplicate gate detected" (fun () ->
+        let t = fig1e () in
+        let ops = Transpiled.ops t @ [ Transpiled.Gate 0 ] in
+        let t' =
+          Transpiled.create ~source:(Transpiled.source t)
+            ~device:(Transpiled.device t)
+            ~initial:(Transpiled.initial_mapping t) ops
+        in
+        match Verifier.check t' with
+        | Ok _ -> Alcotest.fail "expected invalid"
+        | Error vs ->
+            check_bool "dup" true
+              (List.exists
+                 (function Verifier.Duplicated_gate 0 -> true | _ -> false)
+                 vs));
+    test_case "order violation detected" (fun () ->
+        let source = Circuit.create ~n_qubits:2 [ Gate.h 0; Gate.x 0 ] in
+        let device = Topologies.line 2 in
+        let t =
+          Transpiled.create ~source ~device
+            ~initial:(Mapping.identity ~n_program:2 ~n_physical:2)
+            [ Transpiled.Gate 1; Transpiled.Gate 0 ]
+        in
+        match Verifier.check t with
+        | Ok _ -> Alcotest.fail "expected invalid"
+        | Error vs ->
+            check_bool "order" true
+              (List.exists
+                 (function Verifier.Order_broken _ -> true | _ -> false)
+                 vs));
+    test_case "uncoupled gate detected" (fun () ->
+        let source = Circuit.create ~n_qubits:3 [ Gate.cx 0 2 ] in
+        let device = Topologies.line 3 in
+        let t =
+          Transpiled.create ~source ~device
+            ~initial:(Mapping.identity ~n_program:3 ~n_physical:3)
+            [ Transpiled.Gate 0 ]
+        in
+        match Verifier.check t with
+        | Ok _ -> Alcotest.fail "expected invalid"
+        | Error vs ->
+            check_bool "uncoupled" true
+              (List.exists
+                 (function
+                   | Verifier.Uncoupled_gate { phys = 0, 2; _ } -> true
+                   | _ -> false)
+                 vs));
+    test_case "uncoupled swap detected" (fun () ->
+        let source = Circuit.create ~n_qubits:2 [] in
+        let device = Topologies.line 3 in
+        let t =
+          Transpiled.create ~source ~device
+            ~initial:(Mapping.identity ~n_program:2 ~n_physical:3)
+            [ Transpiled.Swap (0, 2) ]
+        in
+        match Verifier.check t with
+        | Ok _ -> Alcotest.fail "expected invalid"
+        | Error vs ->
+            check_bool "swap" true
+              (List.exists
+                 (function Verifier.Uncoupled_swap _ -> true | _ -> false)
+                 vs));
+    test_case "all violations are collected, not just the first" (fun () ->
+        let source = Circuit.create ~n_qubits:3 [ Gate.cx 0 2; Gate.h 1 ] in
+        let device = Topologies.line 3 in
+        let t =
+          Transpiled.create ~source ~device
+            ~initial:(Mapping.identity ~n_program:3 ~n_physical:3)
+            [ Transpiled.Gate 0 ]
+        in
+        match Verifier.check t with
+        | Ok _ -> Alcotest.fail "expected invalid"
+        | Error vs -> check_int "two problems" 2 (List.length vs));
+    test_case "check_exn raises with a message" (fun () ->
+        let source = Circuit.create ~n_qubits:2 [ Gate.h 0 ] in
+        let device = Topologies.line 2 in
+        let t =
+          Transpiled.create ~source ~device
+            ~initial:(Mapping.identity ~n_program:2 ~n_physical:2)
+            []
+        in
+        check_bool "raises" true
+          (try
+             ignore (Verifier.check_exn t);
+             false
+           with Failure _ -> true));
+    test_case "pp_violation output mentions the gate" (fun () ->
+        let s =
+          Format.asprintf "%a" Verifier.pp_violation (Verifier.Missing_gate 7)
+        in
+        check_bool "mentions 7" true (String.contains s '7'));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let metrics_tests =
+  [
+    test_case "mean" (fun () -> check_float "mean" 2.5 (Metrics.mean [ 1.; 2.; 3.; 4. ]));
+    test_case "mean of empty rejected" (fun () ->
+        check_bool "raises" true
+          (try
+             ignore (Metrics.mean []);
+             false
+           with Invalid_argument _ -> true));
+    test_case "swap_ratio matches the paper's definition" (fun () ->
+        check_float "ratio" 2.0 (Metrics.swap_ratio ~optimal:5 ~swap_counts:[ 10; 10 ]);
+        check_float "optimal tool" 1.0 (Metrics.swap_ratio ~optimal:4 ~swap_counts:[ 4 ]));
+    test_case "swap_ratio validates" (fun () ->
+        check_bool "optimal 0" true
+          (try
+             ignore (Metrics.swap_ratio ~optimal:0 ~swap_counts:[ 1 ]);
+             false
+           with Invalid_argument _ -> true));
+    test_case "geometric mean" (fun () ->
+        check_float "gm" 2.0 (Metrics.geometric_mean [ 1.; 2.; 4. ]));
+    test_case "geometric mean rejects non-positive" (fun () ->
+        check_bool "raises" true
+          (try
+             ignore (Metrics.geometric_mean [ 1.; 0. ]);
+             false
+           with Invalid_argument _ -> true));
+    test_case "median odd and even" (fun () ->
+        check_float "odd" 3.0 (Metrics.median [ 5.; 1.; 3. ]);
+        check_float "even" 2.5 (Metrics.median [ 4.; 1.; 2.; 3. ]));
+    test_case "stddev" (fun () ->
+        check_float "constant" 0.0 (Metrics.stddev [ 2.; 2.; 2. ]);
+        check_float "spread" 2.0 (Metrics.stddev [ 2.; 6.; 2.; 6. ]));
+  ]
+
+let fidelity_tests =
+  let noise_for t = Qls_arch.Noise.uniform ~q1:1e-3 ~q2:1e-2 (Transpiled.device t) in
+  [
+    test_case "swap-free circuit pays only gate errors" (fun () ->
+        let source = Circuit.create ~n_qubits:2 [ Gate.cx 0 1 ] in
+        let device = Topologies.line 2 in
+        let t =
+          Transpiled.create ~source ~device
+            ~initial:(Mapping.identity ~n_program:2 ~n_physical:2)
+            [ Transpiled.Gate 0 ]
+        in
+        let noise = noise_for t in
+        check_float "one cx" (log (1.0 -. 1e-2)) (Fidelity.log_success noise t);
+        check_float "no swap overhead" 0.0 (Fidelity.swap_overhead_cost noise t));
+    test_case "each swap costs three CNOTs of fidelity" (fun () ->
+        let t = fig1e () in
+        let noise = Qls_arch.Noise.uniform ~q1:0.0 ~q2:1e-2 (Transpiled.device t) in
+        check_float "3 cx per swap"
+          (3.0 *. log (1.0 -. 1e-2))
+          (Fidelity.swap_overhead_cost noise t));
+    test_case "success probability multiplies out" (fun () ->
+        let t = fig1e () in
+        let noise = Qls_arch.Noise.uniform ~q1:1e-3 ~q2:1e-2 (Transpiled.device t) in
+        (* 2 h gates, 3 cnots, 1 swap (= 3 cnots) *)
+        let expected = ((1.0 -. 1e-3) ** 2.0) *. ((1.0 -. 1e-2) ** 6.0) in
+        check_float "product" expected (Fidelity.success_probability noise t));
+    test_case "readout adds one factor per program qubit" (fun () ->
+        let t = fig1e () in
+        let noise =
+          Qls_arch.Noise.uniform ~q1:0.0 ~q2:0.0 ~readout:1e-2 (Transpiled.device t)
+        in
+        check_float "3 readouts"
+          (3.0 *. log (1.0 -. 1e-2))
+          (Fidelity.log_success ~with_readout:true noise t));
+    test_case "mismatched device rejected" (fun () ->
+        let t = fig1e () in
+        let noise = Qls_arch.Noise.uniform (Topologies.grid 3 3) in
+        check_bool "raises" true
+          (try
+             ignore (Fidelity.log_success noise t);
+             false
+           with Invalid_argument _ -> true));
+    test_case "more swaps, lower fidelity" (fun () ->
+        let source = Circuit.create ~n_qubits:2 [ Gate.cx 0 1 ] in
+        let device = Topologies.line 3 in
+        let initial = Mapping.identity ~n_program:2 ~n_physical:3 in
+        let direct =
+          Transpiled.create ~source ~device ~initial [ Transpiled.Gate 0 ]
+        in
+        let wasteful =
+          Transpiled.create ~source ~device ~initial
+            [ Transpiled.Swap (1, 2); Transpiled.Swap (1, 2); Transpiled.Gate 0 ]
+        in
+        let noise = Qls_arch.Noise.uniform device in
+        check_bool "monotone" true
+          (Fidelity.log_success noise wasteful < Fidelity.log_success noise direct));
+  ]
+
+let () =
+  Alcotest.run "qls_layout"
+    [
+      ("mapping", mapping_tests);
+      ("mapping-properties", List.map QCheck_alcotest.to_alcotest mapping_props);
+      ("transpiled", transpiled_tests);
+      ("verifier", verifier_tests);
+      ("metrics", metrics_tests);
+      ("fidelity", fidelity_tests);
+    ]

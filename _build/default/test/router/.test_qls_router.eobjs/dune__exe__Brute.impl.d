@@ -1,0 +1,1 @@
+test/router/brute.ml: Array Fun Hashtbl List Qls_arch Qls_circuit Qls_graph Queue

@@ -1,0 +1,1 @@
+test/router/test_qls_router.ml: Alcotest Array Brute List Option Printf QCheck QCheck_alcotest Qls_arch Qls_circuit Qls_graph Qls_layout Qls_router

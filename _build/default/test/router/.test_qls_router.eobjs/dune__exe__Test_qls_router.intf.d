@@ -1,0 +1,1 @@
+test/router/test_qls_router.mli:

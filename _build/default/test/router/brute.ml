@@ -1,0 +1,90 @@
+(* Test-only brute-force optimal SWAP-count oracle for tiny instances.
+
+   Breadth-first search over (mapping, executed-gate-set) states, starting
+   from every possible initial mapping, with eager gate execution (which
+   never costs SWAPs). Exponential in everything — only for cross-checking
+   Qls_router.Exact on devices with <= 6 physical qubits and short
+   circuits. *)
+
+module Graph = Qls_graph.Graph
+module Circuit = Qls_circuit.Circuit
+module Dag = Qls_circuit.Dag
+module Device = Qls_arch.Device
+
+(* All injective placements of [k] program qubits onto [n] positions. *)
+let placements k n =
+  let rec go chosen used depth =
+    if depth = k then [ List.rev chosen ]
+    else
+      List.concat_map
+        (fun p -> if List.mem p used then [] else go (p :: chosen) (p :: used) (depth + 1))
+        (List.init n Fun.id)
+  in
+  go [] [] 0
+
+(* Eagerly execute every executable gate; returns the executed bitmask. *)
+let closure device dag q2p mask =
+  let n = Dag.n_gates dag in
+  let mask = ref mask in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    for v = 0 to n - 1 do
+      if (!mask lsr v) land 1 = 0 then begin
+        let ready =
+          List.for_all (fun p -> (!mask lsr p) land 1 = 1) (Dag.predecessors dag v)
+        in
+        let a, b = Dag.pair dag v in
+        if ready && Device.coupled device q2p.(a) q2p.(b) then begin
+          mask := !mask lor (1 lsl v);
+          progress := true
+        end
+      end
+    done
+  done;
+  !mask
+
+let minimum_swaps device circuit =
+  let dag = Dag.of_circuit circuit in
+  let n_gates = Dag.n_gates dag in
+  if n_gates > 16 then invalid_arg "Brute: circuit too large";
+  let n_prog = Circuit.n_qubits circuit in
+  let n_phys = Device.n_qubits device in
+  let full = (1 lsl n_gates) - 1 in
+  let edges = Array.of_list (Device.edges device) in
+  let seen = Hashtbl.create 4096 in
+  let queue = Queue.create () in
+  List.iter
+    (fun placement ->
+      let q2p = Array.of_list placement in
+      let mask = closure device dag q2p 0 in
+      let key = (Array.to_list q2p, mask) in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        Queue.add (q2p, mask, 0) queue
+      end)
+    (placements n_prog n_phys);
+  let result = ref None in
+  while !result = None && not (Queue.is_empty queue) do
+    let q2p, mask, swaps = Queue.pop queue in
+    if mask = full then result := Some swaps
+    else
+      Array.iter
+        (fun (p, p') ->
+          let q2p' = Array.copy q2p in
+          Array.iteri
+            (fun q pos ->
+              if pos = p then q2p'.(q) <- p'
+              else if pos = p' then q2p'.(q) <- p)
+            q2p;
+          let mask' = closure device dag q2p' mask in
+          let key = (Array.to_list q2p', mask') in
+          if not (Hashtbl.mem seen key) then begin
+            Hashtbl.add seen key ();
+            Queue.add (q2p', mask', swaps + 1) queue
+          end)
+        edges
+  done;
+  match !result with
+  | Some s -> s
+  | None -> invalid_arg "Brute: no solution (disconnected device?)"

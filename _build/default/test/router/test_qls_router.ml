@@ -1,0 +1,663 @@
+(* Tests for the qls_router library: the routing skeleton, placement,
+   the four QLS tools, the exact solver (cross-checked against a
+   brute-force oracle) and the registry. *)
+
+module Gate = Qls_circuit.Gate
+module Circuit = Qls_circuit.Circuit
+module Dag = Qls_circuit.Dag
+module Random_circuit = Qls_circuit.Random_circuit
+module Topologies = Qls_arch.Topologies
+module Device = Qls_arch.Device
+module Mapping = Qls_layout.Mapping
+module Transpiled = Qls_layout.Transpiled
+module Verifier = Qls_layout.Verifier
+module Route_state = Qls_router.Route_state
+module Placement = Qls_router.Placement
+module Router = Qls_router.Router
+module Sabre = Qls_router.Sabre
+module Tket_router = Qls_router.Tket_router
+module Astar_router = Qls_router.Astar_router
+module Mlqls = Qls_router.Mlqls
+module Exact = Qls_router.Exact
+module Token_swap = Qls_router.Token_swap
+module Olsq = Qls_router.Olsq
+module Transition_router = Qls_router.Transition_router
+module Registry = Qls_router.Registry
+module Rng = Qls_graph.Rng
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let test_case name f = Alcotest.test_case name `Quick f
+
+(* A circuit whose gates are all executable under the identity mapping on
+   a line: consecutive-qubit CNOTs. *)
+let adjacent_circuit n_qubits n_gates =
+  Circuit.create ~n_qubits
+    (List.init n_gates (fun i -> Gate.cx (i mod (n_qubits - 1)) ((i mod (n_qubits - 1)) + 1)))
+
+(* The triangle circuit of the paper's Fig. 1. *)
+let triangle () =
+  Circuit.create ~n_qubits:3 [ Gate.cx 0 1; Gate.cx 1 2; Gate.cx 0 2 ]
+
+(* ------------------------------------------------------------------ *)
+(* Route_state                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let route_state_tests =
+  [
+    test_case "advance executes an adjacent circuit completely" (fun () ->
+        let device = Topologies.line 5 in
+        let source = adjacent_circuit 5 12 in
+        let st =
+          Route_state.create ~device ~source
+            ~initial:(Placement.identity device source)
+        in
+        check_int "all emitted" 12 (Route_state.advance st);
+        check_bool "finished" true (Route_state.finished st);
+        let t = Route_state.finish st in
+        check_int "no swaps" 0 (Verifier.check_exn t).Verifier.swap_count);
+    test_case "blocked front after advance" (fun () ->
+        let device = Topologies.line 3 in
+        let source = triangle () in
+        let st =
+          Route_state.create ~device ~source
+            ~initial:(Placement.identity device source)
+        in
+        ignore (Route_state.advance st);
+        check_int "one blocked" 1 (List.length (Route_state.front st));
+        check_int "distance 2" 2
+          (Route_state.gate_distance st (List.hd (Route_state.front st))));
+    test_case "apply_swap updates mapping and unblocks" (fun () ->
+        let device = Topologies.line 3 in
+        let source = triangle () in
+        let st =
+          Route_state.create ~device ~source
+            ~initial:(Placement.identity device source)
+        in
+        ignore (Route_state.advance st);
+        Route_state.apply_swap st 1 2;
+        check_int "emits the last gate" 1 (Route_state.advance st);
+        check_int "one swap" 1 (Route_state.swap_count st);
+        let t = Route_state.finish st in
+        check_int "verified swaps" 1 (Verifier.check_exn t).Verifier.swap_count);
+    test_case "apply_swap rejects non-couplers" (fun () ->
+        let device = Topologies.line 3 in
+        let source = triangle () in
+        let st =
+          Route_state.create ~device ~source
+            ~initial:(Placement.identity device source)
+        in
+        check_bool "raises" true
+          (try
+             Route_state.apply_swap st 0 2;
+             false
+           with Invalid_argument _ -> true));
+    test_case "swap candidates touch front-layer qubits" (fun () ->
+        let device = Topologies.line 5 in
+        let source = Circuit.create ~n_qubits:5 [ Gate.cx 0 4 ] in
+        let st =
+          Route_state.create ~device ~source
+            ~initial:(Placement.identity device source)
+        in
+        ignore (Route_state.advance st);
+        Alcotest.(check (list (pair int int))) "edges at 0 and 4"
+          [ (0, 1); (3, 4) ]
+          (List.sort compare (Route_state.swap_candidates st)));
+    test_case "extended set follows successors breadth-first" (fun () ->
+        let device = Topologies.line 4 in
+        let source =
+          Circuit.create ~n_qubits:4
+            [ Gate.cx 0 2; Gate.cx 0 1; Gate.cx 1 2; Gate.cx 2 3 ]
+        in
+        let st =
+          Route_state.create ~device ~source
+            ~initial:(Placement.identity device source)
+        in
+        ignore (Route_state.advance st);
+        (* gate 0 (0,2) is blocked; its successors 1, 2 then 3 follow *)
+        Alcotest.(check (list int)) "lookahead order" [ 1; 2; 3 ]
+          (Route_state.extended_set st ~size:10);
+        Alcotest.(check (list int)) "capped" [ 1 ]
+          (Route_state.extended_set st ~size:1));
+    test_case "remaining_layers matches ASAP slices initially" (fun () ->
+        let rng = Rng.create 5 in
+        let source = Random_circuit.uniform rng ~n_qubits:6 ~n_two_qubit:20 ~single_ratio:0.0 in
+        let device = Topologies.grid 2 3 in
+        let st =
+          Route_state.create ~device ~source
+            ~initial:(Placement.identity device source)
+        in
+        let expected = Qls_circuit.Layers.slices_of_dag (Route_state.dag st) in
+        Alcotest.(check (list (list int))) "layers" expected
+          (Route_state.remaining_layers st ~max_layers:max_int));
+    test_case "finish rejects unfinished states" (fun () ->
+        let device = Topologies.line 3 in
+        let st =
+          Route_state.create ~device ~source:(triangle ())
+            ~initial:(Mapping.identity ~n_program:3 ~n_physical:3)
+        in
+        check_bool "raises" true
+          (try
+             ignore (Route_state.finish st);
+             false
+           with Invalid_argument _ -> true));
+    test_case "progress counters and snapshots" (fun () ->
+        let device = Topologies.line 3 in
+        let source = triangle () in
+        let st =
+          Route_state.create ~device ~source
+            ~initial:(Placement.identity device source)
+        in
+        check_int "nothing done" 0 (Route_state.done_count st);
+        check_int "all remaining" 3 (Route_state.remaining st);
+        ignore (Route_state.advance st);
+        check_int "two done" 2 (Route_state.done_count st);
+        check_int "one left" 1 (Route_state.remaining st);
+        check_bool "ops recorded" true (List.length (Route_state.ops_so_far st) = 2);
+        Alcotest.(check (list (pair int int))) "physical front" [ (0, 2) ]
+          (Route_state.front_pairs_physical st);
+        check_bool "snapshot is the mapping" true
+          (Mapping.equal (Route_state.snapshot_mapping st) (Route_state.mapping st)));
+    test_case "force_route_first unblocks the earliest gate" (fun () ->
+        let device = Topologies.line 5 in
+        let source = Circuit.create ~n_qubits:5 [ Gate.cx 0 4 ] in
+        let st =
+          Route_state.create ~device ~source
+            ~initial:(Placement.identity device source)
+        in
+        ignore (Route_state.advance st);
+        Route_state.force_route_first st;
+        check_int "now executable" 1 (Route_state.advance st);
+        check_int "3 swaps along the line" 3 (Route_state.swap_count st));
+    test_case "single-qubit gates keep their per-qubit order" (fun () ->
+        let device = Topologies.line 3 in
+        let source =
+          Circuit.create ~n_qubits:3
+            [ Gate.h 0; Gate.cx 0 1; Gate.x 0; Gate.h 2; Gate.cx 1 2; Gate.x 2 ]
+        in
+        let st =
+          Route_state.create ~device ~source
+            ~initial:(Placement.identity device source)
+        in
+        ignore (Route_state.advance st);
+        let t = Route_state.finish st in
+        check_int "valid, no swaps" 0 (Verifier.check_exn t).Verifier.swap_count;
+        check_int "all gates present" 6 (List.length (Transpiled.ops t)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Placement                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let placement_tests =
+  [
+    test_case "identity and random are valid mappings" (fun () ->
+        let device = Topologies.grid 3 3 in
+        let c = triangle () in
+        let rng = Rng.create 1 in
+        check_int "identity" 0 (Mapping.phys (Placement.identity device c) 0);
+        let m = Placement.random rng device c in
+        check_int "programs" 3 (Mapping.n_program m));
+    test_case "vf2 placement solves an embeddable circuit" (fun () ->
+        let device = Topologies.grid 3 3 in
+        let c = Circuit.create ~n_qubits:4 [ Gate.cx 0 1; Gate.cx 1 2; Gate.cx 2 3 ] in
+        match Placement.vf2 device c with
+        | None -> Alcotest.fail "path embeds in grid"
+        | Some m -> check_int "swap-free" 0 (Placement.spread_cost device c m));
+    test_case "vf2 placement fails on non-embeddable circuits" (fun () ->
+        let device = Topologies.line 4 in
+        check_bool "triangle on a line" true (Placement.vf2 device (triangle ()) = None));
+    test_case "degree_greedy is injective" (fun () ->
+        let rng = Rng.create 2 in
+        let device = Topologies.grid 3 3 in
+        let c = Random_circuit.uniform rng ~n_qubits:9 ~n_two_qubit:20 ~single_ratio:0.0 in
+        let m = Placement.degree_greedy rng device c in
+        let a = Mapping.to_array m in
+        check_int "all distinct" 9 (List.length (List.sort_uniq compare (Array.to_list a))));
+    test_case "spread_cost is zero iff executable in place" (fun () ->
+        let device = Topologies.line 5 in
+        let c = adjacent_circuit 5 6 in
+        check_int "adjacent" 0
+          (Placement.spread_cost device c (Placement.identity device c)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Router property: every tool's output verifies, and never beats the   *)
+(* exact optimum.                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let mk_random_circuit seed =
+  let rng = Rng.create seed in
+  let n_gates = 4 + Rng.int rng 12 in
+  Random_circuit.uniform rng ~n_qubits:6 ~n_two_qubit:n_gates ~single_ratio:0.3
+
+let all_tools =
+  [
+    Sabre.router ();
+    Sabre.router ~options:{ Sabre.default_options with lookahead_decay = Some 0.7 } ();
+    Tket_router.router ();
+    Astar_router.router ();
+    Mlqls.router ();
+    Transition_router.router ();
+  ]
+
+let router_props =
+  List.map
+    (fun tool ->
+      QCheck.Test.make
+        ~name:(Printf.sprintf "%s output always verifies" tool.Router.name)
+        ~count:40
+        QCheck.(int_range 0 100_000)
+        (fun seed ->
+          let c = mk_random_circuit seed in
+          let device = Topologies.grid 2 3 in
+          let _, report = Router.run_verified tool device c in
+          report.Verifier.swap_count >= 0))
+    all_tools
+  @ [
+      QCheck.Test.make ~name:"no heuristic beats the exact optimum" ~count:15
+        QCheck.(int_range 0 100_000)
+        (fun seed ->
+          let c = mk_random_circuit seed in
+          let device = Topologies.grid 2 3 in
+          match Exact.minimum_swaps ~max_swaps:8 device c with
+          | Exact.Unknown_above _ -> QCheck.assume_fail ()
+          | Exact.Optimal { swaps = opt; _ } ->
+              List.for_all
+                (fun tool -> Router.swap_count tool device c >= opt)
+                all_tools);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* SABRE specifics                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let sabre_tests =
+  [
+    test_case "solves the Fig. 1 instance with one swap" (fun () ->
+        let device = Topologies.line 4 in
+        let t =
+          Sabre.route
+            ~options:(Sabre.with_trials 8 Sabre.default_options)
+            device (triangle ())
+        in
+        check_int "one swap" 1 (Verifier.check_exn t).Verifier.swap_count);
+    test_case "zero swaps when given a perfect initial mapping" (fun () ->
+        let device = Topologies.line 5 in
+        let c = adjacent_circuit 5 10 in
+        let t = Sabre.route ~initial:(Placement.identity device c) device c in
+        check_int "zero" 0 (Verifier.check_exn t).Verifier.swap_count);
+    test_case "more trials never hurt (nested seeds)" (fun () ->
+        let rng = Rng.create 9 in
+        let device = Topologies.grid 3 3 in
+        let c = Random_circuit.uniform rng ~n_qubits:9 ~n_two_qubit:40 ~single_ratio:0.0 in
+        let swaps k =
+          Transpiled.swap_count
+            (Sabre.route ~options:(Sabre.with_trials k Sabre.default_options) device c)
+        in
+        check_bool "monotone" true (swaps 6 <= swaps 1));
+    test_case "route_traced records decisions" (fun () ->
+        let device = Topologies.line 4 in
+        let t, decisions =
+          Sabre.route_traced
+            ~initial:(Mapping.of_array ~n_physical:4 [| 0; 1; 2 |])
+            device (triangle ())
+        in
+        check_bool "some decision" true (List.length decisions > 0);
+        check_bool "valid" true (Verifier.is_valid t);
+        List.iter
+          (fun d ->
+            check_bool "chosen among candidates" true
+              (List.mem_assoc d.Sabre.chosen d.Sabre.candidates);
+            check_bool "candidates scored ascending" true
+              (let scores = List.map snd d.Sabre.candidates in
+               List.sort compare scores = scores))
+          decisions);
+    test_case "lookahead decay changes the name" (fun () ->
+        let r =
+          Sabre.router
+            ~options:{ Sabre.default_options with lookahead_decay = Some 0.5 }
+            ()
+        in
+        Alcotest.(check string) "name" "sabre-decay" r.Router.name;
+        Alcotest.(check string) "stock name" "sabre" (Sabre.router ()).Router.name);
+    test_case "deterministic for a fixed seed" (fun () ->
+        let device = Topologies.grid 3 3 in
+        let rng = Rng.create 77 in
+        let c = Random_circuit.uniform rng ~n_qubits:9 ~n_two_qubit:30 ~single_ratio:0.0 in
+        let t1 = Sabre.route device c and t2 = Sabre.route device c in
+        check_int "same result" (Transpiled.swap_count t1) (Transpiled.swap_count t2));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Other tools                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let tool_tests =
+  [
+    test_case "tket solves embeddable circuits with zero swaps" (fun () ->
+        let device = Topologies.grid 3 3 in
+        let c = Circuit.create ~n_qubits:5 [ Gate.cx 0 1; Gate.cx 1 2; Gate.cx 2 3; Gate.cx 3 4 ] in
+        let t = Tket_router.route device c in
+        check_int "vf2 placement" 0 (Verifier.check_exn t).Verifier.swap_count);
+    test_case "tket handles the triangle on a line" (fun () ->
+        let device = Topologies.line 4 in
+        let t = Tket_router.route device (triangle ()) in
+        check_bool "needs >= 1 swap" true ((Verifier.check_exn t).Verifier.swap_count >= 1));
+    test_case "qmap solves an in-place layer with zero swaps" (fun () ->
+        let device = Topologies.line 5 in
+        let c = adjacent_circuit 5 8 in
+        let t = Astar_router.route ~initial:(Placement.identity device c) device c in
+        check_int "zero" 0 (Verifier.check_exn t).Verifier.swap_count);
+    test_case "qmap fallback path still verifies" (fun () ->
+        (* node_budget 0 forces the shortest-path fallback on every layer *)
+        let device = Topologies.grid 3 3 in
+        let rng = Rng.create 4 in
+        let c = Random_circuit.uniform rng ~n_qubits:9 ~n_two_qubit:25 ~single_ratio:0.0 in
+        let t =
+          Astar_router.route
+            ~options:{ Astar_router.default_options with node_budget = 0 }
+            device c
+        in
+        check_bool "valid" true (Verifier.is_valid t));
+    test_case "mlqls placement is injective and complete" (fun () ->
+        let device = Topologies.grid 3 4 in
+        let rng = Rng.create 6 in
+        let c = Random_circuit.uniform rng ~n_qubits:10 ~n_two_qubit:30 ~single_ratio:0.0 in
+        let m = Mlqls.place device c in
+        check_int "programs" 10 (Mapping.n_program m);
+        let a = Mapping.to_array m in
+        check_int "injective" 10 (List.length (List.sort_uniq compare (Array.to_list a))));
+    test_case "mlqls on a circuit with no two-qubit gates" (fun () ->
+        let device = Topologies.line 3 in
+        let c = Circuit.create ~n_qubits:3 [ Gate.h 0; Gate.h 1 ] in
+        let t = Mlqls.route device c in
+        check_int "zero swaps" 0 (Verifier.check_exn t).Verifier.swap_count);
+    test_case "mlqls multilevel placement beats random on clustered circuits"
+      (fun () ->
+        let device = Topologies.grid 4 4 in
+        let rng = Rng.create 8 in
+        (* two tight clusters of qubits *)
+        let gates =
+          List.init 60 (fun i ->
+              let base = if i mod 2 = 0 then 0 else 8 in
+              let a = base + Rng.int rng 4 and b = base + Rng.int rng 4 in
+              if a = b then Gate.cx a ((base + ((a + 1 - base) mod 4))) else Gate.cx a b)
+        in
+        let c = Circuit.create ~n_qubits:16 gates in
+        let ml = Mlqls.weighted_cost device c (Mlqls.place device c) in
+        let rnd = Mlqls.weighted_cost device c (Placement.random rng device c) in
+        check_bool "not worse" true (ml <= rnd));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Exact solver                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let exact_tests =
+  [
+    test_case "triangle on a line needs exactly one swap" (fun () ->
+        match Exact.minimum_swaps (Topologies.line 4) (triangle ()) with
+        | Exact.Optimal { swaps; witness } ->
+            check_int "optimal" 1 swaps;
+            check_bool "witness valid" true (Verifier.is_valid witness)
+        | Exact.Unknown_above _ -> Alcotest.fail "should be solvable");
+    test_case "triangle on a ring is swap-free" (fun () ->
+        match Exact.minimum_swaps (Topologies.ring 3) (triangle ()) with
+        | Exact.Optimal { swaps; _ } -> check_int "optimal" 0 swaps
+        | Exact.Unknown_above _ -> Alcotest.fail "should be solvable");
+    test_case "empty circuit costs nothing" (fun () ->
+        let c = Circuit.create ~n_qubits:3 [ Gate.h 0 ] in
+        match Exact.minimum_swaps (Topologies.line 3) c with
+        | Exact.Optimal { swaps; witness } ->
+            check_int "zero" 0 swaps;
+            check_int "h preserved" 1 (List.length (Transpiled.ops witness))
+        | Exact.Unknown_above _ -> Alcotest.fail "trivial");
+    test_case "check is monotone in the swap budget" (fun () ->
+        let device = Topologies.line 4 in
+        (* feasible at k implies feasible at any k' >= k, and the witness
+           never uses more than the budget *)
+        match Exact.check ~swaps:1 device (triangle ()) with
+        | Exact.Feasible _ -> (
+            match Exact.check ~swaps:3 device (triangle ()) with
+            | Exact.Feasible t ->
+                check_bool "within budget" true (Transpiled.swap_count t <= 3)
+            | _ -> Alcotest.fail "monotonicity broken")
+        | _ -> Alcotest.fail "base case");
+    test_case "infeasible below the optimum" (fun () ->
+        check_bool "0 swaps impossible" true
+          (Exact.check ~swaps:0 (Topologies.line 4) (triangle ()) = Exact.Infeasible));
+    test_case "unknown on zero budget" (fun () ->
+        check_bool "honest" true
+          (Exact.check ~node_budget:0 ~swaps:1 (Topologies.line 4) (triangle ())
+           = Exact.Unknown));
+    test_case "negative swap count rejected" (fun () ->
+        check_bool "raises" true
+          (try
+             ignore (Exact.check ~swaps:(-1) (Topologies.line 3) (triangle ()));
+             false
+           with Invalid_argument _ -> true));
+    test_case "router interface returns the witness" (fun () ->
+        let r = Exact.router () in
+        let t, report = Router.run_verified r (Topologies.line 4) (triangle ()) in
+        check_int "optimal" 1 report.Verifier.swap_count;
+        check_bool "ops complete" true (List.length (Transpiled.ops t) = 4));
+  ]
+
+let exact_props =
+  [
+    QCheck.Test.make ~name:"exact agrees with the brute-force oracle" ~count:25
+      QCheck.(int_range 0 100_000)
+      (fun seed ->
+        let rng = Rng.create seed in
+        let n_gates = 2 + Rng.int rng 6 in
+        let c = Random_circuit.uniform rng ~n_qubits:4 ~n_two_qubit:n_gates ~single_ratio:0.0 in
+        let device =
+          if Rng.bool rng then Topologies.line 4 else Topologies.ring 4
+        in
+        let brute = Brute.minimum_swaps device c in
+        match Exact.minimum_swaps ~max_swaps:6 device c with
+        | Exact.Optimal { swaps; witness } ->
+            swaps = brute && Verifier.is_valid witness
+        | Exact.Unknown_above _ -> false);
+    QCheck.Test.make ~name:"exact witness swap count equals the reported optimum"
+      ~count:20
+      QCheck.(int_range 0 100_000)
+      (fun seed ->
+        let rng = Rng.create seed in
+        let c = Random_circuit.uniform rng ~n_qubits:5 ~n_two_qubit:6 ~single_ratio:0.2 in
+        let device = Topologies.grid 2 3 in
+        match Exact.minimum_swaps ~max_swaps:6 device c with
+        | Exact.Optimal { swaps; witness } -> Transpiled.swap_count witness = swaps
+        | Exact.Unknown_above _ -> false);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* OLSQ-style SAT solver                                               *)
+(* ------------------------------------------------------------------ *)
+
+let olsq_tests =
+  [
+    test_case "triangle on a line needs exactly one swap (SAT)" (fun () ->
+        match Olsq.minimum_swaps (Topologies.line 4) (triangle ()) with
+        | Olsq.Optimal { swaps; witness } ->
+            check_int "optimal" 1 swaps;
+            check_bool "witness valid" true (Verifier.is_valid witness)
+        | Olsq.Unknown_above _ -> Alcotest.fail "should be solvable");
+    test_case "swap-free instance solved with zero swaps" (fun () ->
+        let c = adjacent_circuit 5 8 in
+        match Olsq.minimum_swaps (Topologies.line 5) c with
+        | Olsq.Optimal { swaps; _ } -> check_int "zero" 0 swaps
+        | Olsq.Unknown_above _ -> Alcotest.fail "trivial");
+    test_case "circuit with only 1q gates" (fun () ->
+        let c = Circuit.create ~n_qubits:3 [ Gate.h 0; Gate.h 1 ] in
+        match Olsq.check ~swaps:0 (Topologies.line 3) c with
+        | Olsq.Feasible w -> check_int "gates kept" 2 (List.length (Transpiled.ops w))
+        | _ -> Alcotest.fail "trivial");
+    test_case "infeasible below the optimum" (fun () ->
+        check_bool "unsat" true
+          (Olsq.check ~swaps:0 (Topologies.line 4) (triangle ()) = Olsq.Infeasible));
+    test_case "conflict budget reports unknown" (fun () ->
+        let rng = Rng.create 3 in
+        let c = Random_circuit.uniform rng ~n_qubits:9 ~n_two_qubit:30 ~single_ratio:0.0 in
+        check_bool "unknown" true
+          (Olsq.check ~conflict_budget:0 ~swaps:2 (Topologies.grid 3 3) c
+           = Olsq.Unknown));
+    test_case "negative swaps rejected" (fun () ->
+        check_bool "raises" true
+          (try
+             ignore (Olsq.check ~swaps:(-1) (Topologies.line 3) (triangle ()));
+             false
+           with Invalid_argument _ -> true));
+  ]
+
+let olsq_props =
+  [
+    QCheck.Test.make ~name:"SAT solver agrees with the search solver" ~count:25
+      QCheck.(int_range 0 100_000)
+      (fun seed ->
+        let rng = Rng.create seed in
+        let n_gates = 2 + Rng.int rng 8 in
+        let c = Random_circuit.uniform rng ~n_qubits:5 ~n_two_qubit:n_gates ~single_ratio:0.2 in
+        let device = Topologies.grid 2 3 in
+        match (Olsq.minimum_swaps device c, Exact.minimum_swaps device c) with
+        | Olsq.Optimal { swaps = a; witness }, Exact.Optimal { swaps = b; _ } ->
+            a = b && Verifier.is_valid witness
+        | _ -> false);
+    QCheck.Test.make ~name:"SAT solver agrees with the brute-force oracle"
+      ~count:15
+      QCheck.(int_range 0 100_000)
+      (fun seed ->
+        let rng = Rng.create seed in
+        let c = Random_circuit.uniform rng ~n_qubits:4 ~n_two_qubit:6 ~single_ratio:0.0 in
+        let device = if Rng.bool rng then Topologies.line 4 else Topologies.ring 4 in
+        let brute = Brute.minimum_swaps device c in
+        match Olsq.minimum_swaps device c with
+        | Olsq.Optimal { swaps; _ } -> swaps = brute
+        | Olsq.Unknown_above _ -> false);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Token swapping                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let token_swap_tests =
+  [
+    test_case "already satisfied targets need no swaps" (fun () ->
+        let device = Topologies.grid 3 3 in
+        let m = Mapping.identity ~n_program:9 ~n_physical:9 in
+        let target q = Token_swap.Fixed q in
+        Alcotest.(check (list (pair int int))) "empty" []
+          (Token_swap.route device ~current:m ~target));
+    test_case "routes a transposition on a line" (fun () ->
+        let device = Topologies.line 4 in
+        let m = Mapping.identity ~n_program:4 ~n_physical:4 in
+        let target q =
+          if q = 0 then Token_swap.Fixed 1
+          else if q = 1 then Token_swap.Fixed 0
+          else Token_swap.Free
+        in
+        let swaps = Token_swap.route device ~current:m ~target in
+        let m' = Token_swap.apply device m swaps in
+        check_int "q0" 1 (Mapping.phys m' 0);
+        check_int "q1" 0 (Mapping.phys m' 1);
+        check_int "one swap" 1 (List.length swaps));
+    test_case "routes across empty slots" (fun () ->
+        let device = Topologies.line 5 in
+        let m = Mapping.of_array ~n_physical:5 [| 0; 1 |] in
+        let target q = if q = 0 then Token_swap.Fixed 4 else Token_swap.Free in
+        let swaps = Token_swap.route device ~current:m ~target in
+        let m' = Token_swap.apply device m swaps in
+        check_int "q0 at the end" 4 (Mapping.phys m' 0));
+    test_case "rejects colliding targets" (fun () ->
+        let device = Topologies.line 3 in
+        let m = Mapping.identity ~n_program:3 ~n_physical:3 in
+        check_bool "raises" true
+          (try
+             ignore
+               (Token_swap.route device ~current:m ~target:(fun _ ->
+                    Token_swap.Fixed 1));
+             false
+           with Invalid_argument _ -> true));
+    test_case "optimal finds the 3-cycle rotation on a triangle" (fun () ->
+        let device = Topologies.ring 3 in
+        let m = Mapping.identity ~n_program:3 ~n_physical:3 in
+        let target q = Token_swap.Fixed ((q + 1) mod 3) in
+        match Token_swap.optimal device ~current:m ~target with
+        | None -> Alcotest.fail "solvable"
+        | Some swaps -> check_int "two swaps" 2 (List.length swaps));
+  ]
+
+let token_swap_props =
+  [
+    QCheck.Test.make ~name:"token swapping always reaches the target" ~count:100
+      QCheck.(pair (int_range 0 10_000) (int_range 0 2))
+      (fun (seed, dev_choice) ->
+        let device =
+          match dev_choice with
+          | 0 -> Topologies.grid 3 3
+          | 1 -> Topologies.line 7
+          | _ -> Topologies.aspen4 ()
+        in
+        let n = Device.n_qubits device in
+        let rng = Rng.create seed in
+        let n_prog = max 1 (n - Rng.int rng 3) in
+        let current = Mapping.random rng ~n_program:n_prog ~n_physical:n in
+        (* a random injective partial target *)
+        let perm = Rng.permutation rng n in
+        let target q = if q mod 2 = 0 then Token_swap.Fixed perm.(q) else Token_swap.Free in
+        let swaps = Token_swap.route device ~current ~target in
+        let final = Token_swap.apply device current swaps in
+        Token_swap.count_misplaced final ~target = 0);
+    QCheck.Test.make ~name:"greedy is never better than optimal" ~count:30
+      QCheck.(int_range 0 10_000)
+      (fun seed ->
+        let device = Topologies.line 5 in
+        let rng = Rng.create seed in
+        let current = Mapping.random rng ~n_program:5 ~n_physical:5 in
+        let perm = Rng.permutation rng 5 in
+        let target q = Token_swap.Fixed perm.(q) in
+        let greedy = Token_swap.route device ~current ~target in
+        match Token_swap.optimal ~max_swaps:12 device ~current ~target with
+        | None -> false
+        | Some best -> List.length best <= List.length greedy);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let registry_tests =
+  [
+    test_case "paper tools in paper order" (fun () ->
+        Alcotest.(check (list string)) "names"
+          [ "sabre"; "mlqls"; "qmap"; "tket" ]
+          (List.map (fun r -> r.Router.name) (Registry.paper_tools ())));
+    test_case "by_name resolves all registered names" (fun () ->
+        List.iter
+          (fun name ->
+            check_bool name true (Option.is_some (Registry.by_name name)))
+          Registry.names);
+    test_case "by_name aliases" (fun () ->
+        check_bool "lightsabre" true (Option.is_some (Registry.by_name "lightsabre"));
+        check_bool "ml-qls" true (Option.is_some (Registry.by_name "ml-qls")));
+    test_case "by_name rejects unknown" (fun () ->
+        check_bool "none" true (Registry.by_name "quantum-magic" = None));
+  ]
+
+let () =
+  Alcotest.run "qls_router"
+    [
+      ("route-state", route_state_tests);
+      ("placement", placement_tests);
+      ("router-properties", List.map QCheck_alcotest.to_alcotest router_props);
+      ("sabre", sabre_tests);
+      ("tools", tool_tests);
+      ("exact", exact_tests);
+      ("exact-properties", List.map QCheck_alcotest.to_alcotest exact_props);
+      ("olsq", olsq_tests);
+      ("olsq-properties", List.map QCheck_alcotest.to_alcotest olsq_props);
+      ("token-swap", token_swap_tests);
+      ("token-swap-properties", List.map QCheck_alcotest.to_alcotest token_swap_props);
+      ("registry", registry_tests);
+    ]

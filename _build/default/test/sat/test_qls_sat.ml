@@ -1,0 +1,184 @@
+(* Tests for the CDCL SAT solver: hand instances, pigeonhole refutations
+   and random 3-SAT cross-checked against a brute-force evaluator. *)
+
+module Solver = Qls_sat.Solver
+module Rng = Qls_graph.Rng
+
+let check_bool = Alcotest.(check bool)
+let test_case name f = Alcotest.test_case name `Quick f
+
+let solve_clauses nv clauses =
+  let s = Solver.create nv in
+  List.iter (Solver.add_clause s) clauses;
+  (s, Solver.solve s)
+
+let is_sat = function Solver.Sat -> true | Solver.Unsat | Solver.Unknown -> false
+let is_unsat = function Solver.Unsat -> true | Solver.Sat | Solver.Unknown -> false
+
+let model_satisfies s clauses =
+  List.for_all
+    (fun clause ->
+      List.exists
+        (fun l ->
+          let v = abs l in
+          if l > 0 then Solver.value s v else not (Solver.value s v))
+        clause)
+    clauses
+
+(* Pigeonhole principle: n+1 pigeons, n holes — classic UNSAT family.
+   Variable p*n + h + 1 = "pigeon p sits in hole h". *)
+let pigeonhole n =
+  let var p h = (p * n) + h + 1 in
+  let nv = (n + 1) * n in
+  let clauses = ref [] in
+  for p = 0 to n do
+    clauses := List.init n (fun h -> var p h) :: !clauses
+  done;
+  for h = 0 to n - 1 do
+    for p = 0 to n do
+      for p' = p + 1 to n do
+        clauses := [ -var p h; -var p' h ] :: !clauses
+      done
+    done
+  done;
+  (nv, !clauses)
+
+let basic_tests =
+  [
+    test_case "empty formula is satisfiable" (fun () ->
+        let _, r = solve_clauses 3 [] in
+        check_bool "sat" true (is_sat r));
+    test_case "unit clauses force the model" (fun () ->
+        let s, r = solve_clauses 3 [ [ 1 ]; [ -2 ]; [ 3 ] ] in
+        check_bool "sat" true (is_sat r);
+        check_bool "v1" true (Solver.value s 1);
+        check_bool "v2" false (Solver.value s 2);
+        check_bool "v3" true (Solver.value s 3));
+    test_case "contradicting units are unsat" (fun () ->
+        let _, r = solve_clauses 2 [ [ 1 ]; [ -1 ] ] in
+        check_bool "unsat" true (is_unsat r));
+    test_case "empty clause is unsat" (fun () ->
+        let _, r = solve_clauses 2 [ [] ] in
+        check_bool "unsat" true (is_unsat r));
+    test_case "tautologies are ignored" (fun () ->
+        let _, r = solve_clauses 2 [ [ 1; -1 ]; [ 2 ] ] in
+        check_bool "sat" true (is_sat r));
+    test_case "simple implication chain" (fun () ->
+        (* 1, 1->2, 2->3, 3->4 forces all true *)
+        let s, r = solve_clauses 4 [ [ 1 ]; [ -1; 2 ]; [ -2; 3 ]; [ -3; 4 ] ] in
+        check_bool "sat" true (is_sat r);
+        check_bool "v4 forced" true (Solver.value s 4));
+    test_case "xor chain needs real search" (fun () ->
+        (* (1 xor 2), (2 xor 3), (1 xor 3) is unsat *)
+        let _, r =
+          solve_clauses 3
+            [ [ 1; 2 ]; [ -1; -2 ]; [ 2; 3 ]; [ -2; -3 ]; [ 1; 3 ]; [ -1; -3 ] ]
+        in
+        check_bool "unsat" true (is_unsat r));
+    test_case "pigeonhole 2 into 1" (fun () ->
+        let nv, clauses = pigeonhole 1 in
+        let _, r = solve_clauses nv clauses in
+        check_bool "unsat" true (is_unsat r));
+    test_case "pigeonhole 4 into 3" (fun () ->
+        let nv, clauses = pigeonhole 3 in
+        let _, r = solve_clauses nv clauses in
+        check_bool "unsat" true (is_unsat r));
+    test_case "pigeonhole 6 into 5 (forces clause learning)" (fun () ->
+        let nv, clauses = pigeonhole 5 in
+        let s, r = solve_clauses nv clauses in
+        check_bool "unsat" true (is_unsat r);
+        let conflicts, _ = Solver.stats s in
+        check_bool "searched" true (conflicts > 0));
+    test_case "n holes do fit n pigeons" (fun () ->
+        (* drop one pigeon: satisfiable *)
+        let n = 4 in
+        let var p h = (p * n) + h + 1 in
+        let clauses = ref [] in
+        for p = 0 to n - 1 do
+          clauses := List.init n (fun h -> var p h) :: !clauses
+        done;
+        for h = 0 to n - 1 do
+          for p = 0 to n - 1 do
+            for p' = p + 1 to n - 1 do
+              clauses := [ -var p h; -var p' h ] :: !clauses
+            done
+          done
+        done;
+        let s, r = solve_clauses (n * n) !clauses in
+        check_bool "sat" true (is_sat r);
+        check_bool "model valid" true (model_satisfies s !clauses));
+    test_case "add_clause rejects bad literals" (fun () ->
+        let s = Solver.create 2 in
+        check_bool "raises" true
+          (try
+             Solver.add_clause s [ 0 ];
+             false
+           with Invalid_argument _ -> true);
+        check_bool "raises range" true
+          (try
+             Solver.add_clause s [ 5 ];
+             false
+           with Invalid_argument _ -> true));
+    test_case "value without model rejected" (fun () ->
+        let s = Solver.create 1 in
+        Solver.add_clause s [ 1 ];
+        check_bool "raises" true
+          (try
+             ignore (Solver.value s 1);
+             false
+           with Invalid_argument _ -> true));
+    test_case "conflict budget reports unknown" (fun () ->
+        let nv, clauses = pigeonhole 6 in
+        let s = Solver.create nv in
+        List.iter (Solver.add_clause s) clauses;
+        check_bool "unknown" true (Solver.solve ~conflict_budget:1 s = Solver.Unknown));
+  ]
+
+(* Brute-force evaluator for cross-checking. *)
+let brute_sat nv clauses =
+  let rec go assignment v =
+    if v > nv then
+      List.for_all
+        (fun clause ->
+          List.exists
+            (fun l -> if l > 0 then assignment.(l) else not assignment.(-l))
+            clause)
+        clauses
+    else begin
+      assignment.(v) <- true;
+      go assignment (v + 1)
+      ||
+      (assignment.(v) <- false;
+       go assignment (v + 1))
+    end
+  in
+  go (Array.make (nv + 1) false) 1
+
+let random_props =
+  [
+    QCheck.Test.make ~name:"CDCL agrees with brute force on random 3-SAT"
+      ~count:300
+      QCheck.(int_range 0 100_000)
+      (fun seed ->
+        let rng = Rng.create seed in
+        let nv = 4 + Rng.int rng 7 in
+        let n_clauses = 2 + Rng.int rng (4 * nv) in
+        let clauses =
+          List.init n_clauses (fun _ ->
+              List.init 3 (fun _ ->
+                  let v = 1 + Rng.int rng nv in
+                  if Rng.bool rng then v else -v))
+        in
+        let s, r = solve_clauses nv clauses in
+        match r with
+        | Solver.Sat -> model_satisfies s clauses && brute_sat nv clauses
+        | Solver.Unsat -> not (brute_sat nv clauses)
+        | Solver.Unknown -> false);
+  ]
+
+let () =
+  Alcotest.run "qls_sat"
+    [
+      ("solver", basic_tests);
+      ("random", List.map QCheck_alcotest.to_alcotest random_props);
+    ]
