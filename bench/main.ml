@@ -18,7 +18,8 @@
      dune exec bench/main.exe                 scaled-down experiments (minutes)
      dune exec bench/main.exe -- --quick      smoke-test scale (seconds)
      dune exec bench/main.exe -- --full       paper-scale parameters (hours)
-     dune exec bench/main.exe -- --no-timing  skip the Bechamel section *)
+     dune exec bench/main.exe -- --no-timing  skip the Bechamel section
+     dune exec bench/main.exe -- -j N         worker domains for E2a-E2d *)
 
 open Bechamel
 open Toolkit
@@ -40,15 +41,44 @@ type scale = Quick | Default | Full
 
 let scale = ref Default
 let timing = ref true
+let jobs = ref (Qls_harness.Pool.recommended_jobs ())
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [--quick | --full] [--no-timing] [-j N | --jobs N]"
 
 let () =
-  Array.iter
-    (function
-      | "--quick" -> scale := Quick
-      | "--full" -> scale := Full
-      | "--no-timing" -> timing := false
-      | _ -> ())
-    Sys.argv
+  let argv = Sys.argv in
+  let rec parse i =
+    if i < Array.length argv then
+      match argv.(i) with
+      | "--quick" ->
+          scale := Quick;
+          parse (i + 1)
+      | "--full" ->
+          scale := Full;
+          parse (i + 1)
+      | "--no-timing" ->
+          timing := false;
+          parse (i + 1)
+      | "-j" | "--jobs" -> (
+          match
+            if i + 1 < Array.length argv then int_of_string_opt argv.(i + 1)
+            else None
+          with
+          | Some n when n >= 1 ->
+              jobs := n;
+              parse (i + 2)
+          | _ ->
+              Printf.eprintf "%s requires a positive integer\n" argv.(i);
+              usage ();
+              exit 2)
+      | arg ->
+          Printf.eprintf "unknown argument %S\n" arg;
+          usage ();
+          exit 2
+  in
+  parse 1
 
 let section title =
   Printf.printf "\n%s\n%s\n%!" title (String.make (String.length title) '=')
@@ -169,8 +199,9 @@ let run_figure4 () =
         section title;
         Printf.printf
           "SWAP ratio (mean inserted / optimal) per tool; %d circuits/point,\n\
-           %d two-qubit gates, SABRE best-of-%d trials.\n\n%!"
-          circuits (Evaluation.paper_gate_budget device) trials;
+           %d two-qubit gates, SABRE best-of-%d trials; campaign on %d\n\
+           worker domain(s).\n\n%!"
+          circuits (Evaluation.paper_gate_budget device) trials !jobs;
         let config =
           {
             (Evaluation.default_figure_config device) with
@@ -179,7 +210,7 @@ let run_figure4 () =
             swap_counts;
           }
         in
-        let points = Evaluation.run_figure ~config device in
+        let points = Evaluation.run_figure ~jobs:!jobs ~config device in
         Format.printf "@[<v>%a@]@.%!" Evaluation.pp_points points;
         points)
       panels

@@ -5,6 +5,7 @@
      verify      re-prove an instance's optimality (certificate + exact)
      route       run a QLS tool on a circuit (generated or OpenQASM file)
      evaluate    one Fig.-4-style panel: all tools over SWAP counts
+     campaign    the same panel as a parallel, checkpointed, resumable run
      study       the §IV-A optimality study
      queko       build a QUEKO (0-SWAP, known-depth) instance
      devices     list known architectures *)
@@ -279,6 +280,147 @@ let evaluate_cmd =
     Term.(const run $ arch $ circuits $ trials $ counts $ full $ seed)
 
 (* ------------------------------------------------------------------ *)
+(* campaign                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let campaign_cmd =
+  let circuits =
+    Arg.(
+      value & opt int 3
+      & info [ "circuits" ] ~docv:"N" ~doc:"Instances per (device, SWAP count).")
+  in
+  let trials =
+    Arg.(
+      value & opt int 5 & info [ "trials" ] ~docv:"N" ~doc:"SABRE trials.")
+  in
+  let counts =
+    Arg.(
+      value
+      & opt (list int) [ 5; 10; 15; 20 ]
+      & info [ "counts" ] ~docv:"N,N,.." ~doc:"Designed SWAP counts.")
+  in
+  let full =
+    Arg.(
+      value & flag
+      & info [ "full" ] ~doc:"Paper-scale: 10 circuits/point, 1000 trials.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt int (Qls_harness.Pool.recommended_jobs ())
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains (default: all the machine recommends).")
+  in
+  let timeout =
+    Arg.(
+      value & opt (some float) None
+      & info [ "timeout" ] ~docv:"SEC"
+          ~doc:
+            "Per-task wall-clock budget; an overrunning task is recorded \
+             failed and the campaign continues.")
+  in
+  let retries =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N" ~doc:"Extra attempts for a failed task.")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE.jsonl"
+          ~doc:"Append-only JSONL result store (one line per task).")
+  in
+  let resume =
+    Arg.(
+      value & opt (some string) None
+      & info [ "resume" ] ~docv:"FILE.jsonl"
+          ~doc:
+            "Resume from this store: tasks already recorded there are \
+             skipped, new results are appended to it.")
+  in
+  let rerun_failed =
+    Arg.(
+      value & flag
+      & info [ "rerun-failed" ]
+          ~doc:
+            "With $(b,--resume), re-execute tasks the store records as \
+             failed (e.g. after raising $(b,--timeout)) instead of keeping \
+             their failure.")
+  in
+  let run device circuits trials counts full seed jobs timeout retries out
+      resume rerun_failed =
+    let store =
+      match (out, resume) with
+      | Some o, Some r when o <> r ->
+          Error
+            (Printf.sprintf "--out %s conflicts with --resume %s; pass one" o r)
+      | _, Some r -> Ok (Some r, true)
+      | Some o, None ->
+          if Sys.file_exists o then
+            Error
+              (Printf.sprintf
+                 "%s already exists; use --resume %s to continue it or pick a \
+                  new --out path"
+                 o o)
+          else Ok (Some o, false)
+      | None, None -> Ok (None, false)
+    in
+    match store with
+    | Error msg ->
+        Format.eprintf "campaign: %s@." msg;
+        2
+    | Ok (store, do_resume) ->
+        let config =
+          if full then Evaluation.paper_figure_config device
+          else
+            {
+              (Evaluation.default_figure_config device) with
+              circuits_per_point = circuits;
+              sabre_trials = trials;
+              swap_counts = counts;
+              seed;
+            }
+        in
+        let t0 = Unix.gettimeofday () in
+        let rows =
+          Evaluation.run_campaign ~jobs ?timeout ~retries ?store
+            ~resume:do_resume ~rerun_failed ~progress:true ~config device
+        in
+        let elapsed = Unix.gettimeofday () -. t0 in
+        let failures = Qls_harness.Campaign.failures rows in
+        let resumed =
+          List.length
+            (List.filter (fun r -> r.Qls_harness.Campaign.resumed) rows)
+        in
+        Format.printf
+          "campaign: %d tasks (%d resumed, %d failed) on %d worker(s) in \
+           %.1fs@."
+          (List.length rows) resumed (List.length failures) jobs elapsed;
+        List.iter
+          (fun (task, msg) ->
+            Format.eprintf "failed %s: %s@." (Qls_harness.Task.id task) msg)
+          failures;
+        (match store with
+        | Some path -> Format.printf "store: %s@." path
+        | None -> ());
+        let points = Evaluation.aggregate_campaign ~config ~device rows in
+        Format.printf "@[<v>%a@]@." Evaluation.pp_points points;
+        Format.printf "mean optimality gap per tool:@.";
+        List.iter
+          (fun (tool, gap) -> Format.printf "  %-12s %8.1fx@." tool gap)
+          (Evaluation.tool_gap_summary points);
+        if points = [] then 1 else 0
+  in
+  let doc =
+    "Run a Fig.-4 panel as a parallel, checkpointed campaign (resumable \
+     with $(b,--resume))."
+  in
+  Cmd.v (Cmd.info "campaign" ~doc)
+    Term.(
+      const run $ arch $ circuits $ trials $ counts $ full $ seed $ jobs
+      $ timeout $ retries $ out $ resume $ rerun_failed)
+
+(* ------------------------------------------------------------------ *)
 (* study                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -371,6 +513,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            generate_cmd; verify_cmd; route_cmd; evaluate_cmd; study_cmd;
-            queko_cmd; devices_cmd;
+            generate_cmd; verify_cmd; route_cmd; evaluate_cmd; campaign_cmd;
+            study_cmd; queko_cmd; devices_cmd;
           ]))

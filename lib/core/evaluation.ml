@@ -45,57 +45,201 @@ let paper_figure_config device =
     sabre_trials = 1000;
   }
 
-let default_tools config =
-  Qls_router.Registry.paper_tools ~sabre_trials:config.sabre_trials
-    ~seed:config.seed ()
+let default_tool_names = [ "sabre"; "mlqls"; "qmap"; "tket" ]
 
-let run_point ?tools ~config ~n_swaps device =
-  let tools = match tools with Some t -> t | None -> default_tools config in
-  let gen_config =
+let tool_names = function
+  | Some tools -> List.map (fun t -> t.Router.name) tools
+  | None -> default_tool_names
+
+(* ------------------------------------------------------------------ *)
+(* Campaign plumbing: the figure experiments decompose into            *)
+(* independent (device, n_swaps, circuit, tool) tasks executed by      *)
+(* Qls_harness; the run_* entry points below are thin wrappers that    *)
+(* build a campaign and aggregate its rows.                            *)
+(* ------------------------------------------------------------------ *)
+
+module Task = Qls_harness.Task
+module Campaign = Qls_harness.Campaign
+
+let campaign_tasks ?tools ~config device =
+  let names = tool_names tools in
+  List.concat_map
+    (fun n_swaps ->
+      List.concat_map
+        (fun circuit ->
+          List.map
+            (fun tool ->
+              {
+                Task.device = Device.name device;
+                n_swaps;
+                circuit;
+                tool;
+                gate_budget = config.gate_budget;
+                single_qubit_ratio = config.single_qubit_ratio;
+                sabre_trials = config.sabre_trials;
+                base_seed = config.seed;
+              })
+            names)
+        (List.init config.circuits_per_point Fun.id))
+    config.swap_counts
+
+(* Instances are shared by the point's tools (the paper's paired
+   comparison) and each is generated and certified exactly once: the
+   first task to need an instance marks it pending and builds it, while
+   sibling tool tasks block on the condition variable until it is ready
+   rather than duplicating the (expensive) generation + proof. *)
+type instance_cell = Ready of Benchmark.t | Pending
+
+let instance_mutex = Mutex.create ()
+let instance_ready = Condition.create ()
+let instance_cache : (string, instance_cell) Hashtbl.t = Hashtbl.create 64
+
+let instance_for device (task : Task.t) =
+  let key =
+    Printf.sprintf "%s/s%d/c%d/g%d/q%g/r%d" task.Task.device task.Task.n_swaps
+      task.Task.circuit task.Task.gate_budget task.Task.single_qubit_ratio
+      task.Task.base_seed
+  in
+  let build () =
+    let bench =
+      Generator.generate
+        ~config:
+          {
+            Generator.default_config with
+            n_swaps = task.Task.n_swaps;
+            gate_budget = task.Task.gate_budget;
+            single_qubit_ratio = task.Task.single_qubit_ratio;
+            seed = Task.circuit_seed task;
+          }
+        device
+    in
+    Certificate.check_exn bench;
+    bench
+  in
+  Mutex.lock instance_mutex;
+  let rec claim () =
+    match Hashtbl.find_opt instance_cache key with
+    | Some (Ready bench) ->
+        Mutex.unlock instance_mutex;
+        bench
+    | Some Pending ->
+        Condition.wait instance_ready instance_mutex;
+        claim ()
+    | None -> (
+        Hashtbl.replace instance_cache key Pending;
+        Mutex.unlock instance_mutex;
+        match build () with
+        | bench ->
+            Mutex.lock instance_mutex;
+            Hashtbl.replace instance_cache key (Ready bench);
+            Condition.broadcast instance_ready;
+            Mutex.unlock instance_mutex;
+            bench
+        | exception e ->
+            (* Un-claim so a sibling can retry (and fail with the real
+               error) instead of waiting forever. *)
+            Mutex.lock instance_mutex;
+            Hashtbl.remove instance_cache key;
+            Condition.broadcast instance_ready;
+            Mutex.unlock instance_mutex;
+            raise e)
+  in
+  claim ()
+
+let resolve_tool ?tools (task : Task.t) =
+  let found =
+    match tools with
+    | Some list -> List.find_opt (fun t -> t.Router.name = task.Task.tool) list
+    | None ->
+        Qls_router.Registry.by_name ~sabre_trials:task.Task.sabre_trials
+          ~seed:(Task.rng_seed task) task.Task.tool
+  in
+  match found with
+  | Some tool -> tool
+  | None -> failwith (Printf.sprintf "unknown tool %S" task.Task.tool)
+
+let campaign_exec ?tools ~device (task : Task.t) =
+  let bench = instance_for device task in
+  let tool = resolve_tool ?tools task in
+  let t0 = Unix.gettimeofday () in
+  let _, report = Router.run_verified tool device bench.Benchmark.circuit in
+  {
+    Task.swaps = report.Verifier.swap_count;
+    seconds = Unix.gettimeofday () -. t0;
+  }
+
+let aggregate_campaign ?tools ~config ~device rows =
+  let names = tool_names tools in
+  let ok = Campaign.outcomes rows in
+  List.concat_map
+    (fun n_swaps ->
+      List.filter_map
+        (fun tool ->
+          let samples =
+            List.filter
+              (fun ((t : Task.t), _) ->
+                t.Task.n_swaps = n_swaps && t.Task.tool = tool)
+              ok
+          in
+          let swap_counts = List.map (fun (_, o) -> o.Task.swaps) samples in
+          match Metrics.mean_opt (List.map float_of_int swap_counts) with
+          | None ->
+              Format.eprintf
+                "warning: point (%s, %s, swaps=%d) has no successful tasks; \
+                 skipped@."
+                (Device.name device) tool n_swaps;
+              None
+          | Some mean_swaps ->
+              Some
+                {
+                  device_name = Device.name device;
+                  tool_name = tool;
+                  optimal = n_swaps;
+                  circuits = List.length samples;
+                  mean_swaps;
+                  ratio = Metrics.swap_ratio ~optimal:n_swaps ~swap_counts;
+                  min_swaps = List.fold_left min max_int swap_counts;
+                  max_swaps = List.fold_left max 0 swap_counts;
+                  mean_seconds =
+                    Option.value ~default:0.0
+                      (Metrics.mean_opt (List.map (fun (_, o) -> o.Task.seconds) samples));
+                })
+        names)
+    config.swap_counts
+
+let run_campaign ?tools ?(jobs = 1) ?timeout ?(retries = 0) ?store
+    ?(resume = false) ?(rerun_failed = false) ?(progress = false) ~config
+    device =
+  let tasks = campaign_tasks ?tools ~config device in
+  let campaign_config =
     {
-      Generator.default_config with
-      n_swaps;
-      gate_budget = config.gate_budget;
-      single_qubit_ratio = config.single_qubit_ratio;
-      seed = config.seed + (1000 * n_swaps);
+      Campaign.jobs;
+      timeout;
+      retries;
+      store_path = store;
+      resume;
+      rerun_failed;
+      report =
+        (if progress then
+           Some (Campaign.stderr_report ~total:(List.length tasks))
+         else None);
     }
   in
-  let instances =
-    Generator.generate_suite ~config:gen_config ~count:config.circuits_per_point
-      device
-  in
-  List.iter Certificate.check_exn instances;
-  List.map
-    (fun tool ->
-      let swap_counts, times =
-        List.split
-          (List.map
-             (fun bench ->
-               let t0 = Unix.gettimeofday () in
-               let _, report =
-                 Router.run_verified tool device bench.Benchmark.circuit
-               in
-               (report.Verifier.swap_count, Unix.gettimeofday () -. t0))
-             instances)
-      in
-      let mean_swaps = Metrics.mean (List.map float_of_int swap_counts) in
-      {
-        device_name = Device.name device;
-        tool_name = tool.Router.name;
-        optimal = n_swaps;
-        circuits = config.circuits_per_point;
-        mean_swaps;
-        ratio = Metrics.swap_ratio ~optimal:n_swaps ~swap_counts;
-        min_swaps = List.fold_left min max_int swap_counts;
-        max_swaps = List.fold_left max 0 swap_counts;
-        mean_seconds = Metrics.mean times;
-      })
-    tools
+  Campaign.run campaign_config ~exec:(campaign_exec ?tools ~device) tasks
 
-let run_figure ?tools ~config device =
-  List.concat_map
-    (fun n_swaps -> run_point ?tools ~config ~n_swaps device)
-    config.swap_counts
+let run_figure ?tools ?jobs ?timeout ?retries ?store ?resume ?progress ~config
+    device =
+  let rows =
+    run_campaign ?tools ?jobs ?timeout ?retries ?store ?resume ?progress
+      ~config device
+  in
+  aggregate_campaign ?tools ~config ~device rows
+
+let run_point ?tools ?jobs ?timeout ?retries ?store ?resume ?progress ~config
+    ~n_swaps device =
+  run_figure ?tools ?jobs ?timeout ?retries ?store ?resume ?progress
+    ~config:{ config with swap_counts = [ n_swaps ] }
+    device
 
 let tool_gap_summary points =
   let tbl = Hashtbl.create 8 in

@@ -49,22 +49,90 @@ val paper_figure_config : Qls_arch.Device.t -> figure_config
 (** Full paper-scale parameters (10 circuits per point, 1000 SABRE
     trials). Expect hours of runtime. *)
 
+val campaign_tasks :
+  ?tools:Qls_router.Router.t list ->
+  config:figure_config ->
+  Qls_arch.Device.t ->
+  Qls_harness.Task.t list
+(** Decompose a figure into independent (n_swaps, circuit, tool)
+    campaign tasks, ordered point-major so siblings of an instance run
+    close together and share its generation. *)
+
+val campaign_exec :
+  ?tools:Qls_router.Router.t list ->
+  device:Qls_arch.Device.t ->
+  Qls_harness.Task.t ->
+  Qls_harness.Task.outcome
+(** Execute one task: generate (and certify, once per instance — shared
+    through a cache so the point's tools compare on the same circuit)
+    the task's instance, resolve its tool — from [tools] by name when
+    given, else from the registry seeded with {!Qls_harness.Task.rng_seed} —
+    route, verify, and time it. Pure up to the task, so campaign results
+    are scheduling-independent; safe to call from several domains. *)
+
+val aggregate_campaign :
+  ?tools:Qls_router.Router.t list ->
+  config:figure_config ->
+  device:Qls_arch.Device.t ->
+  Qls_harness.Campaign.row list ->
+  tool_point list
+(** Fold campaign rows back into Fig.-4 points. A point whose tasks all
+    failed is skipped with a warning on stderr instead of raising —
+    a lost point must not take down the aggregation of an overnight
+    run. *)
+
+val run_campaign :
+  ?tools:Qls_router.Router.t list ->
+  ?jobs:int ->
+  ?timeout:float ->
+  ?retries:int ->
+  ?store:string ->
+  ?resume:bool ->
+  ?rerun_failed:bool ->
+  ?progress:bool ->
+  config:figure_config ->
+  Qls_arch.Device.t ->
+  Qls_harness.Campaign.row list
+(** Run a figure's campaign on the worker pool ([jobs] defaults to 1 =
+    sequential in-process; pass
+    [Qls_harness.Pool.recommended_jobs ()] to use the machine) with an
+    optional JSONL checkpoint [store], [resume] from it ([rerun_failed]
+    re-executes tasks the store records as failed instead of keeping
+    their failure), per-task [timeout] seconds and bounded [retries],
+    and a live [progress] line. *)
+
 val run_point :
   ?tools:Qls_router.Router.t list ->
+  ?jobs:int ->
+  ?timeout:float ->
+  ?retries:int ->
+  ?store:string ->
+  ?resume:bool ->
+  ?progress:bool ->
   config:figure_config ->
   n_swaps:int ->
   Qls_arch.Device.t ->
   tool_point list
 (** Evaluate every tool on fresh instances with the given designed SWAP
     count. Instances are shared across tools (paired comparison). Every
-    routed result is re-verified; a verification failure raises. *)
+    routed result is re-verified; a verification failure marks that task
+    failed. Thin wrapper: {!run_campaign} + {!aggregate_campaign} over a
+    single-point config. *)
 
 val run_figure :
   ?tools:Qls_router.Router.t list ->
+  ?jobs:int ->
+  ?timeout:float ->
+  ?retries:int ->
+  ?store:string ->
+  ?resume:bool ->
+  ?progress:bool ->
   config:figure_config ->
   Qls_arch.Device.t ->
   tool_point list
-(** One full Fig.-4 panel: {!run_point} for every configured SWAP count. *)
+(** One full Fig.-4 panel: a campaign over every configured SWAP count.
+    Results are bit-identical for a fixed config seed whatever [jobs]
+    is. *)
 
 val tool_gap_summary : tool_point list -> (string * float) list
 (** Mean SWAP ratio per tool across all points — the paper's headline

@@ -1,0 +1,98 @@
+type config = {
+  jobs : int;
+  timeout : float option;
+  retries : int;
+  store_path : string option;
+  resume : bool;
+  rerun_failed : bool;
+  report : (string -> unit) option;
+}
+
+let default_config () =
+  {
+    jobs = Pool.recommended_jobs ();
+    timeout = None;
+    retries = 0;
+    store_path = None;
+    resume = false;
+    rerun_failed = false;
+    report = None;
+  }
+
+type row = { task : Task.t; status : Task.status; resumed : bool }
+
+let stderr_report ~total =
+  let tty = Unix.isatty Unix.stderr in
+  let seen = ref 0 in
+  let every = max 1 (total / 20) in
+  fun line ->
+    incr seen;
+    if tty then Printf.eprintf "\r\027[K%s%!" line
+    else if !seen mod every = 0 || !seen = total then
+      Printf.eprintf "%s\n%!" line
+
+let run config ~exec tasks =
+  let tasks = Array.of_list tasks in
+  let total = Array.length tasks in
+  let checkpoint =
+    match config.store_path with
+    | Some path when config.resume -> Store.completed (Store.load path)
+    | _ -> Hashtbl.create 0
+  in
+  let from_checkpoint task =
+    match Hashtbl.find_opt checkpoint (Task.id task) with
+    | Some (Task.Failed _) when config.rerun_failed -> None
+    | found -> found
+  in
+  let store = Option.map Store.open_append config.store_path in
+  let progress = Progress.create ~total in
+  let rows = Array.make total None in
+  let pending = ref [] in
+  Array.iteri
+    (fun i task ->
+      match from_checkpoint task with
+      | Some status ->
+          Progress.record_resumed progress;
+          rows.(i) <- Some { task; status; resumed = true }
+      | None -> pending := (i, task) :: !pending)
+    tasks;
+  let pending = Array.of_list (List.rev !pending) in
+  let guard = { Runner.timeout = config.timeout; retries = config.retries } in
+  let finish_one (i, task) =
+    let status = Runner.guard guard (fun () -> exec task) in
+    Option.iter
+      (fun s -> Store.append s { Store.task_id = Task.id task; status })
+      store;
+    (match status with
+    | Task.Done outcome ->
+        Progress.record ?ratio:(Task.ratio ~task outcome) ~tool:task.Task.tool
+          ~ok:true progress
+    | Task.Failed _ -> Progress.record ~tool:task.Task.tool ~ok:false progress);
+    Option.iter (fun report -> report (Progress.render progress)) config.report;
+    rows.(i) <- Some { task; status; resumed = false }
+  in
+  (* The pool writes straight into [rows] via [finish_one]; the unit
+     results are discarded. *)
+  ignore (Pool.run ~jobs:config.jobs ~f:(fun _ p -> finish_one p) pending);
+  Option.iter Store.close store;
+  (match config.report with
+  | Some _ when Unix.isatty Unix.stderr -> Printf.eprintf "\n%!"
+  | _ -> ());
+  Array.to_list rows
+  |> List.map (function
+       | Some row -> row
+       | None -> invalid_arg "Campaign.run: missing row")
+
+let outcomes rows =
+  List.filter_map
+    (fun r ->
+      match r.status with Task.Done o -> Some (r.task, o) | Task.Failed _ -> None)
+    rows
+
+let failures rows =
+  List.filter_map
+    (fun r ->
+      match r.status with
+      | Task.Failed msg -> Some (r.task, msg)
+      | Task.Done _ -> None)
+    rows

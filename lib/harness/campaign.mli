@@ -1,0 +1,47 @@
+(** The campaign engine: a deterministic task set executed on a domain
+    pool, checkpointed to a JSONL store, resumable after a kill.
+
+    A campaign is a list of {!Task.t} plus an [exec] function supplied
+    by the consumer (the evaluation layer injects instance generation
+    and routing here; the harness itself knows nothing about circuits).
+    Tasks are independent and carry their own seeds, so results are
+    bit-identical whatever the worker count or completion order.
+
+    Lifecycle of each task: checkpoint lookup (skip if already done) →
+    {!Runner.guard} (exception isolation, timeout, retry) → store append
+    → progress update. An individual failure becomes a [Failed] row;
+    only a store I/O error can abort the campaign. *)
+
+type config = {
+  jobs : int;  (** worker domains; 1 = run inline, no domains spawned *)
+  timeout : float option;  (** per-attempt wall-clock seconds *)
+  retries : int;  (** extra attempts after a failure *)
+  store_path : string option;  (** JSONL checkpoint; [None] = in-memory only *)
+  resume : bool;  (** load [store_path] and skip recorded tasks *)
+  rerun_failed : bool;  (** on resume, re-execute tasks recorded [failed] *)
+  report : (string -> unit) option;  (** progress-line sink after each task *)
+}
+
+val default_config : unit -> config
+(** All worker domains the machine recommends, no timeout, no store, no
+    reporting. *)
+
+type row = { task : Task.t; status : Task.status; resumed : bool }
+(** One task's terminal state; [resumed] marks results satisfied from
+    the checkpoint rather than executed by this run. *)
+
+val stderr_report : total:int -> string -> unit
+(** A ready-made [report] sink: rewrites one status line in place when
+    stderr is a tty, otherwise prints ~20 lines over the campaign. *)
+
+val run : config -> exec:(Task.t -> Task.outcome) -> Task.t list -> row list
+(** Execute the campaign; rows come back in task-list order. [exec] must
+    be pure up to its task argument (same task ⇒ same outcome) for
+    resume and parallel determinism to hold, and safe to call from
+    several domains at once. *)
+
+val outcomes : row list -> (Task.t * Task.outcome) list
+(** Successful rows only. *)
+
+val failures : row list -> (Task.t * string) list
+(** Failed rows with their error strings. *)

@@ -1,0 +1,28 @@
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+let run ~jobs ~f tasks =
+  let n = Array.length tasks in
+  let results = Array.make n None in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        results.(i) <- Some (f i tasks.(i));
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let jobs = max 1 (min jobs n) in
+  if jobs = 1 then worker ()
+  else begin
+    let others = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join others
+  end;
+  Array.map
+    (function Some v -> v | None -> invalid_arg "Pool.run: missing result")
+    results
+
+let map ~jobs ~f tasks = run ~jobs ~f:(fun _ x -> f x) tasks

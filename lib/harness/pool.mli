@@ -1,0 +1,25 @@
+(** A work-stealing worker pool over OCaml 5 domains.
+
+    Workers pull task indices from a shared atomic counter, so load
+    balances itself: a worker stuck on a slow task simply stops taking
+    new ones while the others drain the queue. Results land in a slot
+    per task, so the output order is the input order regardless of which
+    domain ran what.
+
+    The callback [f] must be safe to run concurrently from several
+    domains (the harness guarantees this by giving every task its own
+    seeds and serialising shared sinks behind mutexes). An exception
+    escaping [f] tears the pool down — task-level failures must be
+    caught inside [f], which is what {!Runner.guard} is for. *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the default [-j]. *)
+
+val run : jobs:int -> f:(int -> 'a -> 'b) -> 'a array -> 'b array
+(** [run ~jobs ~f tasks] applies [f index task] to every task on
+    [min jobs (length tasks)] domains (clamped to at least 1; [jobs = 1]
+    runs inline on the calling domain, spawning nothing) and returns the
+    results in input order. *)
+
+val map : jobs:int -> f:('a -> 'b) -> 'a array -> 'b array
+(** {!run} without the index. *)

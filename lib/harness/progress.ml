@@ -1,0 +1,84 @@
+type tool_stat = { mutable ratio_sum : float; mutable samples : int }
+
+type t = {
+  total : int;
+  mutable ok : int;
+  mutable failed : int;
+  mutable resumed : int;
+  started : float;
+  tools : (string, tool_stat) Hashtbl.t;
+  mutex : Mutex.t;
+}
+
+let create ~total =
+  {
+    total;
+    ok = 0;
+    failed = 0;
+    resumed = 0;
+    started = Unix.gettimeofday ();
+    tools = Hashtbl.create 8;
+    mutex = Mutex.create ();
+  }
+
+let tool_stat t name =
+  match Hashtbl.find_opt t.tools name with
+  | Some s -> s
+  | None ->
+      let s = { ratio_sum = 0.0; samples = 0 } in
+      Hashtbl.add t.tools name s;
+      s
+
+let record ?ratio ?tool ~ok t =
+  Mutex.protect t.mutex (fun () ->
+      if ok then t.ok <- t.ok + 1 else t.failed <- t.failed + 1;
+      match (tool, ratio) with
+      | Some tool, Some ratio ->
+          let s = tool_stat t tool in
+          s.ratio_sum <- s.ratio_sum +. ratio;
+          s.samples <- s.samples + 1
+      | _ -> ())
+
+let record_resumed t = Mutex.protect t.mutex (fun () -> t.resumed <- t.resumed + 1)
+
+let finished t = t.ok + t.failed + t.resumed
+
+let eta_seconds t =
+  (* Only work done by this process predicts its pace; resumed tasks
+     were free and would skew the estimate. *)
+  let fresh = t.ok + t.failed in
+  let remaining = t.total - finished t in
+  if fresh = 0 || remaining <= 0 then None
+  else
+    let elapsed = Unix.gettimeofday () -. t.started in
+    Some (elapsed /. float_of_int fresh *. float_of_int remaining)
+
+let render t =
+  Mutex.protect t.mutex (fun () ->
+      let b = Buffer.create 96 in
+      Buffer.add_string b
+        (Printf.sprintf "campaign %d/%d ok:%d failed:%d" (finished t) t.total
+           t.ok t.failed);
+      if t.resumed > 0 then
+        Buffer.add_string b (Printf.sprintf " resumed:%d" t.resumed);
+      let gaps =
+        Hashtbl.fold
+          (fun name s acc ->
+            if s.samples > 0 then
+              (name, s.ratio_sum /. float_of_int s.samples) :: acc
+            else acc)
+          t.tools []
+        |> List.sort compare
+      in
+      if gaps <> [] then begin
+        Buffer.add_string b " |";
+        List.iter
+          (fun (name, gap) ->
+            Buffer.add_string b (Printf.sprintf " %s %.1fx" name gap))
+          gaps
+      end;
+      (match eta_seconds t with
+      | Some eta when eta >= 1.0 ->
+          Buffer.add_string b (Printf.sprintf " | eta %.0fs" eta)
+      | _ -> ());
+      Buffer.contents b)

@@ -1,0 +1,30 @@
+(** Live campaign progress: counts, per-tool running gap, ETA.
+
+    A thread-safe accumulator the worker pool reports into; {!render}
+    produces the one-line status the campaign driver reprints as tasks
+    finish, e.g.
+    {v campaign 37/640 ok:35 failed:2 | qmap 11.0x sabre 2.3x | eta 412s v} *)
+
+type t
+
+val create : total:int -> t
+(** Fresh tracker for a campaign of [total] tasks; starts the clock. *)
+
+val record : ?ratio:float -> ?tool:string -> ok:bool -> t -> unit
+(** Count one freshly finished task. When [tool] and [ratio] (the task's
+    [swaps / optimal]) are given, the tool's running mean gap is
+    updated. *)
+
+val record_resumed : t -> unit
+(** Count a task satisfied from the checkpoint store (excluded from the
+    ETA pace estimate — it cost this run nothing). *)
+
+val finished : t -> int
+(** Tasks accounted for so far, resumed ones included. *)
+
+val eta_seconds : t -> float option
+(** Remaining-time estimate from this run's own pace; [None] until a
+    fresh task has finished or once everything is done. *)
+
+val render : t -> string
+(** The status line (no trailing newline). *)

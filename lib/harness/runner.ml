@@ -1,0 +1,48 @@
+type config = { timeout : float option; retries : int }
+
+let default = { timeout = None; retries = 0 }
+
+let run_once ~timeout f =
+  match timeout with
+  | None -> ( try Ok (f ()) with e -> Error (Printexc.to_string e))
+  | Some limit ->
+      (* Run the task on a sibling thread of this worker domain and poll
+         its completion flag against a wall-clock deadline. A task that
+         overruns is reported [Error "timeout ..."] and its thread is
+         abandoned — it cannot be killed, but it owns no shared state
+         (its result cell is private to this call), so siblings and the
+         campaign are unaffected. *)
+      let cell = Atomic.make None in
+      let thread =
+        Thread.create
+          (fun () ->
+            let r = try Ok (f ()) with e -> Error (Printexc.to_string e) in
+            Atomic.set cell (Some r))
+          ()
+      in
+      let deadline = Unix.gettimeofday () +. limit in
+      let rec wait () =
+        match Atomic.get cell with
+        | Some r ->
+            Thread.join thread;
+            r
+        | None ->
+            if Unix.gettimeofday () >= deadline then
+              Error (Printf.sprintf "timeout after %gs" limit)
+            else begin
+              Thread.delay 0.01;
+              wait ()
+            end
+      in
+      wait ()
+
+let run config f =
+  let rec attempt n =
+    match run_once ~timeout:config.timeout f with
+    | Ok v -> Ok v
+    | Error _ when n < config.retries -> attempt (n + 1)
+    | Error e -> Error e
+  in
+  attempt 0
+
+let guard config f = match run config f with Ok o -> Task.Done o | Error e -> Task.Failed e

@@ -1,0 +1,37 @@
+(** Per-task isolation: exceptions, wall-clock timeouts, bounded retry.
+
+    A diverging or crashing router must cost the campaign one [failed]
+    line, not the run. {!guard} wraps a task body so that any exception
+    becomes {!Task.Failed} with the exception string, and (when a
+    timeout is configured) a task overrunning its wall-clock budget is
+    reported [Failed "timeout after Ns"].
+
+    Timeouts are implemented by running the body on a sibling thread of
+    the worker domain and polling a completion flag against the
+    deadline. OCaml threads cannot be killed, so a body that overruns is
+    {e abandoned}: its failure is recorded immediately and the worker
+    moves on, but the thread keeps running until it returns on its own
+    (its result is discarded; no shared state leaks). Two consequences
+    worth knowing: the abandoned thread shares its domain's runtime
+    lock, slowing that worker until it finishes; and [Domain.join] at
+    the end of the campaign waits for any thread still running, so a
+    {e truly} divergent task delays final exit even though every result
+    is already checkpointed — killing that campaign and rerunning with
+    resume completes it instantly. This trades a bounded leak for
+    campaign progress — the right trade for an overnight evaluation
+    sweep. *)
+
+type config = {
+  timeout : float option;  (** wall-clock seconds per attempt *)
+  retries : int;  (** extra attempts after a failure (default 0) *)
+}
+
+val default : config
+(** No timeout, no retries. *)
+
+val run : config -> (unit -> 'a) -> ('a, string) result
+(** Run one task body under the config; [Error] carries the exception
+    string or timeout message of the last attempt. *)
+
+val guard : config -> (unit -> Task.outcome) -> Task.status
+(** {!run} mapped onto {!Task.status} — the worker-loop entry point. *)

@@ -1,0 +1,196 @@
+type entry = { task_id : string; status : Task.status }
+
+type t = {
+  path : string;
+  oc : out_channel;
+  mutex : Mutex.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* A minimal flat-JSON codec. Lines are objects of string and number   *)
+(* fields only, which is all the store ever writes; hand-rolling it    *)
+(* keeps the harness dependency-free.                                  *)
+(* ------------------------------------------------------------------ *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let line_of_entry e =
+  match e.status with
+  | Task.Done o ->
+      Printf.sprintf {|{"id":"%s","status":"ok","swaps":%d,"seconds":%.6f}|}
+        (escape e.task_id) o.Task.swaps o.Task.seconds
+  | Task.Failed msg ->
+      Printf.sprintf {|{"id":"%s","status":"failed","error":"%s"}|}
+        (escape e.task_id) (escape msg)
+
+exception Malformed
+
+(* Parse one flat JSON object into an association list; string values are
+   unescaped, numbers returned as raw text. Raises [Malformed] on
+   anything else — {!load} treats such lines (e.g. a half-written final
+   line after a kill) as absent. *)
+let fields_of_line line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some line.[!pos] else None in
+  let skip_ws () =
+    while !pos < n && (line.[!pos] = ' ' || line.[!pos] = '\t') do incr pos done
+  in
+  let expect c =
+    skip_ws ();
+    if peek () = Some c then incr pos else raise Malformed
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then raise Malformed;
+      match line.[!pos] with
+      | '"' -> incr pos
+      | '\\' ->
+          if !pos + 1 >= n then raise Malformed;
+          (match line.[!pos + 1] with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | 'n' -> Buffer.add_char b '\n'
+          | 'r' -> Buffer.add_char b '\r'
+          | 't' -> Buffer.add_char b '\t'
+          | 'u' ->
+              if !pos + 5 >= n then raise Malformed;
+              let code =
+                try int_of_string ("0x" ^ String.sub line (!pos + 2) 4)
+                with _ -> raise Malformed
+              in
+              Buffer.add_char b (Char.chr (code land 0xff));
+              pos := !pos + 4
+          | _ -> raise Malformed);
+          pos := !pos + 2;
+          go ()
+      | c ->
+          Buffer.add_char b c;
+          incr pos;
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    while
+      !pos < n
+      && (match line.[!pos] with
+         | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+         | _ -> false)
+    do
+      incr pos
+    done;
+    if !pos = start then raise Malformed;
+    String.sub line start (!pos - start)
+  in
+  expect '{';
+  let rec members acc =
+    skip_ws ();
+    match peek () with
+    | Some '}' ->
+        incr pos;
+        List.rev acc
+    | _ ->
+        let key = parse_string () in
+        expect ':';
+        skip_ws ();
+        let value =
+          match peek () with
+          | Some '"' -> parse_string ()
+          | Some _ -> parse_number ()
+          | None -> raise Malformed
+        in
+        skip_ws ();
+        if peek () = Some ',' then incr pos;
+        members ((key, value) :: acc)
+  in
+  members []
+
+let entry_of_line line =
+  match fields_of_line line with
+  | exception Malformed -> None
+  | fields -> (
+      match (List.assoc_opt "id" fields, List.assoc_opt "status" fields) with
+      | Some task_id, Some "ok" -> (
+          match
+            ( List.assoc_opt "swaps" fields,
+              List.assoc_opt "seconds" fields )
+          with
+          | Some swaps, Some seconds -> (
+              try
+                Some
+                  {
+                    task_id;
+                    status =
+                      Task.Done
+                        {
+                          Task.swaps = int_of_string swaps;
+                          seconds = float_of_string seconds;
+                        };
+                  }
+              with _ -> None)
+          | _ -> None)
+      | Some task_id, Some "failed" ->
+          let msg = Option.value ~default:"" (List.assoc_opt "error" fields) in
+          Some { task_id; status = Task.Failed msg }
+      | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Store operations                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let load path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let rec lines acc =
+      match input_line ic with
+      | line -> lines (match entry_of_line line with
+          | Some e -> e :: acc
+          | None -> acc)
+      | exception End_of_file -> List.rev acc
+    in
+    let entries = lines [] in
+    close_in ic;
+    entries
+  end
+
+let completed entries =
+  let tbl = Hashtbl.create (List.length entries) in
+  List.iter (fun e -> Hashtbl.replace tbl e.task_id e.status) entries;
+  tbl
+
+let open_append path =
+  let oc =
+    open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
+  in
+  { path; oc; mutex = Mutex.create () }
+
+let append t entry =
+  (* One buffered write of the whole line then a flush, under the mutex:
+     concurrent workers never interleave within a line, and a kill can
+     only ever truncate the final line (which [load] then ignores). *)
+  Mutex.protect t.mutex (fun () ->
+      output_string t.oc (line_of_entry entry ^ "\n");
+      flush t.oc)
+
+let close t = close_out t.oc
+let path t = t.path

@@ -1,0 +1,37 @@
+(** Append-only JSONL result store — the campaign checkpoint.
+
+    Every finished task appends one self-contained JSON line keyed by
+    its {!Task.id}. Lines are written whole (single buffered write +
+    flush under a mutex), so concurrent workers never interleave and a
+    killed campaign leaves at worst one truncated final line, which
+    {!load} silently skips. Restarting with the same store therefore
+    resumes exactly where the previous run stopped.
+
+    Line schema:
+    {v
+    {"id":"aspen4/s5/c0/sabre/g300/q0/t5/r1","status":"ok","swaps":12,"seconds":0.41}
+    {"id":"aspen4/s5/c1/tket/g300/q0/t5/r1","status":"failed","error":"..."}
+    v} *)
+
+type entry = { task_id : string; status : Task.status }
+
+type t
+(** An open store handle (append mode). *)
+
+val load : string -> entry list
+(** Parse an existing store in file order; a missing file is an empty
+    store, malformed lines are dropped. *)
+
+val completed : entry list -> (string, Task.status) Hashtbl.t
+(** Index entries by task id; when a task appears more than once (e.g. a
+    retried campaign) the last line wins. *)
+
+val open_append : string -> t
+(** Open for appending, creating the file if needed. *)
+
+val append : t -> entry -> unit
+(** Atomically append one result line and flush. Thread- and
+    domain-safe. *)
+
+val close : t -> unit
+val path : t -> string

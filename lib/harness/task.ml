@@ -1,0 +1,37 @@
+type t = {
+  device : string;
+  n_swaps : int;
+  circuit : int;
+  tool : string;
+  gate_budget : int;
+  single_qubit_ratio : float;
+  sabre_trials : int;
+  base_seed : int;
+}
+
+type outcome = { swaps : int; seconds : float }
+type status = Done of outcome | Failed of string
+
+let id t =
+  Printf.sprintf "%s/s%d/c%d/%s/g%d/q%g/t%d/r%d" t.device t.n_swaps t.circuit
+    t.tool t.gate_budget t.single_qubit_ratio t.sabre_trials t.base_seed
+
+let circuit_seed t = t.base_seed + (1000 * t.n_swaps) + t.circuit
+
+(* FNV-1a over the task id, folded with the base seed. Pure arithmetic on
+   a stable string, so the stream a task draws from is a function of the
+   task alone — never of which worker ran it or in what order. *)
+let rng_seed t =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0x3FFFFFFF)
+    (id t);
+  !h lxor (t.base_seed land 0x3FFFFFFF)
+
+let ratio ~task outcome =
+  if task.n_swaps <= 0 then None
+  else Some (float_of_int outcome.swaps /. float_of_int task.n_swaps)
+
+let pp_status ppf = function
+  | Done o -> Format.fprintf ppf "done (%d swaps, %.2fs)" o.swaps o.seconds
+  | Failed e -> Format.fprintf ppf "failed (%s)" e

@@ -1,0 +1,47 @@
+(** One unit of campaign work: route one generated instance with one tool.
+
+    A task is a pure description — device name, designed SWAP count,
+    circuit index within the point, tool name, and the generation
+    parameters — so it can be serialised into the result store, compared
+    across runs, and re-executed bit-identically. Execution itself is
+    injected by the consumer (see {!Campaign.run}); this library never
+    depends on the generator or the routers. *)
+
+type t = {
+  device : string;  (** architecture name, e.g. ["aspen4"] *)
+  n_swaps : int;  (** designed optimal SWAP count of the point *)
+  circuit : int;  (** circuit index within the point, [0 ..] *)
+  tool : string;  (** registry name of the tool, e.g. ["sabre"] *)
+  gate_budget : int;
+  single_qubit_ratio : float;
+  sabre_trials : int;
+  base_seed : int;  (** campaign-wide seed all per-task seeds derive from *)
+}
+
+type outcome = { swaps : int; seconds : float }
+(** A successful routing: verified SWAP count and wall-clock seconds. *)
+
+type status = Done of outcome | Failed of string
+(** Terminal state of a task; [Failed] carries the exception string or
+    ["timeout after Ns"]. *)
+
+val id : t -> string
+(** Stable identifier encoding every field that affects the result; the
+    key used for checkpoint/resume in {!Store}. *)
+
+val circuit_seed : t -> int
+(** Seed for generating this task's instance:
+    [base_seed + 1000 * n_swaps + circuit] — the same derivation the
+    sequential suite generator uses, so instance [i] of a point is the
+    same circuit no matter which path produced it. *)
+
+val rng_seed : t -> int
+(** Seed for the tool's own randomness, derived by hashing {!id} with
+    [base_seed]. A pure function of the task, so results are
+    bit-identical regardless of scheduling order or worker count. *)
+
+val ratio : task:t -> outcome -> float option
+(** [swaps / n_swaps], the running optimality-gap sample this task
+    contributes; [None] when [n_swaps <= 0]. *)
+
+val pp_status : Format.formatter -> status -> unit

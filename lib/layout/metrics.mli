@@ -13,6 +13,11 @@ val swap_ratio : optimal:int -> swap_counts:int list -> float
 val mean : float list -> float
 (** Arithmetic mean. @raise Invalid_argument on empty input. *)
 
+val mean_opt : float list -> float option
+(** Arithmetic mean, or [None] on empty input — for aggregation paths
+    (campaign points where every task failed) that must skip rather than
+    die. *)
+
 val geometric_mean : float list -> float
 (** Geometric mean of positive values — used for cross-architecture
     summaries where ratios span orders of magnitude.

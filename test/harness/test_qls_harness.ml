@@ -1,0 +1,433 @@
+(* Tests for the Qls_harness campaign engine: task identity and seed
+   derivation, the JSONL checkpoint store, the domain pool, per-task
+   isolation (exceptions and timeouts), scheduling-independence of
+   results, and resume-from-checkpoint. *)
+
+module Task = Qls_harness.Task
+module Pool = Qls_harness.Pool
+module Store = Qls_harness.Store
+module Runner = Qls_harness.Runner
+module Progress = Qls_harness.Progress
+module Campaign = Qls_harness.Campaign
+module Topologies = Qls_arch.Topologies
+module Metrics = Qls_layout.Metrics
+module Sabre = Qls_router.Sabre
+module Evaluation = Qubikos.Evaluation
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+let test_case name f = Alcotest.test_case name `Quick f
+
+let mk_task ?(device = "grid3x3") ?(n_swaps = 2) ?(circuit = 0)
+    ?(tool = "sabre") ?(gate_budget = 30) ?(sabre_trials = 2) ?(base_seed = 0)
+    () =
+  {
+    Task.device;
+    n_swaps;
+    circuit;
+    tool;
+    gate_budget;
+    single_qubit_ratio = 0.0;
+    sabre_trials;
+    base_seed;
+  }
+
+let fresh_store_path () =
+  let path = Filename.temp_file "qls_harness_test" ".jsonl" in
+  Sys.remove path;
+  path
+
+(* A deterministic synthetic workload: outcome is a pure function of the
+   task, like real routing, but instant. *)
+let synthetic_exec task =
+  { Task.swaps = Task.rng_seed task mod 97; seconds = 0.0 }
+
+(* ------------------------------------------------------------------ *)
+(* Task                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let task_tests =
+  [
+    test_case "id distinguishes every field that affects the result"
+      (fun () ->
+        let base = mk_task () in
+        let variants =
+          [
+            mk_task ~device:"aspen4" ();
+            mk_task ~n_swaps:3 ();
+            mk_task ~circuit:1 ();
+            mk_task ~tool:"tket" ();
+            mk_task ~gate_budget:40 ();
+            mk_task ~sabre_trials:5 ();
+            mk_task ~base_seed:1 ();
+          ]
+        in
+        List.iter
+          (fun v ->
+            check_bool "distinct id" true (Task.id v <> Task.id base))
+          variants);
+    test_case "circuit seed matches the sequential suite derivation"
+      (fun () ->
+        let t = mk_task ~n_swaps:3 ~circuit:2 ~base_seed:7 () in
+        check_int "seed" (7 + 3000 + 2) (Task.circuit_seed t));
+    test_case "rng seed is a stable pure function of the task" (fun () ->
+        let t = mk_task () in
+        check_int "stable" (Task.rng_seed t) (Task.rng_seed t);
+        check_bool "tool changes the stream" true
+          (Task.rng_seed t <> Task.rng_seed (mk_task ~tool:"qmap" ())));
+    test_case "ratio divides by the designed optimum" (fun () ->
+        let t = mk_task ~n_swaps:4 () in
+        match Task.ratio ~task:t { Task.swaps = 10; seconds = 0.0 } with
+        | Some r -> Alcotest.(check (float 1e-9)) "ratio" 2.5 r
+        | None -> Alcotest.fail "expected a ratio");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Store                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let store_tests =
+  [
+    test_case "round trip preserves ok and failed entries" (fun () ->
+        let path = fresh_store_path () in
+        let store = Store.open_append path in
+        Store.append store
+          {
+            Store.task_id = "a/1";
+            status = Task.Done { Task.swaps = 12; seconds = 0.5 };
+          };
+        Store.append store
+          { Store.task_id = "a/2"; status = Task.Failed "boom \"quoted\"\n" };
+        Store.close store;
+        (match Store.load path with
+        | [ e1; e2 ] ->
+            check_string "id 1" "a/1" e1.Store.task_id;
+            (match e1.Store.status with
+            | Task.Done o -> check_int "swaps" 12 o.Task.swaps
+            | Task.Failed _ -> Alcotest.fail "entry 1 should be ok");
+            (match e2.Store.status with
+            | Task.Failed msg ->
+                check_string "escape round trip" "boom \"quoted\"\n" msg
+            | Task.Done _ -> Alcotest.fail "entry 2 should be failed")
+        | es ->
+            Alcotest.failf "expected 2 entries, got %d" (List.length es));
+        Sys.remove path);
+    test_case "a truncated final line is ignored, earlier lines survive"
+      (fun () ->
+        let path = fresh_store_path () in
+        let store = Store.open_append path in
+        Store.append store
+          {
+            Store.task_id = "ok";
+            status = Task.Done { Task.swaps = 1; seconds = 0.1 };
+          };
+        Store.close store;
+        let oc = open_out_gen [ Open_append ] 0o644 path in
+        output_string oc {|{"id":"half","status":"o|};
+        close_out oc;
+        check_int "one entry" 1 (List.length (Store.load path));
+        Sys.remove path);
+    test_case "completed keeps the last entry per task" (fun () ->
+        let completed =
+          Store.completed
+            [
+              { Store.task_id = "t"; status = Task.Failed "first" };
+              {
+                Store.task_id = "t";
+                status = Task.Done { Task.swaps = 3; seconds = 0.2 };
+              };
+            ]
+        in
+        match Hashtbl.find_opt completed "t" with
+        | Some (Task.Done o) -> check_int "last wins" 3 o.Task.swaps
+        | _ -> Alcotest.fail "expected the ok entry");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let pool_tests =
+  [
+    test_case "parallel map equals sequential map, in order" (fun () ->
+        let tasks = Array.init 50 Fun.id in
+        let f x = (x * 37) mod 101 in
+        let seq = Pool.map ~jobs:1 ~f tasks in
+        let par = Pool.map ~jobs:4 ~f tasks in
+        Alcotest.(check (array int)) "identical" seq par);
+    test_case "more workers than tasks is fine" (fun () ->
+        let r = Pool.map ~jobs:8 ~f:succ [| 1; 2 |] in
+        Alcotest.(check (array int)) "results" [| 2; 3 |] r);
+    test_case "empty input" (fun () ->
+        check_int "no results" 0 (Array.length (Pool.map ~jobs:4 ~f:succ [||])));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Runner                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let runner_tests =
+  [
+    test_case "an exception becomes an error string" (fun () ->
+        match Runner.run Runner.default (fun () -> failwith "kaput") with
+        | Error msg ->
+            check_bool "mentions the exception" true
+              (String.length msg > 0
+              && String.index_opt msg 'k' <> None)
+        | Ok _ -> Alcotest.fail "expected an error");
+    test_case "a slow task exceeds its wall-clock budget" (fun () ->
+        match
+          Runner.run
+            { Runner.timeout = Some 0.05; retries = 0 }
+            (fun () -> Thread.delay 0.3)
+        with
+        | Error msg ->
+            check_bool "timeout message" true
+              (String.length msg >= 7 && String.sub msg 0 7 = "timeout")
+        | Ok () -> Alcotest.fail "expected a timeout");
+    test_case "a fast task under a timeout succeeds" (fun () ->
+        match
+          Runner.run { Runner.timeout = Some 5.0; retries = 0 } (fun () -> 42)
+        with
+        | Ok v -> check_int "result" 42 v
+        | Error e -> Alcotest.failf "unexpected error: %s" e);
+    test_case "bounded retry recovers a flaky task" (fun () ->
+        let attempts = Atomic.make 0 in
+        let flaky () =
+          if Atomic.fetch_and_add attempts 1 < 2 then failwith "flaky" else 7
+        in
+        (match Runner.run { Runner.timeout = None; retries = 2 } flaky with
+        | Ok v -> check_int "third attempt" 7 v
+        | Error e -> Alcotest.failf "unexpected error: %s" e);
+        check_int "attempts" 3 (Atomic.get attempts));
+    test_case "retry budget exhausts" (fun () ->
+        match
+          Runner.run
+            { Runner.timeout = None; retries = 1 }
+            (fun () -> failwith "always")
+        with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected exhaustion");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Campaign                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let campaign_config ?(jobs = 1) ?timeout ?store_path ?(resume = false) () =
+  {
+    (Campaign.default_config ()) with
+    jobs;
+    timeout;
+    store_path;
+    resume;
+    report = None;
+  }
+
+let synthetic_tasks n =
+  List.init n (fun i ->
+      mk_task ~circuit:(i / 4)
+        ~tool:(List.nth [ "sabre"; "mlqls"; "qmap"; "tket" ] (i mod 4))
+        ())
+
+let swaps_of_rows rows =
+  List.map
+    (fun r ->
+      match r.Campaign.status with
+      | Task.Done o -> (Task.id r.Campaign.task, o.Task.swaps)
+      | Task.Failed msg -> Alcotest.failf "unexpected failure: %s" msg)
+    rows
+
+let campaign_tests =
+  [
+    test_case "pool results are identical to sequential execution" (fun () ->
+        let tasks = synthetic_tasks 32 in
+        let seq =
+          Campaign.run (campaign_config ~jobs:1 ()) ~exec:synthetic_exec tasks
+        in
+        let par =
+          Campaign.run (campaign_config ~jobs:4 ()) ~exec:synthetic_exec tasks
+        in
+        Alcotest.(check (list (pair string int)))
+          "scheduling independent" (swaps_of_rows seq) (swaps_of_rows par));
+    test_case "routing campaign is scheduling independent (real tools)"
+      (fun () ->
+        let device = Topologies.grid 3 3 in
+        let config =
+          {
+            (Evaluation.default_figure_config device) with
+            swap_counts = [ 1; 2 ];
+            circuits_per_point = 2;
+            gate_budget = 25;
+            sabre_trials = 2;
+          }
+        in
+        let tools =
+          [ Sabre.router ~options:(Sabre.with_trials 2 Sabre.default_options) () ]
+        in
+        let rows jobs = Evaluation.run_campaign ~tools ~jobs ~config device in
+        Alcotest.(check (list (pair string int)))
+          "jobs=1 equals jobs=3"
+          (swaps_of_rows (rows 1))
+          (swaps_of_rows (rows 3)));
+    test_case "resume skips exactly the completed task set" (fun () ->
+        let tasks = synthetic_tasks 16 in
+        let first, rest =
+          List.filteri (fun i _ -> i < 6) tasks,
+          List.filteri (fun i _ -> i >= 6) tasks
+        in
+        let path = fresh_store_path () in
+        let executed = Atomic.make 0 in
+        let counting_exec t =
+          Atomic.incr executed;
+          synthetic_exec t
+        in
+        (* First (killed) run: only 6 tasks reach the store. *)
+        ignore
+          (Campaign.run
+             (campaign_config ~store_path:path ())
+             ~exec:counting_exec first);
+        check_int "checkpoint has the first batch" 6
+          (List.length (Store.load path));
+        (* Resumed run over the full set. *)
+        Atomic.set executed 0;
+        let rows =
+          Campaign.run
+            (campaign_config ~jobs:2 ~store_path:path ~resume:true ())
+            ~exec:counting_exec tasks
+        in
+        check_int "only the remainder executed" (List.length rest)
+          (Atomic.get executed);
+        check_int "store now covers every task" (List.length tasks)
+          (List.length (Store.load path));
+        let resumed, fresh =
+          List.partition (fun r -> r.Campaign.resumed) rows
+        in
+        check_int "resumed rows" 6 (List.length resumed);
+        check_int "fresh rows" (List.length rest) (List.length fresh);
+        (* Resumed results agree with what a fresh run would compute. *)
+        List.iter
+          (fun r ->
+            match r.Campaign.status with
+            | Task.Done o ->
+                check_int "resumed result is the computed result"
+                  (synthetic_exec r.Campaign.task).Task.swaps o.Task.swaps
+            | Task.Failed msg -> Alcotest.failf "unexpected failure: %s" msg)
+          rows;
+        Sys.remove path);
+    test_case "a raising task fails alone, siblings are unharmed" (fun () ->
+        let tasks = synthetic_tasks 12 in
+        let poison = Task.id (List.nth tasks 5) in
+        let exec t =
+          if Task.id t = poison then failwith "router exploded"
+          else synthetic_exec t
+        in
+        let rows = Campaign.run (campaign_config ~jobs:3 ()) ~exec tasks in
+        check_int "one failure" 1 (List.length (Campaign.failures rows));
+        check_int "rest succeeded" 11 (List.length (Campaign.outcomes rows));
+        match (List.nth rows 5).Campaign.status with
+        | Task.Failed msg ->
+            check_bool "carries the exception" true
+              (String.length msg > 0)
+        | Task.Done _ -> Alcotest.fail "poisoned task should fail");
+    test_case "a task over its timeout fails alone" (fun () ->
+        let tasks = synthetic_tasks 8 in
+        let slow = Task.id (List.nth tasks 2) in
+        let exec t =
+          if Task.id t = slow then Thread.delay 0.4;
+          synthetic_exec t
+        in
+        let rows =
+          Campaign.run
+            (campaign_config ~jobs:2 ~timeout:0.05 ())
+            ~exec tasks
+        in
+        (match (List.nth rows 2).Campaign.status with
+        | Task.Failed msg ->
+            check_bool "timeout reported" true
+              (String.length msg >= 7 && String.sub msg 0 7 = "timeout")
+        | Task.Done _ -> Alcotest.fail "slow task should time out");
+        check_int "siblings unharmed" 7 (List.length (Campaign.outcomes rows)));
+    test_case "progress tracks counts and per-tool gaps" (fun () ->
+        let p = Progress.create ~total:4 in
+        Progress.record ~ratio:2.0 ~tool:"sabre" ~ok:true p;
+        Progress.record ~ratio:4.0 ~tool:"sabre" ~ok:true p;
+        Progress.record ~tool:"tket" ~ok:false p;
+        Progress.record_resumed p;
+        check_int "finished" 4 (Progress.finished p);
+        let line = Progress.render p in
+        check_bool "mentions the mean gap" true
+          (let re = "sabre 3.0x" in
+           let rec contains i =
+             i + String.length re <= String.length line
+             && (String.sub line i (String.length re) = re || contains (i + 1))
+           in
+           contains 0));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation resilience (Metrics.mean_opt + empty-point skip)        *)
+(* ------------------------------------------------------------------ *)
+
+let aggregation_tests =
+  [
+    test_case "mean_opt is None on empty, mean otherwise" (fun () ->
+        check_bool "empty" true (Metrics.mean_opt [] = None);
+        match Metrics.mean_opt [ 2.0; 4.0 ] with
+        | Some m -> Alcotest.(check (float 1e-9)) "mean" 3.0 m
+        | None -> Alcotest.fail "expected a mean");
+    test_case "a point whose tasks all failed is skipped, not fatal"
+      (fun () ->
+        let device = Topologies.grid 3 3 in
+        let config =
+          {
+            (Evaluation.default_figure_config device) with
+            swap_counts = [ 2 ];
+            circuits_per_point = 2;
+            gate_budget = 25;
+          }
+        in
+        let tasks = Evaluation.campaign_tasks ~config device in
+        (* Every tool except sabre dies; aggregation must survive and
+           produce only the sabre point. *)
+        let exec t =
+          if t.Task.tool <> "sabre" then failwith "down"
+          else synthetic_exec t
+        in
+        let rows =
+          Campaign.run (campaign_config ~jobs:2 ()) ~exec tasks
+        in
+        let points = Evaluation.aggregate_campaign ~config ~device rows in
+        check_int "only the surviving tool" 1 (List.length points);
+        check_string "it is sabre" "sabre"
+          (List.hd points).Evaluation.tool_name);
+    test_case "all tasks failing aggregates to an empty figure" (fun () ->
+        let device = Topologies.grid 3 3 in
+        let config =
+          {
+            (Evaluation.default_figure_config device) with
+            swap_counts = [ 1 ];
+            circuits_per_point = 1;
+          }
+        in
+        let tasks = Evaluation.campaign_tasks ~config device in
+        let rows =
+          Campaign.run (campaign_config ())
+            ~exec:(fun _ -> failwith "everything is broken")
+            tasks
+        in
+        check_int "no points, no exception" 0
+          (List.length (Evaluation.aggregate_campaign ~config ~device rows)));
+  ]
+
+let () =
+  Alcotest.run "qls_harness"
+    [
+      ("task", task_tests);
+      ("store", store_tests);
+      ("pool", pool_tests);
+      ("runner", runner_tests);
+      ("campaign", campaign_tests);
+      ("aggregation", aggregation_tests);
+    ]
