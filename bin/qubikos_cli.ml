@@ -204,27 +204,38 @@ let route_cmd =
           (String.concat ", " Registry.names);
         2
     | Some router -> (
-        let circuit, optimal =
+        let parsed =
           match input with
-          | Some path -> (Qasm.read_file path, None)
+          | Some path -> (
+              (* A malformed file is a clean, line-numbered diagnostic —
+                 not a backtrace. *)
+              match Qasm.read_file_result path with
+              | Ok circuit -> Ok (circuit, None)
+              | Error e ->
+                  Error (Printf.sprintf "%s: %s" path (Qasm.error_to_string e)))
           | None ->
               let bench =
                 Generator.generate ~config:(config_of device ~n_swaps ~gates ~seed) device
               in
               Format.printf "%a@." Benchmark.pp_summary bench;
-              (bench.Benchmark.circuit, Some bench.Benchmark.optimal_swaps)
+              Ok (bench.Benchmark.circuit, Some bench.Benchmark.optimal_swaps)
         in
-        let t0 = Unix.gettimeofday () in
-        let _, report = Router.run_verified router device circuit in
-        let dt = Unix.gettimeofday () -. t0 in
-        Format.printf "%s: %d swaps, depth %d, %.2fs (result verified)@." tool
-          report.Verifier.swap_count report.Verifier.depth dt;
-        (match optimal with
-        | Some opt ->
-            Format.printf "optimal: %d swaps -> ratio %.2fx@." opt
-              (float_of_int report.Verifier.swap_count /. float_of_int opt)
-        | None -> ());
-        0)
+        match parsed with
+        | Error msg ->
+            Format.eprintf "route: %s@." msg;
+            2
+        | Ok (circuit, optimal) ->
+            let t0 = Unix.gettimeofday () in
+            let _, report = Router.run_verified router device circuit in
+            let dt = Unix.gettimeofday () -. t0 in
+            Format.printf "%s: %d swaps, depth %d, %.2fs (result verified)@." tool
+              report.Verifier.swap_count report.Verifier.depth dt;
+            (match optimal with
+            | Some opt ->
+                Format.printf "optimal: %d swaps -> ratio %.2fx@." opt
+                  (float_of_int report.Verifier.swap_count /. float_of_int opt)
+            | None -> ());
+            0)
   in
   let doc = "Run a layout-synthesis tool and verify its output." in
   Cmd.v (Cmd.info "route" ~doc)
@@ -322,7 +333,68 @@ let campaign_cmd =
   let retries =
     Arg.(
       value & opt int 0
-      & info [ "retries" ] ~docv:"N" ~doc:"Extra attempts for a failed task.")
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Extra attempts for a task that failed with a retryable \
+             (transient/timeout) error; permanent errors are never \
+             retried.")
+  in
+  let backoff =
+    Arg.(
+      value & opt (some float) None
+      & info [ "backoff" ] ~docv:"SEC"
+          ~doc:
+            "Base retry backoff: attempt n sleeps backoff*2^n seconds \
+             (deterministically jittered per task) before re-running.")
+  in
+  let failure_budget =
+    Arg.(
+      value & opt (some float) None
+      & info [ "failure-budget" ] ~docv:"RATE"
+          ~doc:
+            "Abort the campaign early when the fraction of freshly failed \
+             tasks exceeds RATE (in 0..1) — a doomed sweep stops in \
+             minutes; unstarted tasks are left out of the store so \
+             $(b,--resume) re-runs them.")
+  in
+  let degrade =
+    Arg.(
+      value & flag
+      & info [ "degrade" ]
+          ~doc:
+            "When a tool fails (after retries), fall back along the \
+             degradation chain (exact/olsq -> sabre, qmap -> tket -> \
+             sabre) and record the result as degraded — coverage is \
+             kept, and degraded points stay distinguishable from the \
+             tool's own results.")
+  in
+  let fsync =
+    Arg.(
+      value & flag
+      & info [ "fsync" ]
+          ~doc:
+            "fsync the store after every append: the checkpoint survives \
+             power loss, at a per-task latency cost.")
+  in
+  let compact =
+    Arg.(
+      value & flag
+      & info [ "compact" ]
+          ~doc:
+            "After the campaign, rewrite the store dropping superseded \
+             and corrupt lines (corrupt ones are preserved in \
+             FILE.quarantine); the rewrite is published atomically.")
+  in
+  let inject =
+    Arg.(
+      value & opt (some string) None
+      & info [ "inject" ] ~docv:"SPEC"
+          ~doc:
+            (Printf.sprintf
+               "Arm the deterministic fault-injection plan SPEC for this \
+                run (chaos testing): %s. Example: \
+                seed=7;runner.exec:transient:0.3;store.append:torn:0.2"
+               Qls_faults.spec_help))
   in
   let out =
     Arg.(
@@ -347,8 +419,8 @@ let campaign_cmd =
              failed (e.g. after raising $(b,--timeout)) instead of keeping \
              their failure.")
   in
-  let run device circuits trials counts full seed jobs timeout retries out
-      resume rerun_failed =
+  let run device circuits trials counts full seed jobs timeout retries backoff
+      failure_budget degrade fsync compact inject out resume rerun_failed =
     let store =
       match (out, resume) with
       | Some o, Some r when o <> r ->
@@ -365,11 +437,24 @@ let campaign_cmd =
           else Ok (Some o, false)
       | None, None -> Ok (None, false)
     in
-    match store with
-    | Error msg ->
+    let injection =
+      match inject with
+      | None -> Ok Qls_faults.none
+      | Some spec -> (
+          match Qls_faults.parse spec with
+          | Ok plan -> Ok plan
+          | Error msg -> Error (Printf.sprintf "bad --inject spec: %s" msg))
+    in
+    match (store, injection) with
+    | Error msg, _ | _, Error msg ->
         Format.eprintf "campaign: %s@." msg;
         2
-    | Ok (store, do_resume) ->
+    | Ok (store, do_resume), Ok plan ->
+        if not (Qls_faults.is_none plan) then begin
+          Qls_faults.install plan;
+          Format.eprintf "campaign: fault injection armed: %s@."
+            (Qls_faults.to_string plan)
+        end;
         let config =
           if full then Evaluation.paper_figure_config device
           else
@@ -383,25 +468,51 @@ let campaign_cmd =
         in
         let t0 = Unix.gettimeofday () in
         let rows =
-          Evaluation.run_campaign ~jobs ?timeout ~retries ?store
-            ~resume:do_resume ~rerun_failed ~progress:true ~config device
+          Evaluation.run_campaign ~jobs ?timeout ~retries ?backoff ?store
+            ~resume:do_resume ~rerun_failed ~fsync ?failure_budget ~degrade
+            ~progress:true ~config device
         in
+        Qls_faults.clear ();
         let elapsed = Unix.gettimeofday () -. t0 in
         let failures = Qls_harness.Campaign.failures rows in
+        let degraded_rows = Qls_harness.Campaign.degraded rows in
         let resumed =
           List.length
             (List.filter (fun r -> r.Qls_harness.Campaign.resumed) rows)
         in
         Format.printf
-          "campaign: %d tasks (%d resumed, %d failed) on %d worker(s) in \
-           %.1fs@."
-          (List.length rows) resumed (List.length failures) jobs elapsed;
+          "campaign: %d tasks (%d resumed, %d degraded, %d failed) on %d \
+           worker(s) in %.1fs@."
+          (List.length rows) resumed
+          (List.length degraded_rows)
+          (List.length failures) jobs elapsed;
+        (match Qls_harness.Campaign.aborted rows with
+        | Some why -> Format.eprintf "campaign aborted early: %s@." why
+        | None -> ());
         List.iter
-          (fun (task, msg) ->
-            Format.eprintf "failed %s: %s@." (Qls_harness.Task.id task) msg)
+          (fun (task, d) ->
+            Format.eprintf "degraded %s via %s: %s@."
+              (Qls_harness.Task.id task)
+              d.Qls_harness.Task.via
+              (Qls_harness.Herror.to_string d.Qls_harness.Task.error))
+          degraded_rows;
+        List.iter
+          (fun (task, err) ->
+            Format.eprintf "failed %s: %s@."
+              (Qls_harness.Task.id task)
+              (Qls_harness.Herror.to_string err))
           failures;
         (match store with
-        | Some path -> Format.printf "store: %s@." path
+        | Some path ->
+            Format.printf "store: %s@." path;
+            if compact then begin
+              let stats = Qls_harness.Store.compact path in
+              Format.printf
+                "compacted: %d kept, %d superseded dropped, %d corrupt \
+                 quarantined@."
+                stats.Qls_harness.Store.kept stats.Qls_harness.Store.superseded
+                stats.Qls_harness.Store.quarantined
+            end
         | None -> ());
         let points = Evaluation.aggregate_campaign ~config ~device rows in
         Format.printf "@[<v>%a@]@." Evaluation.pp_points points;
@@ -413,12 +524,13 @@ let campaign_cmd =
   in
   let doc =
     "Run a Fig.-4 panel as a parallel, checkpointed campaign (resumable \
-     with $(b,--resume))."
+     with $(b,--resume), chaos-testable with $(b,--inject))."
   in
   Cmd.v (Cmd.info "campaign" ~doc)
     Term.(
       const run $ arch $ circuits $ trials $ counts $ full $ seed $ jobs
-      $ timeout $ retries $ out $ resume $ rerun_failed)
+      $ timeout $ retries $ backoff $ failure_budget $ degrade $ fsync
+      $ compact $ inject $ out $ resume $ rerun_failed)
 
 (* ------------------------------------------------------------------ *)
 (* study                                                               *)

@@ -12,7 +12,18 @@ let to_string c =
     (Circuit.gates c);
   Buffer.contents buf
 
-let fail line_no msg = failwith (Printf.sprintf "Qasm: line %d: %s" line_no msg)
+type error = { line : int; message : string }
+
+exception Parse_error of error
+
+let error_to_string e =
+  if e.line > 0 then Printf.sprintf "line %d: %s" e.line e.message
+  else e.message
+
+let pp_error ppf e = Format.pp_print_string ppf (error_to_string e)
+
+let fail line message = raise (Parse_error { line; message })
+let failf line fmt = Printf.ksprintf (fail line) fmt
 
 (* Split a line into statements on ';', dropping comments. *)
 let statements_of_line line =
@@ -32,12 +43,12 @@ let parse_operand line_no reg s =
   | Some l, Some r when l < r ->
       let name = String.sub s 0 l in
       if reg <> "" && name <> reg then
-        fail line_no (Printf.sprintf "unknown register %S (expected %S)" name reg);
+        failf line_no "unknown register %S (expected %S)" name reg;
       let idx = String.sub s (l + 1) (r - l - 1) in
       (match int_of_string_opt (String.trim idx) with
       | Some i -> i
-      | None -> fail line_no (Printf.sprintf "bad qubit index %S" idx))
-  | _ -> fail line_no (Printf.sprintf "bad operand %S" s)
+      | None -> failf line_no "bad qubit index %S" idx)
+  | _ -> failf line_no "bad operand %S" s
 
 let strip_params line_no name_and_params =
   (* "rz(pi/4)" -> "rz"; parameters are irrelevant to layout synthesis. *)
@@ -77,7 +88,7 @@ let of_string text =
           else begin
             (* A gate application: "<name[(params)]> <op>[, <op>]". *)
             match String.index_opt stmt ' ' with
-            | None -> fail line_no (Printf.sprintf "unsupported statement %S" stmt)
+            | None -> failf line_no "unsupported statement %S" stmt
             | Some sp ->
                 let head = String.sub stmt 0 sp in
                 let name = strip_params line_no head in
@@ -90,14 +101,18 @@ let of_string text =
                 | [ q ] -> gates := Gate.g1 name q :: !gates
                 | [ a; b ] -> gates := Gate.g2 name a b :: !gates
                 | _ ->
-                    fail line_no
-                      (Printf.sprintf "gate %S with %d operands (max 2)" name
-                         (List.length ops)))
+                    failf line_no "gate %S with %d operands (max 2)" name
+                      (List.length ops))
           end)
         (statements_of_line line))
     lines;
-  if !n_qubits < 0 then failwith "Qasm: missing qreg declaration";
+  if !n_qubits < 0 then fail 0 "missing qreg declaration";
   Circuit.create ~n_qubits:!n_qubits (List.rev !gates)
+
+let of_string_result text =
+  match of_string text with
+  | circuit -> Ok circuit
+  | exception Parse_error e -> Error e
 
 let write_file path c =
   let oc = open_out path in
@@ -112,3 +127,9 @@ let read_file path =
     (fun () ->
       let n = in_channel_length ic in
       of_string (really_input_string ic n))
+
+let read_file_result path =
+  match read_file path with
+  | circuit -> Ok circuit
+  | exception Parse_error e -> Error e
+  | exception Sys_error message -> Error { line = 0; message }

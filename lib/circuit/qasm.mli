@@ -6,7 +6,23 @@
     parser covers the subset this library emits: a header, one [qreg],
     optional [creg], and parameterless named gate applications (parameters
     in parentheses are accepted and discarded — layout synthesis ignores
-    them). *)
+    them).
+
+    Malformed input is a {e typed}, line-numbered {!error} — callers that
+    feed untrusted files (the CLI, campaign tasks over external circuit
+    suites) use the [_result] API so one bad file fails one task with a
+    clean diagnostic instead of an exception tearing down the run. *)
+
+type error = { line : int; message : string }
+(** A parse failure; [line] is 1-based ([0] when no line applies, e.g. a
+    missing [qreg] or an unreadable file). *)
+
+exception Parse_error of error
+
+val error_to_string : error -> string
+(** ["line N: message"] (or just the message when [line = 0]). *)
+
+val pp_error : Format.formatter -> error -> unit
 
 val to_string : Circuit.t -> string
 (** Emit OpenQASM 2.0. SWAP gates are emitted as [swap]; any gate name is
@@ -14,11 +30,18 @@ val to_string : Circuit.t -> string
 
 val of_string : string -> Circuit.t
 (** Parse the supported OpenQASM 2.0 subset.
-    @raise Failure with a line-numbered message on unsupported or
-    malformed input. *)
+    @raise Parse_error on unsupported or malformed input. *)
+
+val of_string_result : string -> (Circuit.t, error) result
+(** Exception-free {!of_string}. *)
 
 val write_file : string -> Circuit.t -> unit
 (** [write_file path c] writes {!to_string} to [path]. *)
 
 val read_file : string -> Circuit.t
-(** [read_file path] parses the file at [path]. *)
+(** [read_file path] parses the file at [path].
+    @raise Parse_error on malformed input. *)
+
+val read_file_result : string -> (Circuit.t, error) result
+(** Exception-free {!read_file}; an unreadable file (missing,
+    permissions) is reported as an [error] with [line = 0]. *)

@@ -8,6 +8,7 @@ type tool_point = {
   tool_name : string;
   optimal : int;
   circuits : int;
+  degraded : int;
   mean_swaps : float;
   ratio : float;
   min_swaps : int;
@@ -46,6 +47,17 @@ let paper_figure_config device =
   }
 
 let default_tool_names = [ "sabre"; "mlqls"; "qmap"; "tket" ]
+
+(* The degradation chain: when a tool fails (e.g. the exact/OLSQ solvers
+   hit their wall-clock budget), fall back to a cheaper heuristic so the
+   point keeps coverage — recorded as Degraded, never as the original
+   tool's own result. SABRE is the terminal fallback: fast, never
+   diverges on the paper's devices. *)
+let default_fallback = function
+  | "exact" | "olsq" -> Some "sabre"
+  | "qmap" -> Some "tket"
+  | "tket" | "mlqls" | "sabre-decay" | "transition" -> Some "sabre"
+  | _ -> None
 
 let tool_names = function
   | Some tools -> List.map (fun t -> t.Router.name) tools
@@ -171,23 +183,26 @@ let campaign_exec ?tools ~device (task : Task.t) =
 let aggregate_campaign ?tools ~config ~device rows =
   let names = tool_names tools in
   let ok = Campaign.outcomes rows in
+  let rescued = Campaign.degraded rows in
   List.concat_map
     (fun n_swaps ->
       List.filter_map
         (fun tool ->
-          let samples =
-            List.filter
-              (fun ((t : Task.t), _) ->
-                t.Task.n_swaps = n_swaps && t.Task.tool = tool)
-              ok
+          let belongs ((t : Task.t), _) =
+            t.Task.n_swaps = n_swaps && t.Task.tool = tool
           in
+          let samples = List.filter belongs ok in
+          (* Degraded rows count toward the point's honest coverage
+             report but never into the tool's own statistics: their
+             swap counts came from the fallback tool. *)
+          let degraded = List.length (List.filter belongs rescued) in
           let swap_counts = List.map (fun (_, o) -> o.Task.swaps) samples in
           match Metrics.mean_opt (List.map float_of_int swap_counts) with
           | None ->
               Format.eprintf
-                "warning: point (%s, %s, swaps=%d) has no successful tasks; \
-                 skipped@."
-                (Device.name device) tool n_swaps;
+                "warning: point (%s, %s, swaps=%d) has no successful tasks \
+                 (%d degraded); skipped@."
+                (Device.name device) tool n_swaps degraded;
               None
           | Some mean_swaps ->
               Some
@@ -196,6 +211,7 @@ let aggregate_campaign ?tools ~config ~device rows =
                   tool_name = tool;
                   optimal = n_swaps;
                   circuits = List.length samples;
+                  degraded;
                   mean_swaps;
                   ratio = Metrics.swap_ratio ~optimal:n_swaps ~swap_counts;
                   min_swaps = List.fold_left min max_int swap_counts;
@@ -207,18 +223,24 @@ let aggregate_campaign ?tools ~config ~device rows =
         names)
     config.swap_counts
 
-let run_campaign ?tools ?(jobs = 1) ?timeout ?(retries = 0) ?store
-    ?(resume = false) ?(rerun_failed = false) ?(progress = false) ~config
-    device =
+let run_campaign ?tools ?(jobs = 1) ?timeout ?(retries = 0) ?backoff ?store
+    ?(resume = false) ?(rerun_failed = false) ?(fsync = false)
+    ?failure_budget ?(degrade = false) ?(progress = false) ~config device =
   let tasks = campaign_tasks ?tools ~config device in
+  let defaults = Campaign.default_config () in
   let campaign_config =
     {
+      defaults with
       Campaign.jobs;
       timeout;
       retries;
+      backoff = Option.value ~default:defaults.Campaign.backoff backoff;
       store_path = store;
       resume;
       rerun_failed;
+      fsync;
+      failure_budget;
+      fallback = (if degrade then Some default_fallback else None);
       report =
         (if progress then
            Some (Campaign.stderr_report ~total:(List.length tasks))
@@ -227,17 +249,18 @@ let run_campaign ?tools ?(jobs = 1) ?timeout ?(retries = 0) ?store
   in
   Campaign.run campaign_config ~exec:(campaign_exec ?tools ~device) tasks
 
-let run_figure ?tools ?jobs ?timeout ?retries ?store ?resume ?progress ~config
-    device =
+let run_figure ?tools ?jobs ?timeout ?retries ?backoff ?store ?resume
+    ?failure_budget ?degrade ?progress ~config device =
   let rows =
-    run_campaign ?tools ?jobs ?timeout ?retries ?store ?resume ?progress
-      ~config device
+    run_campaign ?tools ?jobs ?timeout ?retries ?backoff ?store ?resume
+      ?failure_budget ?degrade ?progress ~config device
   in
   aggregate_campaign ?tools ~config ~device rows
 
-let run_point ?tools ?jobs ?timeout ?retries ?store ?resume ?progress ~config
-    ~n_swaps device =
-  run_figure ?tools ?jobs ?timeout ?retries ?store ?resume ?progress
+let run_point ?tools ?jobs ?timeout ?retries ?backoff ?store ?resume
+    ?failure_budget ?degrade ?progress ~config ~n_swaps device =
+  run_figure ?tools ?jobs ?timeout ?retries ?backoff ?store ?resume
+    ?failure_budget ?degrade ?progress
     ~config:{ config with swap_counts = [ n_swaps ] }
     device
 
@@ -252,13 +275,13 @@ let tool_gap_summary points =
   |> List.sort (fun (_, a) (_, b) -> compare a b)
 
 let pp_points ppf points =
-  Format.fprintf ppf "%-10s %-8s %7s %8s %10s %7s %7s %9s@,"
-    "device" "tool" "optimal" "circuits" "mean-swaps" "min" "max" "ratio";
+  Format.fprintf ppf "%-10s %-8s %7s %8s %5s %10s %7s %7s %9s@,"
+    "device" "tool" "optimal" "circuits" "degr" "mean-swaps" "min" "max" "ratio";
   List.iter
     (fun p ->
-      Format.fprintf ppf "%-10s %-8s %7d %8d %10.1f %7d %7d %8.2fx@,"
-        p.device_name p.tool_name p.optimal p.circuits p.mean_swaps p.min_swaps
-        p.max_swaps p.ratio)
+      Format.fprintf ppf "%-10s %-8s %7d %8d %5d %10.1f %7d %7d %8.2fx@,"
+        p.device_name p.tool_name p.optimal p.circuits p.degraded p.mean_swaps
+        p.min_swaps p.max_swaps p.ratio)
     points
 
 type optimality_row = {

@@ -16,7 +16,10 @@ type tool_point = {
   device_name : string;
   tool_name : string;
   optimal : int;  (** designed SWAP count of each instance at this point *)
-  circuits : int;  (** instances measured *)
+  circuits : int;  (** instances the tool itself completed *)
+  degraded : int;
+      (** instances rescued by the fallback chain — honest coverage,
+          excluded from this tool's swap statistics *)
   mean_swaps : float;
   ratio : float;  (** the paper's SWAP ratio: [mean_swaps / optimal] *)
   min_swaps : int;
@@ -81,14 +84,23 @@ val aggregate_campaign :
     a lost point must not take down the aggregation of an overnight
     run. *)
 
+val default_fallback : string -> string option
+(** The degradation chain the CLI's [--degrade] installs: the exact
+    solvers and heavier heuristics fall back toward SABRE, so a
+    timed-out task costs a [Degraded] line instead of a lost point. *)
+
 val run_campaign :
   ?tools:Qls_router.Router.t list ->
   ?jobs:int ->
   ?timeout:float ->
   ?retries:int ->
+  ?backoff:float ->
   ?store:string ->
   ?resume:bool ->
   ?rerun_failed:bool ->
+  ?fsync:bool ->
+  ?failure_budget:float ->
+  ?degrade:bool ->
   ?progress:bool ->
   config:figure_config ->
   Qls_arch.Device.t ->
@@ -96,18 +108,24 @@ val run_campaign :
 (** Run a figure's campaign on the worker pool ([jobs] defaults to 1 =
     sequential in-process; pass
     [Qls_harness.Pool.recommended_jobs ()] to use the machine) with an
-    optional JSONL checkpoint [store], [resume] from it ([rerun_failed]
-    re-executes tasks the store records as failed instead of keeping
-    their failure), per-task [timeout] seconds and bounded [retries],
-    and a live [progress] line. *)
+    optional JSONL checkpoint [store] (optionally [fsync]ed per append),
+    [resume] from it ([rerun_failed] re-executes tasks the store records
+    as failed instead of keeping their failure), per-task [timeout]
+    seconds and bounded classified [retries] (with exponential [backoff]),
+    an optional [failure_budget] that aborts a doomed sweep early,
+    [degrade] to enable the {!default_fallback} chain, and a live
+    [progress] line. *)
 
 val run_point :
   ?tools:Qls_router.Router.t list ->
   ?jobs:int ->
   ?timeout:float ->
   ?retries:int ->
+  ?backoff:float ->
   ?store:string ->
   ?resume:bool ->
+  ?failure_budget:float ->
+  ?degrade:bool ->
   ?progress:bool ->
   config:figure_config ->
   n_swaps:int ->
@@ -124,8 +142,11 @@ val run_figure :
   ?jobs:int ->
   ?timeout:float ->
   ?retries:int ->
+  ?backoff:float ->
   ?store:string ->
   ?resume:bool ->
+  ?failure_budget:float ->
+  ?degrade:bool ->
   ?progress:bool ->
   config:figure_config ->
   Qls_arch.Device.t ->

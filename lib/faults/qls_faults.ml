@@ -1,0 +1,192 @@
+type kind =
+  | Exn of { transient : bool }
+  | Delay of float
+  | Torn of float
+  | Flip
+
+type rule = { site : string; kind : kind; rate : float }
+type plan = { seed : int; rules : rule list }
+
+exception Injected of { site : string; transient : bool }
+
+let none = { seed = 0; rules = [] }
+let is_none p = p.rules = []
+
+(* ------------------------------------------------------------------ *)
+(* Spec syntax                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let spec_help =
+  "seed=N;SITE:KIND:RATE;... where KIND is transient | permanent | \
+   delay@SECS | hang@SECS | torn[@FRACTION] | flip and SITE is \
+   runner.exec | store.append | store.load"
+
+let kind_to_string = function
+  | Exn { transient = true } -> "transient"
+  | Exn { transient = false } -> "permanent"
+  | Delay s -> Printf.sprintf "delay@%g" s
+  | Torn f -> Printf.sprintf "torn@%g" f
+  | Flip -> "flip"
+
+let kind_of_string s =
+  let tagged tag conv k =
+    let tl = String.length tag in
+    if
+      String.length s > tl
+      && String.sub s 0 tl = tag
+      && s.[tl] = '@'
+    then
+      match conv (String.sub s (tl + 1) (String.length s - tl - 1)) with
+      | Some v -> Some (k v)
+      | None -> None
+    else None
+  in
+  match s with
+  | "transient" -> Some (Exn { transient = true })
+  | "permanent" -> Some (Exn { transient = false })
+  | "torn" -> Some (Torn 0.5)
+  | "flip" -> Some Flip
+  | _ -> (
+      match tagged "delay" float_of_string_opt (fun v -> Delay v) with
+      | Some _ as k -> k
+      | None -> (
+          match tagged "hang" float_of_string_opt (fun v -> Delay v) with
+          | Some _ as k -> k
+          | None -> tagged "torn" float_of_string_opt (fun v -> Torn v)))
+
+let known_sites = [ "runner.exec"; "store.append"; "store.load" ]
+
+let parse spec =
+  let clauses =
+    String.split_on_char ';' spec |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  let rec go seed rules = function
+    | [] -> Ok { seed; rules = List.rev rules }
+    | clause :: rest -> (
+        match String.split_on_char '=' clause with
+        | [ "seed"; v ] -> (
+            match int_of_string_opt v with
+            | Some s -> go s rules rest
+            | None -> Error (Printf.sprintf "bad seed %S" v))
+        | _ -> (
+            match String.split_on_char ':' clause with
+            | [ site; kind; rate ] -> (
+                if not (List.mem site known_sites) then
+                  Error
+                    (Printf.sprintf "unknown site %S (known: %s)" site
+                       (String.concat ", " known_sites))
+                else
+                  match (kind_of_string kind, float_of_string_opt rate) with
+                  | None, _ -> Error (Printf.sprintf "unknown kind %S" kind)
+                  | _, None -> Error (Printf.sprintf "bad rate %S" rate)
+                  | Some _, Some r when r < 0.0 || r > 1.0 ->
+                      Error (Printf.sprintf "rate %g out of [0,1]" r)
+                  | Some k, Some r ->
+                      go seed ({ site; kind = k; rate = r } :: rules) rest)
+            | _ ->
+                Error
+                  (Printf.sprintf "bad clause %S (expected %s)" clause
+                     spec_help)))
+  in
+  if clauses = [] then Error "empty injection spec" else go 0 [] clauses
+
+let to_string p =
+  String.concat ";"
+    (Printf.sprintf "seed=%d" p.seed
+    :: List.map
+         (fun r -> Printf.sprintf "%s:%s:%g" r.site (kind_to_string r.kind) r.rate)
+         p.rules)
+
+(* ------------------------------------------------------------------ *)
+(* Ambient plan + deterministic decisions                              *)
+(* ------------------------------------------------------------------ *)
+
+let current : plan Atomic.t = Atomic.make none
+
+(* Per-(site, key) visit counters, so a retried attempt draws the next
+   decision in that key's stream rather than replaying the first one
+   forever. Protected by a mutex; only touched when a plan is armed. *)
+let occ_mutex = Mutex.create ()
+let occ : (string, int) Hashtbl.t = Hashtbl.create 64
+
+let install p =
+  Mutex.protect occ_mutex (fun () -> Hashtbl.reset occ);
+  Atomic.set current p
+
+let installed () = Atomic.get current
+let clear () = install none
+
+let occurrence ~site ~key =
+  let k = site ^ "\x00" ^ key in
+  Mutex.protect occ_mutex (fun () ->
+      let n = Option.value ~default:0 (Hashtbl.find_opt occ k) in
+      Hashtbl.replace occ k (n + 1);
+      n)
+
+(* FNV-1a, the same fold the harness uses for task seeds: cheap, stable,
+   and good enough to decorrelate (seed, site, key, occurrence). *)
+let fnv s =
+  let h = ref 0x811c9dc5 in
+  String.iter (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0x3FFFFFFF) s;
+  !h
+
+let draw ~plan ~rule_ix ~(rule : rule) ~key ~occurrence =
+  fnv
+    (Printf.sprintf "%d|%d|%s|%s|%d" plan.seed rule_ix rule.site key occurrence)
+
+let fires ~plan ~rule_ix ~rule ~key ~occurrence =
+  let h = draw ~plan ~rule_ix ~rule ~key ~occurrence in
+  float_of_int (h mod 1_000_000) /. 1_000_000.0 < rule.rate
+
+let matching ~exec_site plan site key =
+  if is_none plan then []
+  else
+    let o = occurrence ~site ~key in
+    List.mapi (fun ix rule -> (ix, rule)) plan.rules
+    |> List.filter (fun (rule_ix, rule) ->
+           rule.site = site
+           && (match rule.kind with
+              | Exn _ | Delay _ -> exec_site
+              | Torn _ | Flip -> not exec_site)
+           && fires ~plan ~rule_ix ~rule ~key ~occurrence:o)
+
+let exec ~site ~key =
+  let plan = Atomic.get current in
+  if not (is_none plan) then
+    List.iter
+      (fun (_, rule) ->
+        match rule.kind with
+        | Delay s -> Thread.delay s
+        | Exn { transient } -> raise (Injected { site; transient })
+        | Torn _ | Flip -> ())
+      (matching ~exec_site:true plan site key)
+
+let mangle ~site ~key payload =
+  let plan = Atomic.get current in
+  if is_none plan then payload
+  else
+    List.fold_left
+      (fun payload (rule_ix, rule) ->
+        let n = String.length payload in
+        if n = 0 then payload
+        else
+          (* A second draw, decorrelated from the firing decision by the
+             payload length, picks where to damage. *)
+          let h = draw ~plan ~rule_ix ~rule ~key ~occurrence:(1_000_000 + n) in
+          match rule.kind with
+          | Torn keep ->
+              let keep_bytes =
+                max 0 (min (n - 1) (int_of_float (float_of_int n *. keep)))
+              in
+              String.sub payload 0 keep_bytes
+          | Flip ->
+              let bit = h mod (n * 8) in
+              let b = Bytes.of_string payload in
+              let i = bit / 8 in
+              Bytes.set b i
+                (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl (bit mod 8))));
+              Bytes.to_string b
+          | Exn _ | Delay _ -> payload)
+      payload
+      (matching ~exec_site:false plan site key)

@@ -1,0 +1,70 @@
+(** Deterministic fault injection for the campaign harness.
+
+    A {!plan} is a seed plus a list of rules, each arming one fault
+    {!kind} at one named {e site} with a firing rate. The harness calls
+    {!exec} (may raise or delay) and {!mangle} (may corrupt bytes) at
+    its sites; with no plan installed both are free no-ops, so
+    production campaigns pay one atomic load per site visit.
+
+    Sites wired into the harness:
+    - ["runner.exec"] — around each task-body attempt ({!exec})
+    - ["store.append"] — on the serialised checkpoint line ({!mangle})
+    - ["store.load"] — on each line read back at resume ({!mangle})
+
+    Every decision is a pure function of [(seed, site, key, occurrence)]
+    — [key] is the task id or line number, [occurrence] a per-[(site,
+    key)] visit counter — so a fault schedule is reproducible from its
+    seed alone: same plan, same campaign, same faults, regardless of
+    worker count or interleaving across keys. *)
+
+type kind =
+  | Exn of { transient : bool }
+      (** raise {!Injected} — classified transient or permanent by the
+          runner *)
+  | Delay of float  (** sleep this many seconds, then continue (a hang
+                        when it exceeds the task timeout) *)
+  | Torn of float
+      (** keep only this fraction of the mangled bytes — a torn write /
+          truncated read *)
+  | Flip  (** flip one deterministically chosen bit of the payload *)
+
+type rule = { site : string; kind : kind; rate : float }
+(** Fire [kind] at [site] on the fraction [rate] (in [0..1]) of visits. *)
+
+type plan = { seed : int; rules : rule list }
+
+exception Injected of { site : string; transient : bool }
+(** The exception {!exec} raises for [Exn] rules. *)
+
+val none : plan
+(** The empty plan: no rules, never fires. *)
+
+val is_none : plan -> bool
+
+val parse : string -> (plan, string) result
+(** Parse an [--inject] spec: [;]-separated clauses, one [seed=N] plus
+    any number of [SITE:KIND:RATE] rules, where KIND is [transient],
+    [permanent], [delay@SECS], [hang@SECS], [torn@FRACTION], [torn] (=
+    [torn@0.5]) or [flip]. Example:
+    {v seed=7;runner.exec:transient:0.3;store.append:torn:0.25 v} *)
+
+val to_string : plan -> string
+(** Render a plan back into {!parse}'s spec syntax (roundtrips). *)
+
+val spec_help : string
+(** One-line syntax summary for CLI [--inject] documentation. *)
+
+val install : plan -> unit
+(** Make the plan ambient for the whole process (and reset occurrence
+    counters, so two installs of the same plan fire identically). *)
+
+val installed : unit -> plan
+val clear : unit -> unit
+
+val exec : site:string -> key:string -> unit
+(** Visit an execution site: fire any matching [Exn] (raises
+    {!Injected}) or [Delay] rule. [Torn]/[Flip] rules never fire here. *)
+
+val mangle : site:string -> key:string -> string -> string
+(** Visit a data site: apply any matching [Torn]/[Flip] rule to the
+    payload; [Exn]/[Delay] rules never fire here. *)

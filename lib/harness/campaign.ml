@@ -2,9 +2,14 @@ type config = {
   jobs : int;
   timeout : float option;
   retries : int;
+  backoff : float;
   store_path : string option;
   resume : bool;
   rerun_failed : bool;
+  fsync : bool;
+  failure_budget : float option;
+  budget_min : int;
+  fallback : (string -> string option) option;
   report : (string -> unit) option;
 }
 
@@ -13,13 +18,20 @@ let default_config () =
     jobs = Pool.recommended_jobs ();
     timeout = None;
     retries = 0;
+    backoff = Runner.default.Runner.backoff;
     store_path = None;
     resume = false;
     rerun_failed = false;
+    fsync = false;
+    failure_budget = None;
+    budget_min = 10;
+    fallback = None;
     report = None;
   }
 
 type row = { task : Task.t; status : Task.status; resumed : bool }
+
+let abort_site = "campaign"
 
 let stderr_report ~total =
   let tty = Unix.isatty Unix.stderr in
@@ -31,20 +43,54 @@ let stderr_report ~total =
     else if !seen mod every = 0 || !seen = total then
       Printf.eprintf "%s\n%!" line
 
+(* Walk the fallback chain from the failed task's tool, cycle-safe. The
+   first tool that completes turns the failure into [Degraded]; if the
+   whole chain fails too, the original typed error stands. *)
+let degrade config ~exec ~guard task err =
+  match config.fallback with
+  | None -> Task.Failed err
+  | Some chain ->
+      let rec try_via tried tool =
+        match chain tool with
+        | None -> Task.Failed err
+        | Some via when List.mem via tried || via = task.Task.tool ->
+            Task.Failed err
+        | Some via -> (
+            let fb_task = { task with Task.tool = via } in
+            match
+              Runner.run ~key:(Task.id fb_task) ~seed:(Task.rng_seed fb_task)
+                guard
+                (fun () -> exec fb_task)
+            with
+            | Ok outcome -> Task.Degraded { Task.outcome; via; error = err }
+            | Error _ -> try_via (via :: tried) via)
+      in
+      try_via [] task.Task.tool
+
 let run config ~exec tasks =
   let tasks = Array.of_list tasks in
   let total = Array.length tasks in
-  let checkpoint =
+  let checkpoint, quarantined =
     match config.store_path with
-    | Some path when config.resume -> Store.completed (Store.load path)
-    | _ -> Hashtbl.create 0
+    | Some path when config.resume ->
+        let entries, bad = Store.load_verified path in
+        (Store.completed entries, bad)
+    | _ -> (Hashtbl.create 0, [])
   in
+  if quarantined <> [] then
+    Format.eprintf
+      "warning: %d corrupt checkpoint line(s) quarantined on resume (first: \
+       line %d, %s); their tasks will be re-run@."
+      (List.length quarantined)
+      (List.hd quarantined).Store.line_no (List.hd quarantined).Store.reason;
   let from_checkpoint task =
     match Hashtbl.find_opt checkpoint (Task.id task) with
     | Some (Task.Failed _) when config.rerun_failed -> None
     | found -> found
   in
-  let store = Option.map Store.open_append config.store_path in
+  let store =
+    Option.map (Store.open_append ~fsync:config.fsync) config.store_path
+  in
   let progress = Progress.create ~total in
   let rows = Array.make total None in
   let pending = ref [] in
@@ -57,19 +103,77 @@ let run config ~exec tasks =
       | None -> pending := (i, task) :: !pending)
     tasks;
   let pending = Array.of_list (List.rev !pending) in
-  let guard = { Runner.timeout = config.timeout; retries = config.retries } in
-  let finish_one (i, task) =
-    let status = Runner.guard guard (fun () -> exec task) in
-    Option.iter
-      (fun s -> Store.append s { Store.task_id = Task.id task; status })
-      store;
+  let guard =
+    {
+      Runner.timeout = config.timeout;
+      retries = config.retries;
+      backoff = config.backoff;
+      backoff_max = Runner.default.Runner.backoff_max;
+    }
+  in
+  (* Failure budget: when the fresh-failure rate crosses the threshold
+     (after [budget_min] samples), stop starting tasks — a doomed sweep
+     should cost minutes, not the night. Already-running tasks finish
+     and are recorded; unstarted ones get a retryable "not run" error
+     and are *not* checkpointed, so a resume re-runs them. *)
+  let aborted = Atomic.make None in
+  let fresh_done = Atomic.make 0 and fresh_failed = Atomic.make 0 in
+  let note_fresh status =
+    ignore (Atomic.fetch_and_add fresh_done 1);
     (match status with
-    | Task.Done outcome ->
-        Progress.record ?ratio:(Task.ratio ~task outcome) ~tool:task.Task.tool
-          ~ok:true progress
-    | Task.Failed _ -> Progress.record ~tool:task.Task.tool ~ok:false progress);
-    Option.iter (fun report -> report (Progress.render progress)) config.report;
-    rows.(i) <- Some { task; status; resumed = false }
+    | Task.Failed _ -> ignore (Atomic.fetch_and_add fresh_failed 1)
+    | Task.Done _ | Task.Degraded _ -> ());
+    match config.failure_budget with
+    | Some budget ->
+        let n = Atomic.get fresh_done and f = Atomic.get fresh_failed in
+        if
+          n >= config.budget_min
+          && float_of_int f /. float_of_int n > budget
+          && Atomic.get aborted = None
+        then
+          Atomic.set aborted
+            (Some
+               (Printf.sprintf
+                  "failure budget exceeded: %d of %d fresh tasks failed \
+                   (rate %.2f > budget %.2f)"
+                  f n
+                  (float_of_int f /. float_of_int n)
+                  budget))
+    | None -> ()
+  in
+  let finish_one (i, task) =
+    match Atomic.get aborted with
+    | Some why ->
+        let status =
+          Task.Failed
+            (Herror.transient ~site:abort_site ("not run: " ^ why))
+        in
+        Progress.record ~tool:task.Task.tool ~outcome:`Failed progress;
+        rows.(i) <- Some { task; status; resumed = false }
+    | None ->
+        let status =
+          match
+            Runner.run ~key:(Task.id task) ~seed:(Task.rng_seed task) guard
+              (fun () -> exec task)
+          with
+          | Ok outcome -> Task.Done outcome
+          | Error err -> degrade config ~exec ~guard task err
+        in
+        Option.iter
+          (fun s -> Store.append s { Store.task_id = Task.id task; status })
+          store;
+        (match status with
+        | Task.Done outcome ->
+            Progress.record
+              ?ratio:(Task.ratio ~task outcome)
+              ~tool:task.Task.tool ~outcome:`Ok progress
+        | Task.Degraded _ ->
+            Progress.record ~tool:task.Task.tool ~outcome:`Degraded progress
+        | Task.Failed _ ->
+            Progress.record ~tool:task.Task.tool ~outcome:`Failed progress);
+        note_fresh status;
+        Option.iter (fun report -> report (Progress.render progress)) config.report;
+        rows.(i) <- Some { task; status; resumed = false }
   in
   (* The pool writes straight into [rows] via [finish_one]; the unit
      results are discarded. *)
@@ -86,13 +190,35 @@ let run config ~exec tasks =
 let outcomes rows =
   List.filter_map
     (fun r ->
-      match r.status with Task.Done o -> Some (r.task, o) | Task.Failed _ -> None)
+      match r.status with
+      | Task.Done o -> Some (r.task, o)
+      | Task.Degraded _ | Task.Failed _ -> None)
+    rows
+
+let degraded rows =
+  List.filter_map
+    (fun r ->
+      match r.status with
+      | Task.Degraded d -> Some (r.task, d)
+      | Task.Done _ | Task.Failed _ -> None)
     rows
 
 let failures rows =
   List.filter_map
     (fun r ->
       match r.status with
-      | Task.Failed msg -> Some (r.task, msg)
-      | Task.Done _ -> None)
+      | Task.Failed e -> Some (r.task, e)
+      | Task.Done _ | Task.Degraded _ -> None)
+    rows
+
+let aborted rows =
+  List.find_map
+    (fun r ->
+      match r.status with
+      | Task.Failed e
+        when e.Herror.site = abort_site
+             && String.length e.Herror.message >= 8
+             && String.sub e.Herror.message 0 8 = "not run:" ->
+          Some e.Herror.message
+      | _ -> None)
     rows

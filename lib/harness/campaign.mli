@@ -8,23 +8,45 @@
     bit-identical whatever the worker count or completion order.
 
     Lifecycle of each task: checkpoint lookup (skip if already done) →
-    {!Runner.guard} (exception isolation, timeout, retry) → store append
-    → progress update. An individual failure becomes a [Failed] row;
-    only a store I/O error can abort the campaign. *)
+    {!Runner.run} (exception classification, timeout, classified retry
+    with backoff) → optional degradation along the [fallback] chain →
+    store append → progress update → failure-budget check. An individual
+    failure becomes a typed [Failed] row; only a store I/O error can
+    abort the campaign outright.
+
+    {b Failure budget.} With [failure_budget] set, the campaign watches
+    the fresh-failure rate and stops starting tasks once it crosses the
+    threshold (after [budget_min] fresh results): a doomed sweep — wrong
+    binary, dead store disk, every task timing out — costs minutes, not
+    the night. Unstarted tasks are reported [Failed] with a retryable
+    ["not run: …"] error at site ["campaign"] and are {e not}
+    checkpointed, so a plain resume re-runs exactly them.
+
+    {b Degradation.} With [fallback] set, a task whose own tool failed
+    (after its retries) is re-executed with the fallback tool; success
+    is recorded as {!Task.Degraded} — in the store, the progress line
+    and the aggregates — never silently promoted to [Done]. *)
 
 type config = {
   jobs : int;  (** worker domains; 1 = run inline, no domains spawned *)
   timeout : float option;  (** per-attempt wall-clock seconds *)
-  retries : int;  (** extra attempts after a failure *)
+  retries : int;  (** extra attempts after a retryable failure *)
+  backoff : float;  (** base retry backoff seconds (see {!Runner}) *)
   store_path : string option;  (** JSONL checkpoint; [None] = in-memory only *)
   resume : bool;  (** load [store_path] and skip recorded tasks *)
   rerun_failed : bool;  (** on resume, re-execute tasks recorded [failed] *)
+  fsync : bool;  (** fsync the store on every append *)
+  failure_budget : float option;
+      (** abort when fresh failures exceed this rate (in [0..1]) *)
+  budget_min : int;  (** fresh results before the budget is consulted *)
+  fallback : (string -> string option) option;
+      (** per-tool degradation chain, e.g. ["exact" -> Some "sabre"] *)
   report : (string -> unit) option;  (** progress-line sink after each task *)
 }
 
 val default_config : unit -> config
-(** All worker domains the machine recommends, no timeout, no store, no
-    reporting. *)
+(** All worker domains the machine recommends; no timeout, store,
+    budget, fallback or reporting; default backoff; [budget_min = 10]. *)
 
 type row = { task : Task.t; status : Task.status; resumed : bool }
 (** One task's terminal state; [resumed] marks results satisfied from
@@ -38,10 +60,18 @@ val run : config -> exec:(Task.t -> Task.outcome) -> Task.t list -> row list
 (** Execute the campaign; rows come back in task-list order. [exec] must
     be pure up to its task argument (same task ⇒ same outcome) for
     resume and parallel determinism to hold, and safe to call from
-    several domains at once. *)
+    several domains at once. Corrupt checkpoint lines found on resume
+    are quarantined with a warning and their tasks re-run. *)
 
 val outcomes : row list -> (Task.t * Task.outcome) list
-(** Successful rows only. *)
+(** Fully successful rows only — degraded rows are deliberately
+    excluded; fetch them with {!degraded}. *)
 
-val failures : row list -> (Task.t * string) list
-(** Failed rows with their error strings. *)
+val degraded : row list -> (Task.t * Task.degradation) list
+(** Rows rescued by the fallback chain, with the original error. *)
+
+val failures : row list -> (Task.t * Herror.t) list
+(** Failed rows with their typed errors. *)
+
+val aborted : row list -> string option
+(** The failure-budget abort message, when the campaign stopped early. *)

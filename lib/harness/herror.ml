@@ -1,0 +1,51 @@
+type klass = Transient | Permanent | Timeout | Corrupt
+
+type t = { klass : klass; site : string; message : string; attempts : int }
+
+exception Error of t
+
+let v ?(site = "?") ?(attempts = 1) klass message =
+  { klass; site; message; attempts }
+
+let transient ?site message = v ?site Transient message
+let permanent ?site message = v ?site Permanent message
+let corrupt ?site message = v ?site Corrupt message
+let timeout ?site sec = v ?site Timeout (Printf.sprintf "timeout after %gs" sec)
+
+let retryable e =
+  match e.klass with Transient | Timeout -> true | Permanent | Corrupt -> false
+
+let of_exn ~site = function
+  | Error e -> e
+  | Qls_faults.Injected { site = fault_site; transient } ->
+      {
+        klass = (if transient then Transient else Permanent);
+        site = fault_site;
+        message = "injected fault";
+        attempts = 1;
+      }
+  | Unix.Unix_error (((EAGAIN | EWOULDBLOCK | EINTR | EBUSY | ENOMEM) as err), fn, _)
+    ->
+      transient ~site (Printf.sprintf "%s: %s" fn (Unix.error_message err))
+  | Out_of_memory -> transient ~site "out of memory"
+  | e -> permanent ~site (Printexc.to_string e)
+
+let klass_name = function
+  | Transient -> "transient"
+  | Permanent -> "permanent"
+  | Timeout -> "timeout"
+  | Corrupt -> "corrupt"
+
+let klass_of_name = function
+  | "transient" -> Some Transient
+  | "permanent" -> Some Permanent
+  | "timeout" -> Some Timeout
+  | "corrupt" -> Some Corrupt
+  | _ -> None
+
+let to_string e =
+  let base = Printf.sprintf "%s[%s]: %s" (klass_name e.klass) e.site e.message in
+  if e.attempts > 1 then Printf.sprintf "%s (after %d attempts)" base e.attempts
+  else base
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)

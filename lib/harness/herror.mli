@@ -1,0 +1,61 @@
+(** Typed harness errors — the failure taxonomy every layer speaks.
+
+    A failure is never just a string: it carries a {!klass} that decides
+    policy (only [Transient] and [Timeout] are worth retrying; a
+    [Permanent] error is deterministic and retrying it re-buys the same
+    failure; [Corrupt] marks damaged checkpoint data, quarantined rather
+    than trusted), the {e site} that observed it (["runner.exec"],
+    ["store.append"], ["store.load"], ["campaign"]), and how many
+    attempts it consumed before becoming terminal. *)
+
+type klass =
+  | Transient  (** environmental — a retry may succeed (EAGAIN, OOM,
+                   injected transient faults) *)
+  | Permanent  (** deterministic — the same inputs will fail the same
+                   way; never retried *)
+  | Timeout  (** the wall-clock budget expired; retryable (a sibling
+                 task may have been hogging the machine) *)
+  | Corrupt  (** damaged data detected (checkpoint line, parse); never
+                 retried, quarantined instead *)
+
+type t = {
+  klass : klass;
+  site : string;  (** where it was observed, e.g. ["runner.exec"] *)
+  message : string;
+  attempts : int;  (** attempts consumed when it became terminal (>= 1) *)
+}
+
+exception Error of t
+(** Typed escape hatch: task bodies (or fault hooks) may raise this to
+    control their own classification; {!of_exn} unwraps it. *)
+
+val v : ?site:string -> ?attempts:int -> klass -> string -> t
+(** Build an error; [site] defaults to ["?"], [attempts] to 1. *)
+
+val transient : ?site:string -> string -> t
+val permanent : ?site:string -> string -> t
+val corrupt : ?site:string -> string -> t
+
+val timeout : ?site:string -> float -> t
+(** [timeout sec] — class [Timeout], message ["timeout after <sec>s"]. *)
+
+val retryable : t -> bool
+(** [true] exactly for [Transient] and [Timeout]. *)
+
+val of_exn : site:string -> exn -> t
+(** Classify an exception: {!Error} unwraps; {!Qls_faults.Injected}
+    maps to [Transient]/[Permanent] per its flag; resource-pressure
+    [Unix_error]s ([EAGAIN], [EINTR], [EBUSY], [ENOMEM]) and
+    [Out_of_memory] are [Transient]; everything else is [Permanent]. *)
+
+val klass_name : klass -> string
+(** Lowercase stable name (["transient"], ...) — the JSONL [eclass]
+    field. *)
+
+val klass_of_name : string -> klass option
+
+val to_string : t -> string
+(** ["<klass>[<site>]: <message>"], plus ["after N attempts"] when
+    [attempts > 1]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -3,6 +3,7 @@ type tool_stat = { mutable ratio_sum : float; mutable samples : int }
 type t = {
   total : int;
   mutable ok : int;
+  mutable degraded : int;
   mutable failed : int;
   mutable resumed : int;
   started : float;
@@ -14,6 +15,7 @@ let create ~total =
   {
     total;
     ok = 0;
+    degraded = 0;
     failed = 0;
     resumed = 0;
     started = Unix.gettimeofday ();
@@ -29,11 +31,16 @@ let tool_stat t name =
       Hashtbl.add t.tools name s;
       s
 
-let record ?ratio ?tool ~ok t =
+let record ?ratio ?tool ~outcome t =
   Mutex.protect t.mutex (fun () ->
-      if ok then t.ok <- t.ok + 1 else t.failed <- t.failed + 1;
-      match (tool, ratio) with
-      | Some tool, Some ratio ->
+      (match outcome with
+      | `Ok -> t.ok <- t.ok + 1
+      | `Degraded -> t.degraded <- t.degraded + 1
+      | `Failed -> t.failed <- t.failed + 1);
+      (* Degraded ratios are excluded from the per-tool running gap: the
+         sample came from the fallback tool, not this one. *)
+      match (outcome, tool, ratio) with
+      | `Ok, Some tool, Some ratio ->
           let s = tool_stat t tool in
           s.ratio_sum <- s.ratio_sum +. ratio;
           s.samples <- s.samples + 1
@@ -41,12 +48,12 @@ let record ?ratio ?tool ~ok t =
 
 let record_resumed t = Mutex.protect t.mutex (fun () -> t.resumed <- t.resumed + 1)
 
-let finished t = t.ok + t.failed + t.resumed
+let finished t = t.ok + t.degraded + t.failed + t.resumed
 
 let eta_seconds t =
   (* Only work done by this process predicts its pace; resumed tasks
      were free and would skew the estimate. *)
-  let fresh = t.ok + t.failed in
+  let fresh = t.ok + t.degraded + t.failed in
   let remaining = t.total - finished t in
   if fresh = 0 || remaining <= 0 then None
   else
@@ -59,6 +66,8 @@ let render t =
       Buffer.add_string b
         (Printf.sprintf "campaign %d/%d ok:%d failed:%d" (finished t) t.total
            t.ok t.failed);
+      if t.degraded > 0 then
+        Buffer.add_string b (Printf.sprintf " degraded:%d" t.degraded);
       if t.resumed > 0 then
         Buffer.add_string b (Printf.sprintf " resumed:%d" t.resumed);
       let gaps =

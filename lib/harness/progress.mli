@@ -10,10 +10,16 @@ type t
 val create : total:int -> t
 (** Fresh tracker for a campaign of [total] tasks; starts the clock. *)
 
-val record : ?ratio:float -> ?tool:string -> ok:bool -> t -> unit
-(** Count one freshly finished task. When [tool] and [ratio] (the task's
-    [swaps / optimal]) are given, the tool's running mean gap is
-    updated. *)
+val record :
+  ?ratio:float ->
+  ?tool:string ->
+  outcome:[ `Ok | `Degraded | `Failed ] ->
+  t ->
+  unit
+(** Count one freshly finished task. When the outcome is [`Ok] and
+    [tool] and [ratio] (the task's [swaps / optimal]) are given, the
+    tool's running mean gap is updated; degraded samples are counted but
+    never folded into a tool's gap (they came from the fallback tool). *)
 
 val record_resumed : t -> unit
 (** Count a task satisfied from the checkpoint store (excluded from the

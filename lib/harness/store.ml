@@ -1,10 +1,70 @@
 type entry = { task_id : string; status : Task.status }
+type corrupt = { line_no : int; reason : string; text : string }
+type compact_stats = { kept : int; superseded : int; quarantined : int }
 
 type t = {
   path : string;
   oc : out_channel;
+  fsync : bool;
   mutex : Mutex.t;
 }
+
+let site_append = "store.append"
+let site_load = "store.load"
+
+(* ------------------------------------------------------------------ *)
+(* CRC32 (IEEE 802.3, the zlib polynomial) over the unsealed payload.  *)
+(* ------------------------------------------------------------------ *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      c :=
+        Int32.logxor
+          (Int32.shift_right_logical !c 8)
+          table.(Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xffl)))
+    s;
+  Printf.sprintf "%08lx" (Int32.logxor !c 0xFFFFFFFFl)
+
+(* Seal a JSON object line by splicing a ["crc"] member (over the bytes
+   of the {e unsealed} object) in front of the closing brace; [unseal]
+   reverses it. Byte-level on purpose: the checksum must cover the exact
+   serialisation, not a re-encoding. *)
+let crc_marker = {|,"crc":"|}
+
+let seal payload =
+  Printf.sprintf "%s%s%s\"}"
+    (String.sub payload 0 (String.length payload - 1))
+    crc_marker (crc32 payload)
+
+type unsealed = No_crc | Crc_ok | Crc_mismatch
+
+let unseal line =
+  let n = String.length line and m = String.length crc_marker in
+  (* The crc member is always the one we spliced last: 8 hex digits and
+     a closing quote+brace at the very end of the line. *)
+  let tail_len = m + 8 + 2 in
+  if n >= tail_len && String.sub line (n - tail_len) m = crc_marker
+     && line.[n - 2] = '"' && line.[n - 1] = '}' then
+    let declared = String.sub line (n - 10) 8 in
+    let payload = String.sub line 0 (n - tail_len) ^ "}" in
+    if String.equal (crc32 payload) declared then (payload, Crc_ok)
+    else (payload, Crc_mismatch)
+  else (line, No_crc)
 
 (* ------------------------------------------------------------------ *)
 (* A minimal flat-JSON codec. Lines are objects of string and number   *)
@@ -28,21 +88,13 @@ let escape s =
     s;
   Buffer.contents b
 
-let line_of_entry e =
-  match e.status with
-  | Task.Done o ->
-      Printf.sprintf {|{"id":"%s","status":"ok","swaps":%d,"seconds":%.6f}|}
-        (escape e.task_id) o.Task.swaps o.Task.seconds
-  | Task.Failed msg ->
-      Printf.sprintf {|{"id":"%s","status":"failed","error":"%s"}|}
-        (escape e.task_id) (escape msg)
+exception Malformed of string
 
-exception Malformed
+let malformed fmt = Printf.ksprintf (fun m -> raise (Malformed m)) fmt
 
 (* Parse one flat JSON object into an association list; string values are
    unescaped, numbers returned as raw text. Raises [Malformed] on
-   anything else — {!load} treats such lines (e.g. a half-written final
-   line after a kill) as absent. *)
+   anything else — {!load_verified} quarantines such lines. *)
 let fields_of_line line =
   let n = String.length line in
   let pos = ref 0 in
@@ -52,17 +104,24 @@ let fields_of_line line =
   in
   let expect c =
     skip_ws ();
-    if peek () = Some c then incr pos else raise Malformed
+    if peek () = Some c then incr pos else malformed "expected %C at byte %d" c !pos
+  in
+  let hex_digit c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> malformed "bad hex digit %C in \\u escape" c
   in
   let parse_string () =
     expect '"';
     let b = Buffer.create 16 in
     let rec go () =
-      if !pos >= n then raise Malformed;
+      if !pos >= n then malformed "unterminated string";
       match line.[!pos] with
       | '"' -> incr pos
       | '\\' ->
-          if !pos + 1 >= n then raise Malformed;
+          if !pos + 1 >= n then malformed "dangling backslash";
           (match line.[!pos + 1] with
           | '"' -> Buffer.add_char b '"'
           | '\\' -> Buffer.add_char b '\\'
@@ -70,14 +129,21 @@ let fields_of_line line =
           | 'r' -> Buffer.add_char b '\r'
           | 't' -> Buffer.add_char b '\t'
           | 'u' ->
-              if !pos + 5 >= n then raise Malformed;
+              (* Strict: exactly four hex digits, no signs/underscores,
+                 no surrogate halves; the code point is emitted as
+                 UTF-8, not truncated to its low byte. *)
+              if !pos + 5 >= n then malformed "truncated \\u escape";
               let code =
-                try int_of_string ("0x" ^ String.sub line (!pos + 2) 4)
-                with _ -> raise Malformed
+                (hex_digit line.[!pos + 2] lsl 12)
+                lor (hex_digit line.[!pos + 3] lsl 8)
+                lor (hex_digit line.[!pos + 4] lsl 4)
+                lor hex_digit line.[!pos + 5]
               in
-              Buffer.add_char b (Char.chr (code land 0xff));
+              if code >= 0xD800 && code <= 0xDFFF then
+                malformed "surrogate code point \\u%04x" code;
+              Buffer.add_utf_8_uchar b (Uchar.of_int code);
               pos := !pos + 4
-          | _ -> raise Malformed);
+          | c -> malformed "unknown escape \\%C" c);
           pos := !pos + 2;
           go ()
       | c ->
@@ -98,7 +164,7 @@ let fields_of_line line =
     do
       incr pos
     done;
-    if !pos = start then raise Malformed;
+    if !pos = start then malformed "expected a value at byte %d" !pos;
     String.sub line start (!pos - start)
   in
   expect '{';
@@ -107,6 +173,8 @@ let fields_of_line line =
     match peek () with
     | Some '}' ->
         incr pos;
+        skip_ws ();
+        if !pos <> n then malformed "trailing bytes after object";
         List.rev acc
     | _ ->
         let key = parse_string () in
@@ -116,7 +184,7 @@ let fields_of_line line =
           match peek () with
           | Some '"' -> parse_string ()
           | Some _ -> parse_number ()
-          | None -> raise Malformed
+          | None -> malformed "truncated object"
         in
         skip_ws ();
         if peek () = Some ',' then incr pos;
@@ -124,73 +192,185 @@ let fields_of_line line =
   in
   members []
 
+(* ------------------------------------------------------------------ *)
+(* Entry codec (format v2: status ok | degraded | failed, crc-sealed)  *)
+(* ------------------------------------------------------------------ *)
+
+let error_fields (e : Herror.t) =
+  Printf.sprintf {|"eclass":"%s","esite":"%s","error":"%s","attempts":%d|}
+    (Herror.klass_name e.Herror.klass)
+    (escape e.Herror.site) (escape e.Herror.message) e.Herror.attempts
+
+let line_of_entry e =
+  seal
+    (match e.status with
+    | Task.Done o ->
+        Printf.sprintf {|{"id":"%s","status":"ok","swaps":%d,"seconds":%.6f}|}
+          (escape e.task_id) o.Task.swaps o.Task.seconds
+    | Task.Degraded d ->
+        Printf.sprintf
+          {|{"id":"%s","status":"degraded","via":"%s","swaps":%d,"seconds":%.6f,%s}|}
+          (escape e.task_id) (escape d.Task.via) d.Task.outcome.Task.swaps
+          d.Task.outcome.Task.seconds (error_fields d.Task.error)
+    | Task.Failed err ->
+        Printf.sprintf {|{"id":"%s","status":"failed",%s}|} (escape e.task_id)
+          (error_fields err))
+
+let error_of_fields fields =
+  let klass =
+    match List.assoc_opt "eclass" fields with
+    | Some name -> (
+        match Herror.klass_of_name name with
+        | Some k -> k
+        | None -> malformed "unknown error class %S" name)
+    | None -> Herror.Permanent (* v1 line: untyped error string *)
+  in
+  {
+    Herror.klass;
+    site = Option.value ~default:"legacy" (List.assoc_opt "esite" fields);
+    message = Option.value ~default:"" (List.assoc_opt "error" fields);
+    attempts =
+      (match List.assoc_opt "attempts" fields with
+      | Some raw -> (
+          match int_of_string_opt raw with
+          | Some n -> n
+          | None -> malformed "bad attempts %S" raw)
+      | None -> 1);
+  }
+
+let outcome_of_fields fields =
+  match (List.assoc_opt "swaps" fields, List.assoc_opt "seconds" fields) with
+  | Some swaps, Some seconds -> (
+      match (int_of_string_opt swaps, float_of_string_opt seconds) with
+      | Some swaps, Some seconds -> { Task.swaps; seconds }
+      | _ -> malformed "bad outcome numbers")
+  | _ -> malformed "missing outcome fields"
+
 let entry_of_line line =
-  match fields_of_line line with
-  | exception Malformed -> None
-  | fields -> (
-      match (List.assoc_opt "id" fields, List.assoc_opt "status" fields) with
-      | Some task_id, Some "ok" -> (
-          match
-            ( List.assoc_opt "swaps" fields,
-              List.assoc_opt "seconds" fields )
-          with
-          | Some swaps, Some seconds -> (
-              try
-                Some
-                  {
-                    task_id;
-                    status =
-                      Task.Done
-                        {
-                          Task.swaps = int_of_string swaps;
-                          seconds = float_of_string seconds;
-                        };
-                  }
-              with _ -> None)
-          | _ -> None)
-      | Some task_id, Some "failed" ->
-          let msg = Option.value ~default:"" (List.assoc_opt "error" fields) in
-          Some { task_id; status = Task.Failed msg }
-      | _ -> None)
+  let payload, sealing = unseal line in
+  if sealing = Crc_mismatch then Error "crc mismatch"
+  else
+    match fields_of_line payload with
+    | exception Malformed m -> Error m
+    | fields -> (
+        match (List.assoc_opt "id" fields, List.assoc_opt "status" fields) with
+        | Some task_id, Some "ok" -> (
+            match outcome_of_fields fields with
+            | o -> Ok { task_id; status = Task.Done o }
+            | exception Malformed m -> Error m)
+        | Some task_id, Some "degraded" -> (
+            match
+              ( outcome_of_fields fields,
+                List.assoc_opt "via" fields,
+                error_of_fields fields )
+            with
+            | o, Some via, err ->
+                Ok
+                  { task_id; status = Task.Degraded { outcome = o; via; error = err } }
+            | _, None, _ -> Error "degraded line without via"
+            | exception Malformed m -> Error m)
+        | Some task_id, Some "failed" -> (
+            match error_of_fields fields with
+            | err -> Ok { task_id; status = Task.Failed err }
+            | exception Malformed m -> Error m)
+        | Some _, Some status -> Error (Printf.sprintf "unknown status %S" status)
+        | _ -> Error "missing id/status")
 
 (* ------------------------------------------------------------------ *)
 (* Store operations                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let load path =
-  if not (Sys.file_exists path) then []
+let load_verified path =
+  if not (Sys.file_exists path) then ([], [])
   else begin
     let ic = open_in path in
-    let rec lines acc =
-      match input_line ic with
-      | line -> lines (match entry_of_line line with
-          | Some e -> e :: acc
-          | None -> acc)
-      | exception End_of_file -> List.rev acc
-    in
-    let entries = lines [] in
+    let entries = ref [] and bad = ref [] in
+    (try
+       let line_no = ref 0 in
+       while true do
+         let raw = input_line ic in
+         incr line_no;
+         let raw =
+           Qls_faults.mangle ~site:site_load ~key:(string_of_int !line_no) raw
+         in
+         if String.trim raw <> "" then
+           match entry_of_line raw with
+           | Ok e -> entries := e :: !entries
+           | Error reason ->
+               bad := { line_no = !line_no; reason; text = raw } :: !bad
+       done
+     with End_of_file -> ());
     close_in ic;
-    entries
+    (List.rev !entries, List.rev !bad)
   end
+
+let load path = fst (load_verified path)
 
 let completed entries =
   let tbl = Hashtbl.create (List.length entries) in
   List.iter (fun e -> Hashtbl.replace tbl e.task_id e.status) entries;
   tbl
 
-let open_append path =
+let open_append ?(fsync = false) path =
   let oc =
     open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
   in
-  { path; oc; mutex = Mutex.create () }
+  { path; oc; fsync; mutex = Mutex.create () }
 
 let append t entry =
   (* One buffered write of the whole line then a flush, under the mutex:
      concurrent workers never interleave within a line, and a kill can
-     only ever truncate the final line (which [load] then ignores). *)
+     only ever truncate the final line (which loading quarantines). The
+     fault hook mangles the sealed bytes, newline included, so an
+     injected torn write really does splice into the next line. *)
   Mutex.protect t.mutex (fun () ->
-      output_string t.oc (line_of_entry entry ^ "\n");
-      flush t.oc)
+      output_string t.oc
+        (Qls_faults.mangle ~site:site_append ~key:entry.task_id
+           (line_of_entry entry ^ "\n"));
+      flush t.oc;
+      if t.fsync then Unix.fsync (Unix.descr_of_out_channel t.oc))
+
+let compact ?(fsync = false) path =
+  let entries, bad = load_verified path in
+  (* Quarantine damaged lines before they are dropped from the rewrite:
+     the bytes survive for forensics, the store stops re-reading them. *)
+  if bad <> [] then begin
+    let qc =
+      open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644
+        (path ^ ".quarantine")
+    in
+    List.iter
+      (fun c -> Printf.fprintf qc "# line %d: %s\n%s\n" c.line_no c.reason c.text)
+      bad;
+    close_out qc
+  end;
+  let last = completed entries in
+  (* Keep the winning status per task, in first-appearance order. *)
+  let seen = Hashtbl.create (List.length entries) in
+  let survivors =
+    List.filter_map
+      (fun e ->
+        if Hashtbl.mem seen e.task_id then None
+        else begin
+          Hashtbl.add seen e.task_id ();
+          Some { e with status = Hashtbl.find last e.task_id }
+        end)
+      entries
+  in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  List.iter (fun e -> output_string oc (line_of_entry e ^ "\n")) survivors;
+  flush oc;
+  if fsync then Unix.fsync (Unix.descr_of_out_channel oc);
+  close_out oc;
+  (* Atomic publish: readers see either the old file or the compacted
+     one, never a half-written rewrite. *)
+  Sys.rename tmp path;
+  {
+    kept = List.length survivors;
+    superseded = List.length entries - List.length survivors;
+    quarantined = List.length bad;
+  }
 
 let close t = close_out t.oc
 let path t = t.path

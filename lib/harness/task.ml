@@ -10,7 +10,8 @@ type t = {
 }
 
 type outcome = { swaps : int; seconds : float }
-type status = Done of outcome | Failed of string
+type degradation = { outcome : outcome; via : string; error : Herror.t }
+type status = Done of outcome | Degraded of degradation | Failed of Herror.t
 
 let id t =
   Printf.sprintf "%s/s%d/c%d/%s/g%d/q%g/t%d/r%d" t.device t.n_swaps t.circuit
@@ -34,4 +35,7 @@ let ratio ~task outcome =
 
 let pp_status ppf = function
   | Done o -> Format.fprintf ppf "done (%d swaps, %.2fs)" o.swaps o.seconds
-  | Failed e -> Format.fprintf ppf "failed (%s)" e
+  | Degraded d ->
+      Format.fprintf ppf "degraded via %s (%d swaps, %.2fs; %a)" d.via
+        d.outcome.swaps d.outcome.seconds Herror.pp d.error
+  | Failed e -> Format.fprintf ppf "failed (%a)" Herror.pp e

@@ -21,9 +21,15 @@ type t = {
 type outcome = { swaps : int; seconds : float }
 (** A successful routing: verified SWAP count and wall-clock seconds. *)
 
-type status = Done of outcome | Failed of string
-(** Terminal state of a task; [Failed] carries the exception string or
-    ["timeout after Ns"]. *)
+type degradation = { outcome : outcome; via : string; error : Herror.t }
+(** The task's own tool failed with [error], but a fallback tool [via]
+    produced a (verified) outcome — coverage preserved, provenance
+    recorded. *)
+
+type status = Done of outcome | Degraded of degradation | Failed of Herror.t
+(** Terminal state of a task. [Degraded] is deliberately distinct from
+    [Done]: it must stay distinguishable in the store and every summary
+    so aggregates report coverage honestly. *)
 
 val id : t -> string
 (** Stable identifier encoding every field that affects the result; the

@@ -335,22 +335,38 @@ let qasm_tests =
     test_case "parser handles multiple statements per line" (fun () ->
         let c = Qasm.of_string "OPENQASM 2.0; qreg q[2]; h q[0]; cx q[0],q[1];" in
         check_int "two gates" 2 (Circuit.length c));
-    test_case "missing qreg rejected" (fun () ->
-        Alcotest.check_raises "no qreg" (Failure "Qasm: missing qreg declaration")
-          (fun () -> ignore (Qasm.of_string "OPENQASM 2.0;\nh q[0];\n")));
-    test_case "wrong register name rejected" (fun () ->
-        check_bool "raises" true
+    test_case "missing qreg rejected with a typed error" (fun () ->
+        match Qasm.of_string_result "OPENQASM 2.0;\nh q[0];\n" with
+        | Error e ->
+            check_int "no single line applies" 0 e.Qasm.line;
+            check_bool "mentions qreg" true
+              (let m = e.Qasm.message in
+               let rec go i =
+                 i + 4 <= String.length m
+                 && (String.sub m i 4 = "qreg" || go (i + 1))
+               in
+               go 0)
+        | Ok _ -> Alcotest.fail "expected a parse error");
+    test_case "wrong register name rejected with its line number" (fun () ->
+        match Qasm.of_string_result "OPENQASM 2.0;\nqreg q[2];\nh r[0];\n" with
+        | Error e -> check_int "line" 3 e.Qasm.line
+        | Ok _ -> Alcotest.fail "expected a parse error");
+    test_case "three-operand gate rejected with its line number" (fun () ->
+        match
+          Qasm.of_string_result "OPENQASM 2.0;\nqreg q[3];\nccx q[0],q[1],q[2];\n"
+        with
+        | Error e -> check_int "line" 3 e.Qasm.line
+        | Ok _ -> Alcotest.fail "expected a parse error");
+    test_case "raising API raises Parse_error, not Failure" (fun () ->
+        check_bool "typed exception" true
           (try
              ignore (Qasm.of_string "OPENQASM 2.0;\nqreg q[2];\nh r[0];\n");
              false
-           with Failure _ -> true));
-    test_case "three-operand gate rejected" (fun () ->
-        check_bool "raises" true
-          (try
-             ignore
-               (Qasm.of_string "OPENQASM 2.0;\nqreg q[3];\nccx q[0],q[1],q[2];\n");
-             false
-           with Failure _ -> true));
+           with Qasm.Parse_error e -> e.Qasm.line = 3));
+    test_case "unreadable file is a typed error, not an exception" (fun () ->
+        match Qasm.read_file_result "/nonexistent/q.qasm" with
+        | Error e -> check_int "line 0" 0 e.Qasm.line
+        | Ok _ -> Alcotest.fail "expected an error");
     test_case "file round trip" (fun () ->
         let c = fig1_circuit () in
         let path = Filename.temp_file "qubikos" ".qasm" in

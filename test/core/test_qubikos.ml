@@ -440,6 +440,7 @@ let evaluation_tests =
             tool_name = tool;
             optimal = 1;
             circuits = 1;
+            degraded = 0;
             mean_swaps = ratio;
             ratio;
             min_swaps = 0;

@@ -1,9 +1,12 @@
 (* Tests for the Qls_harness campaign engine: task identity and seed
-   derivation, the JSONL checkpoint store, the domain pool, per-task
-   isolation (exceptions and timeouts), scheduling-independence of
-   results, and resume-from-checkpoint. *)
+   derivation, the typed error taxonomy, the CRC-sealed JSONL checkpoint
+   store (quarantine + compact), the domain pool, per-task isolation
+   (exceptions and timeouts, classified retry with backoff), degradation,
+   the failure budget, scheduling-independence of results, and
+   resume-from-checkpoint. *)
 
 module Task = Qls_harness.Task
+module Herror = Qls_harness.Herror
 module Pool = Qls_harness.Pool
 module Store = Qls_harness.Store
 module Runner = Qls_harness.Runner
@@ -42,6 +45,8 @@ let fresh_store_path () =
    task, like real routing, but instant. *)
 let synthetic_exec task =
   { Task.swaps = Task.rng_seed task mod 97; seconds = 0.0 }
+
+let transient_exn msg = Herror.Error (Herror.transient ~site:"test" msg)
 
 (* ------------------------------------------------------------------ *)
 (* Task                                                                *)
@@ -84,36 +89,108 @@ let task_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Herror                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let herror_tests =
+  [
+    test_case "retryable is exactly transient and timeout" (fun () ->
+        check_bool "transient" true (Herror.retryable (Herror.transient "x"));
+        check_bool "timeout" true (Herror.retryable (Herror.timeout 1.0));
+        check_bool "permanent" false (Herror.retryable (Herror.permanent "x"));
+        check_bool "corrupt" false (Herror.retryable (Herror.corrupt "x")));
+    test_case "of_exn classifies exceptions" (fun () ->
+        let e = Herror.of_exn ~site:"runner.exec" (Failure "kaput") in
+        check_bool "failure is permanent" true (e.Herror.klass = Herror.Permanent);
+        check_string "site" "runner.exec" e.Herror.site;
+        let e =
+          Herror.of_exn ~site:"runner.exec"
+            (Unix.Unix_error (Unix.EAGAIN, "read", ""))
+        in
+        check_bool "eagain is transient" true (e.Herror.klass = Herror.Transient);
+        let e =
+          Herror.of_exn ~site:"s"
+            (Herror.Error (Herror.corrupt ~site:"store.load" "bad line"))
+        in
+        check_string "Error unwraps with its own site" "store.load" e.Herror.site);
+    test_case "injected faults classify by their flag" (fun () ->
+        let t =
+          Herror.of_exn ~site:"runner.exec"
+            (Qls_faults.Injected { site = "runner.exec"; transient = true })
+        in
+        check_bool "transient" true (t.Herror.klass = Herror.Transient);
+        let p =
+          Herror.of_exn ~site:"runner.exec"
+            (Qls_faults.Injected { site = "runner.exec"; transient = false })
+        in
+        check_bool "permanent" true (p.Herror.klass = Herror.Permanent));
+    test_case "klass names round trip" (fun () ->
+        List.iter
+          (fun k ->
+            check_bool "round trip" true
+              (Herror.klass_of_name (Herror.klass_name k) = Some k))
+          [ Herror.Transient; Herror.Permanent; Herror.Timeout; Herror.Corrupt ]);
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Store                                                               *)
 (* ------------------------------------------------------------------ *)
 
 let store_tests =
   [
-    test_case "round trip preserves ok and failed entries" (fun () ->
+    test_case "round trip preserves ok, degraded and failed entries"
+      (fun () ->
         let path = fresh_store_path () in
         let store = Store.open_append path in
+        let err = Herror.v ~site:"runner.exec" ~attempts:2 Herror.Timeout "timeout after 1s" in
         Store.append store
           {
             Store.task_id = "a/1";
             status = Task.Done { Task.swaps = 12; seconds = 0.5 };
           };
         Store.append store
-          { Store.task_id = "a/2"; status = Task.Failed "boom \"quoted\"\n" };
+          {
+            Store.task_id = "a/2";
+            status =
+              Task.Failed (Herror.permanent ~site:"runner.exec" "boom \"quoted\"\n");
+          };
+        Store.append store
+          {
+            Store.task_id = "a/3";
+            status =
+              Task.Degraded
+                {
+                  Task.outcome = { Task.swaps = 9; seconds = 0.25 };
+                  via = "sabre";
+                  error = err;
+                };
+          };
         Store.close store;
         (match Store.load path with
-        | [ e1; e2 ] ->
+        | [ e1; e2; e3 ] ->
             check_string "id 1" "a/1" e1.Store.task_id;
             (match e1.Store.status with
             | Task.Done o -> check_int "swaps" 12 o.Task.swaps
-            | Task.Failed _ -> Alcotest.fail "entry 1 should be ok");
+            | _ -> Alcotest.fail "entry 1 should be ok");
             (match e2.Store.status with
-            | Task.Failed msg ->
-                check_string "escape round trip" "boom \"quoted\"\n" msg
-            | Task.Done _ -> Alcotest.fail "entry 2 should be failed")
+            | Task.Failed e ->
+                check_string "escape round trip" "boom \"quoted\"\n"
+                  e.Herror.message;
+                check_bool "class" true (e.Herror.klass = Herror.Permanent);
+                check_string "site" "runner.exec" e.Herror.site
+            | _ -> Alcotest.fail "entry 2 should be failed");
+            (match e3.Store.status with
+            | Task.Degraded d ->
+                check_string "via" "sabre" d.Task.via;
+                check_int "fallback swaps" 9 d.Task.outcome.Task.swaps;
+                check_bool "original error class" true
+                  (d.Task.error.Herror.klass = Herror.Timeout);
+                check_int "attempts" 2 d.Task.error.Herror.attempts
+            | _ -> Alcotest.fail "entry 3 should be degraded")
         | es ->
-            Alcotest.failf "expected 2 entries, got %d" (List.length es));
+            Alcotest.failf "expected 3 entries, got %d" (List.length es));
         Sys.remove path);
-    test_case "a truncated final line is ignored, earlier lines survive"
+    test_case "a truncated final line is quarantined, earlier lines survive"
       (fun () ->
         let path = fresh_store_path () in
         let store = Store.open_append path in
@@ -126,13 +203,90 @@ let store_tests =
         let oc = open_out_gen [ Open_append ] 0o644 path in
         output_string oc {|{"id":"half","status":"o|};
         close_out oc;
-        check_int "one entry" 1 (List.length (Store.load path));
+        let entries, bad = Store.load_verified path in
+        check_int "one entry" 1 (List.length entries);
+        check_int "one quarantined line" 1 (List.length bad);
+        check_int "it is the torn tail" 2 (List.hd bad).Store.line_no;
+        Sys.remove path);
+    test_case "an interior bit flip is caught by the crc and quarantined"
+      (fun () ->
+        let path = fresh_store_path () in
+        let store = Store.open_append path in
+        List.iter
+          (fun i ->
+            Store.append store
+              {
+                Store.task_id = Printf.sprintf "t/%d" i;
+                status = Task.Done { Task.swaps = i; seconds = 0.1 };
+              })
+          [ 0; 1; 2 ];
+        Store.close store;
+        (* Flip one digit inside the *middle* line's swaps field: the
+           JSON still parses, only the checksum can notice. *)
+        let lines =
+          In_channel.with_open_text path In_channel.input_lines
+        in
+        let damaged =
+          List.mapi
+            (fun i line ->
+              if i <> 1 then line
+              else
+                String.map (fun c -> if c = '1' then '7' else c) line)
+            lines
+        in
+        Out_channel.with_open_text path (fun oc ->
+            List.iter (fun l -> Out_channel.output_string oc (l ^ "\n")) damaged);
+        let entries, bad = Store.load_verified path in
+        check_int "two entries survive" 2 (List.length entries);
+        check_int "one quarantined" 1 (List.length bad);
+        check_int "line 2 is the damaged one" 2 (List.hd bad).Store.line_no;
+        check_string "reason" "crc mismatch" (List.hd bad).Store.reason;
+        Sys.remove path);
+    test_case "legacy v1 lines without crc are still accepted" (fun () ->
+        let path = fresh_store_path () in
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc
+              ("{\"id\":\"old/1\",\"status\":\"ok\",\"swaps\":4,\"seconds\":0.1}\n"
+             ^ "{\"id\":\"old/2\",\"status\":\"failed\",\"error\":\"kaput\"}\n"));
+        (match Store.load_verified path with
+        | [ e1; e2 ], [] ->
+            (match e1.Store.status with
+            | Task.Done o -> check_int "v1 ok" 4 o.Task.swaps
+            | _ -> Alcotest.fail "v1 ok line");
+            (match e2.Store.status with
+            | Task.Failed e ->
+                check_string "v1 message" "kaput" e.Herror.message;
+                check_bool "v1 errors default to permanent" true
+                  (e.Herror.klass = Herror.Permanent)
+            | _ -> Alcotest.fail "v1 failed line")
+        | es, bad ->
+            Alcotest.failf "expected 2 clean entries, got %d (+%d bad)"
+              (List.length es) (List.length bad));
+        Sys.remove path);
+    test_case "strict unicode escapes: garbage hex is quarantined" (fun () ->
+        let path = fresh_store_path () in
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc
+              "{\"id\":\"\\u+9ab\",\"status\":\"ok\",\"swaps\":1,\"seconds\":0.1}\n");
+        let entries, bad = Store.load_verified path in
+        check_int "rejected" 0 (List.length entries);
+        check_int "quarantined" 1 (List.length bad);
+        Sys.remove path);
+    test_case "unicode escapes decode as UTF-8, not a truncated byte"
+      (fun () ->
+        let path = fresh_store_path () in
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc
+              "{\"id\":\"q\\u00e9\\u20ac\",\"status\":\"ok\",\"swaps\":1,\"seconds\":0.1}\n");
+        (match Store.load path with
+        | [ e ] -> check_string "utf-8" "q\xc3\xa9\xe2\x82\xac" e.Store.task_id
+        | es -> Alcotest.failf "expected 1 entry, got %d" (List.length es));
         Sys.remove path);
     test_case "completed keeps the last entry per task" (fun () ->
         let completed =
           Store.completed
             [
-              { Store.task_id = "t"; status = Task.Failed "first" };
+              { Store.task_id = "t"; status = Task.Failed (Herror.permanent "first") };
               {
                 Store.task_id = "t";
                 status = Task.Done { Task.swaps = 3; seconds = 0.2 };
@@ -142,6 +296,49 @@ let store_tests =
         match Hashtbl.find_opt completed "t" with
         | Some (Task.Done o) -> check_int "last wins" 3 o.Task.swaps
         | _ -> Alcotest.fail "expected the ok entry");
+    test_case "compact drops superseded and corrupt lines atomically"
+      (fun () ->
+        let path = fresh_store_path () in
+        let store = Store.open_append path in
+        Store.append store
+          { Store.task_id = "t/0"; status = Task.Failed (Herror.timeout 1.0) };
+        Store.append store
+          {
+            Store.task_id = "t/1";
+            status = Task.Done { Task.swaps = 5; seconds = 0.1 };
+          };
+        Store.append store
+          {
+            Store.task_id = "t/0";
+            status = Task.Done { Task.swaps = 2; seconds = 0.4 };
+          };
+        Store.close store;
+        (* Splice a corrupt line into the middle of the file. *)
+        let lines = In_channel.with_open_text path In_channel.input_lines in
+        Out_channel.with_open_text path (fun oc ->
+            List.iteri
+              (fun i l ->
+                if i = 1 then Out_channel.output_string oc "garbage{{{\n";
+                Out_channel.output_string oc (l ^ "\n"))
+              lines);
+        let stats = Store.compact path in
+        check_int "kept" 2 stats.Store.kept;
+        check_int "superseded" 1 stats.Store.superseded;
+        check_int "quarantined" 1 stats.Store.quarantined;
+        (match Store.load_verified path with
+        | [ e0; e1 ], [] ->
+            check_string "first-appearance order" "t/0" e0.Store.task_id;
+            (match e0.Store.status with
+            | Task.Done o -> check_int "last status wins" 2 o.Task.swaps
+            | _ -> Alcotest.fail "t/0 should be ok after compact");
+            check_string "second" "t/1" e1.Store.task_id
+        | es, bad ->
+            Alcotest.failf "expected 2 clean entries, got %d (+%d bad)"
+              (List.length es) (List.length bad));
+        check_bool "quarantine file exists" true
+          (Sys.file_exists (path ^ ".quarantine"));
+        Sys.remove path;
+        Sys.remove (path ^ ".quarantine"));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -167,61 +364,103 @@ let pool_tests =
 (* Runner                                                              *)
 (* ------------------------------------------------------------------ *)
 
+let immediate = { Runner.default with Runner.backoff = 0.0 }
+
 let runner_tests =
   [
-    test_case "an exception becomes an error string" (fun () ->
+    test_case "an exception becomes a typed permanent error" (fun () ->
         match Runner.run Runner.default (fun () -> failwith "kaput") with
-        | Error msg ->
+        | Error e ->
+            check_bool "permanent" true (e.Herror.klass = Herror.Permanent);
             check_bool "mentions the exception" true
-              (String.length msg > 0
-              && String.index_opt msg 'k' <> None)
+              (String.index_opt e.Herror.message 'k' <> None);
+            check_int "one attempt" 1 e.Herror.attempts
         | Ok _ -> Alcotest.fail "expected an error");
     test_case "a slow task exceeds its wall-clock budget" (fun () ->
         match
           Runner.run
-            { Runner.timeout = Some 0.05; retries = 0 }
+            { immediate with Runner.timeout = Some 0.05 }
             (fun () -> Thread.delay 0.3)
         with
-        | Error msg ->
-            check_bool "timeout message" true
-              (String.length msg >= 7 && String.sub msg 0 7 = "timeout")
+        | Error e -> check_bool "timeout class" true (e.Herror.klass = Herror.Timeout)
         | Ok () -> Alcotest.fail "expected a timeout");
     test_case "a fast task under a timeout succeeds" (fun () ->
         match
-          Runner.run { Runner.timeout = Some 5.0; retries = 0 } (fun () -> 42)
+          Runner.run { immediate with Runner.timeout = Some 5.0 } (fun () -> 42)
         with
         | Ok v -> check_int "result" 42 v
-        | Error e -> Alcotest.failf "unexpected error: %s" e);
-    test_case "bounded retry recovers a flaky task" (fun () ->
+        | Error e -> Alcotest.failf "unexpected error: %s" (Herror.to_string e));
+    test_case "bounded retry recovers a flaky (transient) task" (fun () ->
         let attempts = Atomic.make 0 in
         let flaky () =
-          if Atomic.fetch_and_add attempts 1 < 2 then failwith "flaky" else 7
+          if Atomic.fetch_and_add attempts 1 < 2 then raise (transient_exn "flaky")
+          else 7
         in
-        (match Runner.run { Runner.timeout = None; retries = 2 } flaky with
+        (match Runner.run { immediate with Runner.retries = 2 } flaky with
         | Ok v -> check_int "third attempt" 7 v
-        | Error e -> Alcotest.failf "unexpected error: %s" e);
+        | Error e -> Alcotest.failf "unexpected error: %s" (Herror.to_string e));
         check_int "attempts" 3 (Atomic.get attempts));
-    test_case "retry budget exhausts" (fun () ->
-        match
-          Runner.run
-            { Runner.timeout = None; retries = 1 }
-            (fun () -> failwith "always")
-        with
-        | Error _ -> ()
+    test_case "a permanent error is never retried" (fun () ->
+        let attempts = Atomic.make 0 in
+        let always () =
+          Atomic.incr attempts;
+          failwith "deterministic"
+        in
+        (match Runner.run { immediate with Runner.retries = 5 } always with
+        | Error e ->
+            check_bool "permanent" true (e.Herror.klass = Herror.Permanent);
+            check_int "terminal after one attempt" 1 e.Herror.attempts
+        | Ok _ -> Alcotest.fail "expected an error");
+        check_int "executed exactly once" 1 (Atomic.get attempts));
+    test_case "retry budget exhausts and reports attempts" (fun () ->
+        let attempts = Atomic.make 0 in
+        (match
+           Runner.run
+             { immediate with Runner.retries = 1 }
+             (fun () ->
+               Atomic.incr attempts;
+               raise (transient_exn "always"))
+         with
+        | Error e -> check_int "attempts recorded" 2 e.Herror.attempts
         | Ok _ -> Alcotest.fail "expected exhaustion");
+        check_int "two attempts" 2 (Atomic.get attempts));
+    test_case "backoff schedule is deterministic, jittered, exponential"
+      (fun () ->
+        let config =
+          { Runner.default with Runner.backoff = 0.1; backoff_max = 10.0 }
+        in
+        let d0 = Runner.backoff_delay config ~seed:42 ~attempt:0 in
+        let d0' = Runner.backoff_delay config ~seed:42 ~attempt:0 in
+        let d3 = Runner.backoff_delay config ~seed:42 ~attempt:3 in
+        Alcotest.(check (float 0.0)) "deterministic" d0 d0';
+        check_bool "within jitter band 0" true (d0 >= 0.05 && d0 < 0.15);
+        check_bool "within jitter band 3" true (d3 >= 0.4 && d3 < 1.2);
+        check_bool "seeds decorrelate" true
+          (Runner.backoff_delay config ~seed:1 ~attempt:0
+          <> Runner.backoff_delay config ~seed:2 ~attempt:0));
+    test_case "backoff is capped" (fun () ->
+        let config =
+          { Runner.default with Runner.backoff = 1.0; backoff_max = 2.0 }
+        in
+        check_bool "cap" true
+          (Runner.backoff_delay config ~seed:0 ~attempt:20 < 3.0));
   ]
 
 (* ------------------------------------------------------------------ *)
 (* Campaign                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let campaign_config ?(jobs = 1) ?timeout ?store_path ?(resume = false) () =
+let campaign_config ?(jobs = 1) ?timeout ?store_path ?(resume = false)
+    ?failure_budget ?fallback () =
   {
     (Campaign.default_config ()) with
     jobs;
     timeout;
+    backoff = 0.0;
     store_path;
     resume;
+    failure_budget;
+    fallback;
     report = None;
   }
 
@@ -236,7 +475,9 @@ let swaps_of_rows rows =
     (fun r ->
       match r.Campaign.status with
       | Task.Done o -> (Task.id r.Campaign.task, o.Task.swaps)
-      | Task.Failed msg -> Alcotest.failf "unexpected failure: %s" msg)
+      | Task.Degraded _ -> Alcotest.fail "unexpected degradation"
+      | Task.Failed e ->
+          Alcotest.failf "unexpected failure: %s" (Herror.to_string e))
     rows
 
 let campaign_tests =
@@ -313,7 +554,9 @@ let campaign_tests =
             | Task.Done o ->
                 check_int "resumed result is the computed result"
                   (synthetic_exec r.Campaign.task).Task.swaps o.Task.swaps
-            | Task.Failed msg -> Alcotest.failf "unexpected failure: %s" msg)
+            | Task.Degraded _ -> Alcotest.fail "unexpected degradation"
+            | Task.Failed e ->
+                Alcotest.failf "unexpected failure: %s" (Herror.to_string e))
           rows;
         Sys.remove path);
     test_case "a raising task fails alone, siblings are unharmed" (fun () ->
@@ -327,10 +570,11 @@ let campaign_tests =
         check_int "one failure" 1 (List.length (Campaign.failures rows));
         check_int "rest succeeded" 11 (List.length (Campaign.outcomes rows));
         match (List.nth rows 5).Campaign.status with
-        | Task.Failed msg ->
-            check_bool "carries the exception" true
-              (String.length msg > 0)
-        | Task.Done _ -> Alcotest.fail "poisoned task should fail");
+        | Task.Failed e ->
+            check_bool "typed as permanent" true
+              (e.Herror.klass = Herror.Permanent);
+            check_string "observed at the exec site" "runner.exec" e.Herror.site
+        | _ -> Alcotest.fail "poisoned task should fail");
     test_case "a task over its timeout fails alone" (fun () ->
         let tasks = synthetic_tasks 8 in
         let slow = Task.id (List.nth tasks 2) in
@@ -344,26 +588,115 @@ let campaign_tests =
             ~exec tasks
         in
         (match (List.nth rows 2).Campaign.status with
-        | Task.Failed msg ->
-            check_bool "timeout reported" true
-              (String.length msg >= 7 && String.sub msg 0 7 = "timeout")
-        | Task.Done _ -> Alcotest.fail "slow task should time out");
+        | Task.Failed e ->
+            check_bool "timeout class" true (e.Herror.klass = Herror.Timeout)
+        | _ -> Alcotest.fail "slow task should time out");
         check_int "siblings unharmed" 7 (List.length (Campaign.outcomes rows)));
-    test_case "progress tracks counts and per-tool gaps" (fun () ->
-        let p = Progress.create ~total:4 in
-        Progress.record ~ratio:2.0 ~tool:"sabre" ~ok:true p;
-        Progress.record ~ratio:4.0 ~tool:"sabre" ~ok:true p;
-        Progress.record ~tool:"tket" ~ok:false p;
+    test_case "a failed tool degrades to its fallback, recorded as such"
+      (fun () ->
+        let tasks = synthetic_tasks 8 in
+        let exec t =
+          if t.Task.tool = "qmap" then failwith "solver blew up"
+          else synthetic_exec t
+        in
+        let fallback = function "qmap" -> Some "sabre" | _ -> None in
+        let rows =
+          Campaign.run (campaign_config ~jobs:2 ~fallback ()) ~exec tasks
+        in
+        let rescued = Campaign.degraded rows in
+        check_int "both qmap tasks degraded" 2 (List.length rescued);
+        check_int "no failures" 0 (List.length (Campaign.failures rows));
+        check_int "others untouched" 6 (List.length (Campaign.outcomes rows));
+        List.iter
+          (fun ((task : Task.t), (d : Task.degradation)) ->
+            check_string "degraded task is the qmap one" "qmap" task.Task.tool;
+            check_string "via" "sabre" d.Task.via;
+            (* The outcome is the fallback task's deterministic result. *)
+            check_int "fallback outcome"
+              (synthetic_exec { task with Task.tool = "sabre" }).Task.swaps
+              d.Task.outcome.Task.swaps;
+            check_bool "original error kept" true
+              (d.Task.error.Herror.klass = Herror.Permanent))
+          rescued);
+    test_case "degradation failing too leaves the original error" (fun () ->
+        let tasks = synthetic_tasks 4 in
+        let exec t =
+          if t.Task.tool = "qmap" || t.Task.tool = "sabre" then
+            failwith "everything down"
+          else synthetic_exec t
+        in
+        let fallback = function "qmap" -> Some "sabre" | _ -> None in
+        let rows = Campaign.run (campaign_config ~fallback ()) ~exec tasks in
+        check_int "qmap and sabre failed" 2 (List.length (Campaign.failures rows));
+        check_int "nothing degraded" 0 (List.length (Campaign.degraded rows)));
+    test_case "failure budget aborts a doomed campaign early" (fun () ->
+        let tasks = synthetic_tasks 64 in
+        let executed = Atomic.make 0 in
+        let exec _ =
+          Atomic.incr executed;
+          failwith "dead cluster"
+        in
+        let rows =
+          Campaign.run
+            (campaign_config ~failure_budget:0.5 ())
+            ~exec tasks
+        in
+        (match Campaign.aborted rows with
+        | Some why ->
+            check_bool "mentions the budget" true
+              (String.length why > 0)
+        | None -> Alcotest.fail "expected an abort");
+        check_bool "stopped early" true (Atomic.get executed < 20);
+        check_int "every task still has a row" 64 (List.length rows));
+    test_case "aborted tasks are not checkpointed, so resume re-runs them"
+      (fun () ->
+        let tasks = synthetic_tasks 32 in
+        let path = fresh_store_path () in
+        let dead = Atomic.make true in
+        let exec t =
+          if Atomic.get dead then failwith "dead cluster"
+          else synthetic_exec t
+        in
+        ignore
+          (Campaign.run
+             (campaign_config ~store_path:path ~failure_budget:0.5 ())
+             ~exec tasks);
+        let checkpointed = List.length (Store.load path) in
+        check_bool "some tasks never reached the store" true
+          (checkpointed < 32);
+        (* The cluster recovers; resume must finish the rest. *)
+        Atomic.set dead false;
+        let rows =
+          Campaign.run
+            (campaign_config ~store_path:path ~resume:true ())
+            ~exec tasks
+        in
+        check_int "all rows fresh or resumed" 32 (List.length rows);
+        check_int "every remaining task now succeeded"
+          (32 - checkpointed)
+          (List.length (Campaign.outcomes rows));
+        Sys.remove path);
+    test_case "progress tracks counts, degradation and per-tool gaps"
+      (fun () ->
+        let p = Progress.create ~total:5 in
+        Progress.record ~ratio:2.0 ~tool:"sabre" ~outcome:`Ok p;
+        Progress.record ~ratio:4.0 ~tool:"sabre" ~outcome:`Ok p;
+        Progress.record ~tool:"tket" ~outcome:`Failed p;
+        Progress.record ~ratio:9.0 ~tool:"qmap" ~outcome:`Degraded p;
         Progress.record_resumed p;
-        check_int "finished" 4 (Progress.finished p);
+        check_int "finished" 5 (Progress.finished p);
         let line = Progress.render p in
-        check_bool "mentions the mean gap" true
-          (let re = "sabre 3.0x" in
-           let rec contains i =
-             i + String.length re <= String.length line
-             && (String.sub line i (String.length re) = re || contains (i + 1))
-           in
-           contains 0));
+        let contains re =
+          let rec go i =
+            i + String.length re <= String.length line
+            && (String.sub line i (String.length re) = re || go (i + 1))
+          in
+          go 0
+        in
+        check_bool "mentions the mean gap" true (contains "sabre 3.0x");
+        check_bool "mentions degradation" true (contains "degraded:1");
+        check_bool "degraded ratio not folded into qmap's gap" false
+          (contains "qmap"));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -402,6 +735,31 @@ let aggregation_tests =
         check_int "only the surviving tool" 1 (List.length points);
         check_string "it is sabre" "sabre"
           (List.hd points).Evaluation.tool_name);
+    test_case "degraded rows count as coverage, not as the tool's samples"
+      (fun () ->
+        let device = Topologies.grid 3 3 in
+        let config =
+          {
+            (Evaluation.default_figure_config device) with
+            swap_counts = [ 2 ];
+            circuits_per_point = 2;
+            gate_budget = 25;
+          }
+        in
+        let tasks = Evaluation.campaign_tasks ~config device in
+        let exec t =
+          if t.Task.tool = "qmap" then failwith "down" else synthetic_exec t
+        in
+        let fallback = function "qmap" -> Some "sabre" | _ -> None in
+        let rows = Campaign.run (campaign_config ~fallback ()) ~exec tasks in
+        let points = Evaluation.aggregate_campaign ~config ~device rows in
+        (* qmap has no samples of its own -> skipped, but its rescue is
+           visible: no qmap point, and the degraded count lives on rows. *)
+        check_bool "qmap point skipped" true
+          (not
+             (List.exists (fun p -> p.Evaluation.tool_name = "qmap") points));
+        check_int "its two instances were rescued" 2
+          (List.length (Campaign.degraded rows)));
     test_case "all tasks failing aggregates to an empty figure" (fun () ->
         let device = Topologies.grid 3 3 in
         let config =
@@ -425,6 +783,7 @@ let () =
   Alcotest.run "qls_harness"
     [
       ("task", task_tests);
+      ("herror", herror_tests);
       ("store", store_tests);
       ("pool", pool_tests);
       ("runner", runner_tests);
