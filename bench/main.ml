@@ -150,6 +150,31 @@ let run_timing () =
     (List.sort compare rows)
 
 (* ------------------------------------------------------------------ *)
+(* Router hot-path microbenchmark (perf trajectory)                    *)
+(* ------------------------------------------------------------------ *)
+
+let run_router_bench () =
+  section "Router hot path (BENCH_router.json)";
+  Printf.printf
+    "Per-router ns/gate and swaps/second on fixed-seed QUBIKOS instances\n\
+     over the paper's four topologies at three depths, plus the\n\
+     deterministic lookahead-construction counters (a hoisted router\n\
+     builds <= 1 per round). Written to BENCH_router.json — the repo's\n\
+     perf trajectory; bench/router_bench.exe --check compares runs.\n\n";
+  let scale =
+    match !scale with
+    | Quick -> Router_bench_core.Quick
+    | Default -> Router_bench_core.Default
+    | Full -> Router_bench_core.Full
+  in
+  let runs = Router_bench_core.default_runs scale in
+  let entries = Router_bench_core.run ~progress:true ~scale ~runs () in
+  Router_bench_core.write_json ~path:"BENCH_router.json"
+    ~mode:(Router_bench_core.string_of_scale scale)
+    entries;
+  Printf.printf "  wrote BENCH_router.json (%d entries)\n" (List.length entries)
+
+(* ------------------------------------------------------------------ *)
 (* E1: optimality study (§IV-A)                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -401,6 +426,7 @@ let () =
   Printf.printf "QUBIKOS benchmark & experiment harness (scale: %s)\n"
     (match !scale with Quick -> "quick" | Default -> "default" | Full -> "full/paper");
   if !timing then run_timing ();
+  run_router_bench ();
   run_optimality_study ();
   run_queko_contrast ();
   run_case_study ();

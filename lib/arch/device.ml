@@ -21,6 +21,8 @@ let neighbors d p = Graph.neighbors d.graph p
 let degree d p = Graph.degree d.graph p
 let max_degree d = Graph.max_degree d.graph
 let edges d = Graph.edges d.graph
+let edge_at d i = Graph.edge_at d.graph i
+let incident_edges d p = Graph.incident_edges d.graph p
 
 let automorphisms ?(limit = 10_000) d =
   Vf2.count ~limit ~pattern:d.graph ~target:d.graph ()

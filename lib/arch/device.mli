@@ -46,6 +46,17 @@ val max_degree : t -> int
 val edges : t -> (int * int) list
 (** Canonical coupler list. *)
 
+val edge_at : t -> int -> int * int
+(** [edge_at d i] is coupler [i] of the canonical list, O(1).
+    @raise Invalid_argument if [i] is outside [\[0, n_edges d)]. *)
+
+val incident_edges : t -> int -> int array
+(** [incident_edges d p] is the ascending array of canonical-list indices
+    of the couplers touching [p]. Precomputed; do not mutate. The routers
+    build their SWAP-candidate sets from this instead of filtering
+    {!edges}, so a routing round costs O(front couplers), not
+    O(all couplers). *)
+
 val automorphisms : ?limit:int -> t -> int
 (** Number of coupling-graph automorphisms, counted up to [limit]
     (default 10_000). The paper attributes part of IBM Rochester's large

@@ -4,6 +4,7 @@ type t = {
   n : int;
   adj : int array array; (* sorted neighbour arrays *)
   edges : edge array;    (* canonical (u < v), sorted lexicographically *)
+  inc : int array array; (* per vertex: ascending indices into [edges] *)
 }
 
 let canon u v = if u < v then (u, v) else (v, u)
@@ -45,13 +46,34 @@ let create n edge_list =
       fill.(v) <- fill.(v) + 1)
     edges;
   Array.iter (fun nbrs -> Array.sort compare nbrs) adj;
-  { n; adj; edges }
+  (* Incident edge indices: edges are scanned in ascending index order, so
+     each per-vertex list comes out ascending without a sort. *)
+  let inc = Array.init n (fun v -> Array.make deg.(v) 0) in
+  let ifill = Array.make n 0 in
+  Array.iteri
+    (fun i (u, v) ->
+      inc.(u).(ifill.(u)) <- i;
+      ifill.(u) <- ifill.(u) + 1;
+      inc.(v).(ifill.(v)) <- i;
+      ifill.(v) <- ifill.(v) + 1)
+    edges;
+  { n; adj; edges; inc }
 
 let empty n = create n []
 let n_vertices g = g.n
 let n_edges g = Array.length g.edges
 let edges g = Array.to_list g.edges
 let edge_array g = Array.copy g.edges
+
+let edge_at g i =
+  if i < 0 || i >= Array.length g.edges then
+    invalid_arg (Printf.sprintf "Graph.edge_at: index %d outside [0, %d)" i
+                   (Array.length g.edges));
+  g.edges.(i)
+
+let incident_edges g v =
+  check_endpoint g.n v;
+  g.inc.(v)
 
 let mem_edge g u v =
   if u < 0 || u >= g.n || v < 0 || v >= g.n || u = v then false

@@ -38,6 +38,17 @@ val edges : t -> edge list
 val edge_array : t -> edge array
 (** Same as {!edges} but as a fresh array. *)
 
+val edge_at : t -> int -> edge
+(** [edge_at g i] is edge [i] of the canonical (lexicographically sorted)
+    edge list, O(1) and allocation-free — the router hot path resolves
+    candidate edge indices through this.
+    @raise Invalid_argument if [i] is outside [\[0, n_edges g)]. *)
+
+val incident_edges : t -> int -> int array
+(** [incident_edges g v] is the ascending array of indices (into the
+    canonical edge list) of the edges touching [v]. Precomputed at
+    construction; the caller must not mutate it. *)
+
 val mem_edge : t -> int -> int -> bool
 (** [mem_edge g u v] is [true] iff [{u, v}] is an edge. Order-insensitive. *)
 

@@ -4,12 +4,21 @@ let run ~jobs ~f tasks =
   let n = Array.length tasks in
   let results = Array.make n None in
   let next = Atomic.make 0 in
+  (* First worker exception wins; the rest of the pool drains and joins
+     cleanly, then the winner is re-raised with its original backtrace. *)
+  let failed = Atomic.make None in
   let worker () =
     let rec loop () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < n then begin
-        results.(i) <- Some (f i tasks.(i));
-        loop ()
+      if Atomic.get failed = None then begin
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (match f i tasks.(i) with
+          | v -> results.(i) <- Some v
+          | exception e ->
+              let bt = Printexc.get_raw_backtrace () in
+              ignore (Atomic.compare_and_set failed None (Some (e, bt))));
+          loop ()
+        end
       end
     in
     loop ()
@@ -18,11 +27,15 @@ let run ~jobs ~f tasks =
   if jobs = 1 then worker ()
   else begin
     let others = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    Array.iter Domain.join others
+    (* Join unconditionally: even if the calling-domain worker dies with
+       an asynchronous exception, no spawned domain is leaked. *)
+    Fun.protect ~finally:(fun () -> Array.iter Domain.join others) worker
   end;
-  Array.map
-    (function Some v -> v | None -> invalid_arg "Pool.run: missing result")
-    results
+  match Atomic.get failed with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None ->
+      Array.map
+        (function Some v -> v | None -> invalid_arg "Pool.run: missing result")
+        results
 
 let map ~jobs ~f tasks = run ~jobs ~f:(fun _ x -> f x) tasks

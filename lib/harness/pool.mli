@@ -9,7 +9,11 @@
     The callback [f] must be safe to run concurrently from several
     domains (the harness guarantees this by giving every task its own
     seeds and serialising shared sinks behind mutexes). An exception
-    escaping [f] tears the pool down — task-level failures must be
+    escaping [f] tears the pool down {e cleanly}: the remaining workers
+    stop taking new tasks, every spawned domain is joined (none leaks,
+    whichever domain failed), and the first exception raised is then
+    re-raised on the calling domain with its original backtrace.
+    Task-level failures that should not abort the campaign must still be
     caught inside [f], which is what {!Runner.guard} is for. *)
 
 val recommended_jobs : unit -> int

@@ -36,17 +36,38 @@ let heuristic ~opts device mapping ~target_pairs ~lookahead_pairs =
 let astar ~opts device mapping ~target_pairs ~lookahead_pairs =
   let open_set = Pqueue.create () in
   let closed = Hashtbl.create 4096 in
+  (* Couplers touching a physical qubit that holds a target-layer qubit.
+     The search expands thousands of nodes per layer, so this walks the
+     precomputed incident-edge lists with scratch reused across
+     expansions instead of rebuilding a set and rescanning every coupler
+     per node; ascending edge index restores canonical order, so the
+     expansion order (and hence the result) is unchanged. *)
+  let edge_mark = Array.make (Device.n_edges device) false in
+  let edge_ids = Array.make (Device.n_edges device) 0 in
   let relevant m =
-    (* Couplers touching a physical qubit that holds a target-layer qubit. *)
-    let module IS = Set.Make (Int) in
-    let phys =
-      List.fold_left
-        (fun acc (a, b) -> IS.add (Mapping.phys m a) (IS.add (Mapping.phys m b) acc))
-        IS.empty target_pairs
+    let k = ref 0 in
+    let add p =
+      Array.iter
+        (fun e ->
+          if not edge_mark.(e) then begin
+            edge_mark.(e) <- true;
+            edge_ids.(!k) <- e;
+            incr k
+          end)
+        (Device.incident_edges device p)
     in
-    List.filter
-      (fun (p, p') -> IS.mem p phys || IS.mem p' phys)
-      (Device.edges device)
+    List.iter
+      (fun (a, b) ->
+        add (Mapping.phys m a);
+        add (Mapping.phys m b))
+      target_pairs;
+    let ids = Array.sub edge_ids 0 !k in
+    Array.sort compare ids;
+    Array.fold_right
+      (fun e acc ->
+        edge_mark.(e) <- false;
+        Device.edge_at device e :: acc)
+      ids []
   in
   (* The budget counts queue insertions: each stored state holds a full
      mapping, so this also bounds peak memory. *)

@@ -5,6 +5,35 @@ module Device = Qls_arch.Device
 module Mapping = Qls_layout.Mapping
 module Transpiled = Qls_layout.Transpiled
 
+(* Build counters for the round-invariant lookahead structures. The
+   routers are expected to build each at most once per routing round; the
+   bench (bench/router_bench.ml) and the hoisting regression tests read
+   these to prove it. Atomic because campaign workers route on several
+   domains at once. *)
+module Debug = struct
+  type counters = {
+    extended_set_builds : int;
+    remaining_layers_builds : int;
+    swap_candidate_scans : int;
+  }
+
+  let es_builds = Atomic.make 0
+  let rl_builds = Atomic.make 0
+  let sc_scans = Atomic.make 0
+
+  let reset () =
+    Atomic.set es_builds 0;
+    Atomic.set rl_builds 0;
+    Atomic.set sc_scans 0
+
+  let counters () =
+    {
+      extended_set_builds = Atomic.get es_builds;
+      remaining_layers_builds = Atomic.get rl_builds;
+      swap_candidate_scans = Atomic.get sc_scans;
+    }
+end
+
 type t = {
   device : Device.t;
   source : Circuit.t;
@@ -17,7 +46,28 @@ type t = {
   mutable emitted : int;      (* two-qubit gates emitted *)
   mutable n_swaps : int;
   pending_1q : int list array; (* per program qubit: 1q gate indices, ascending *)
+  (* Hot-path scratch, owned by this state and reused across rounds; see
+     "Router hot path" in DESIGN.md for the ownership rules. Every public
+     query restores its scratch to the neutral state before returning, so
+     calls never observe each other. *)
+  phys_front : int array;     (* per physical qubit: front gates touching it *)
+  edge_mark : bool array;     (* per coupler index: candidate-dedup marks *)
+  edge_ids : int array;       (* candidate coupler-index collection buffer *)
+  es_seen : bool array;       (* per DAG vertex: extended-set BFS marks *)
+  es_queue : int Queue.t;     (* extended-set BFS queue, cleared per use *)
+  indeg_scratch : int array;  (* lazily-initialised indeg copy (by epoch) *)
+  indeg_epoch : int array;    (* validity epoch of indeg_scratch entries *)
+  mutable epoch : int;        (* current remaining_layers epoch *)
 }
+
+(* [phys_front] bookkeeping: every front gate contributes one count to the
+   physical qubit of each of its two program qubits (the two are always
+   distinct physical qubits, so a gate never double-counts one qubit). *)
+let bump_front t v delta =
+  let a, b = Dag.pair t.dag v in
+  let pa = Mapping.phys t.mapping a and pb = Mapping.phys t.mapping b in
+  t.phys_front.(pa) <- t.phys_front.(pa) + delta;
+  t.phys_front.(pb) <- t.phys_front.(pb) + delta
 
 let create ~device ~source ~initial =
   if Mapping.n_program initial <> Circuit.n_qubits source then
@@ -36,19 +86,31 @@ let create ~device ~source ~initial =
       | Gate.G2 _ -> ())
     (Circuit.gates source);
   Array.iteri (fun q l -> pending_1q.(q) <- List.rev l) pending_1q;
-  {
-    device;
-    source;
-    dag;
-    initial;
-    mapping = initial;
-    ops_rev = [];
-    indeg;
-    front;
-    emitted = 0;
-    n_swaps = 0;
-    pending_1q;
-  }
+  let t =
+    {
+      device;
+      source;
+      dag;
+      initial;
+      mapping = initial;
+      ops_rev = [];
+      indeg;
+      front;
+      emitted = 0;
+      n_swaps = 0;
+      pending_1q;
+      phys_front = Array.make (Device.n_qubits device) 0;
+      edge_mark = Array.make (Device.n_edges device) false;
+      edge_ids = Array.make (Device.n_edges device) 0;
+      es_seen = Array.make n false;
+      es_queue = Queue.create ();
+      indeg_scratch = Array.make n 0;
+      indeg_epoch = Array.make n 0;
+      epoch = 0;
+    }
+  in
+  List.iter (fun v -> bump_front t v 1) t.front;
+  t
 
 let device t = t.device
 let dag t = t.dag
@@ -85,7 +147,10 @@ let emit_gate t v =
   List.iter
     (fun w ->
       t.indeg.(w) <- t.indeg.(w) - 1;
-      if t.indeg.(w) = 0 then t.front <- w :: t.front)
+      if t.indeg.(w) = 0 then begin
+        t.front <- w :: t.front;
+        bump_front t w 1
+      end)
     (Dag.successors t.dag v)
 
 let advance t =
@@ -97,6 +162,7 @@ let advance t =
     if exec <> [] then begin
       (* Keep deterministic order: lower DAG index first. *)
       let exec = List.sort compare exec in
+      List.iter (fun v -> bump_front t v (-1)) exec;
       t.front <- blocked;
       List.iter (fun v -> emit_gate t v) exec;
       emitted_total := !emitted_total + List.length exec;
@@ -110,6 +176,11 @@ let apply_swap t p p' =
     invalid_arg
       (Printf.sprintf "Route_state.apply_swap: (%d,%d) is not a coupler" p p');
   t.mapping <- Mapping.swap_physical t.mapping p p';
+  (* The occupants of p and p' exchanged, and with them their front
+     counts. *)
+  let c = t.phys_front.(p) in
+  t.phys_front.(p) <- t.phys_front.(p');
+  t.phys_front.(p') <- c;
   t.n_swaps <- t.n_swaps + 1;
   t.ops_rev <- Transpiled.Swap (p, p') :: t.ops_rev
 
@@ -134,43 +205,69 @@ let force_route_first t =
           go path)
 
 let swap_candidates t =
-  let module IS = Set.Make (Int) in
-  let phys_front =
-    List.fold_left
-      (fun acc v ->
-        let a, b = Dag.pair t.dag v in
-        IS.add (Mapping.phys t.mapping a) (IS.add (Mapping.phys t.mapping b) acc))
-      IS.empty t.front
-  in
-  List.filter
-    (fun (p, p') -> IS.mem p phys_front || IS.mem p' phys_front)
-    (Device.edges t.device)
+  Atomic.incr Debug.sc_scans;
+  (* Collect the couplers incident to the tracked physical front, dedup
+     with the edge-mark scratch, and restore ascending canonical order —
+     exactly the list the old filter over [Device.edges] produced, at
+     O(front couplers) instead of O(all couplers). *)
+  let k = ref 0 in
+  Array.iteri
+    (fun p c ->
+      if c > 0 then
+        Array.iter
+          (fun e ->
+            if not t.edge_mark.(e) then begin
+              t.edge_mark.(e) <- true;
+              t.edge_ids.(!k) <- e;
+              incr k
+            end)
+          (Device.incident_edges t.device p))
+    t.phys_front;
+  let ids = Array.sub t.edge_ids 0 !k in
+  Array.sort compare ids;
+  Array.fold_right
+    (fun e acc ->
+      t.edge_mark.(e) <- false;
+      Device.edge_at t.device e :: acc)
+    ids []
 
 let extended_set t ~size =
+  Atomic.incr Debug.es_builds;
   (* Breadth-first through successors of the front layer, skipping
-     already-emitted vertices; nearer successors first, capped at [size]. *)
-  let module IS = Set.Make (Int) in
-  let seen = ref (IS.of_list t.front) in
+     already-emitted vertices; nearer successors first, capped at [size].
+     Visited marks live in the [es_seen] scratch and are cleared on the
+     way out (only front + result vertices were ever marked). *)
+  let seen = t.es_seen in
+  List.iter (fun v -> seen.(v) <- true) t.front;
+  Queue.clear t.es_queue;
   let out = ref [] in
   let count = ref 0 in
-  let queue = Queue.create () in
-  List.iter (fun v -> Queue.add v queue) (List.sort compare t.front);
-  while !count < size && not (Queue.is_empty queue) do
-    let v = Queue.pop queue in
+  List.iter (fun v -> Queue.add v t.es_queue) (List.sort compare t.front);
+  while !count < size && not (Queue.is_empty t.es_queue) do
+    let v = Queue.pop t.es_queue in
     List.iter
       (fun w ->
-        if !count < size && not (IS.mem w !seen) then begin
-          seen := IS.add w !seen;
+        if !count < size && not seen.(w) then begin
+          seen.(w) <- true;
           out := w :: !out;
           incr count;
-          Queue.add w queue
+          Queue.add w t.es_queue
         end)
       (Dag.successors t.dag v)
   done;
-  List.rev !out
+  let result = List.rev !out in
+  List.iter (fun v -> seen.(v) <- false) t.front;
+  List.iter (fun v -> seen.(v) <- false) result;
+  result
 
 let remaining_layers t ~max_layers =
-  let indeg = Array.copy t.indeg in
+  Atomic.incr Debug.rl_builds;
+  (* Simulate ASAP emission on the scratch in-degree array. Entries are
+     initialised lazily from [indeg] the first time this epoch touches
+     them, so a call costs O(gates reached), never O(all gates) — the old
+     implementation paid an [Array.copy] of the whole array per call. *)
+  t.epoch <- t.epoch + 1;
+  let ep = t.epoch in
   let layers = ref [] in
   let current = ref (List.sort compare t.front) in
   let n_layers = ref 0 in
@@ -182,8 +279,12 @@ let remaining_layers t ~max_layers =
       (fun v ->
         List.iter
           (fun w ->
-            indeg.(w) <- indeg.(w) - 1;
-            if indeg.(w) = 0 then next := w :: !next)
+            if t.indeg_epoch.(w) <> ep then begin
+              t.indeg_scratch.(w) <- t.indeg.(w);
+              t.indeg_epoch.(w) <- ep
+            end;
+            t.indeg_scratch.(w) <- t.indeg_scratch.(w) - 1;
+            if t.indeg_scratch.(w) = 0 then next := w :: !next)
           (Dag.successors t.dag v))
       !current;
     current := List.sort compare !next

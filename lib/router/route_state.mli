@@ -11,10 +11,45 @@
     Single-qubit gates never constrain layout; they are re-attached in a
     per-qubit-order-preserving way: each is emitted immediately before the
     first two-qubit gate that follows it on its qubit (or at the very end).
-    The {!Qls_layout.Verifier} accepts the result by construction. *)
+    The {!Qls_layout.Verifier} accepts the result by construction.
+
+    {2 Round invariance}
+
+    {!swap_candidates}, {!extended_set} and {!remaining_layers} are pure
+    queries: they depend only on the current front layer, DAG and mapping,
+    all of which change exclusively through {!advance}, {!apply_swap} and
+    {!force_route_first}. Between two such mutations — i.e. for the whole
+    of one routing round — their results are invariant, so routers must
+    build each {e once per round} and reuse the value across every
+    candidate SWAP they score. The {!Debug} counters exist to keep that
+    contract observable. *)
 
 type t
-(** Mutable routing state. *)
+(** Mutable routing state. Internally owns preallocated scratch arrays
+    (physical-front counts, coupler marks, BFS visited marks, an epoch-
+    tagged in-degree copy) that the lookahead queries reuse across rounds;
+    every query restores its scratch before returning, so the state stays
+    single-owner with no cross-call aliasing. A state must only be used
+    from one domain at a time. *)
+
+(** Counters of lookahead-structure constructions, for the benchmark
+    harness and the hoisting regression tests. Process-global and atomic
+    (campaigns route on several domains). *)
+module Debug : sig
+  type counters = {
+    extended_set_builds : int;
+    remaining_layers_builds : int;
+    swap_candidate_scans : int;
+  }
+
+  val reset : unit -> unit
+  (** Zero all counters. *)
+
+  val counters : unit -> counters
+  (** Current counts since the last {!reset}. A correctly hoisted router
+      performs at most one [extended_set_builds] (resp.
+      [remaining_layers_builds]) per [swap_candidate_scans]. *)
+end
 
 val create :
   device:Qls_arch.Device.t ->
@@ -75,17 +110,24 @@ val force_route_first : t -> unit
 
 val swap_candidates : t -> (int * int) list
 (** Couplers touching at least one physical qubit that currently holds a
-    front-layer program qubit — the standard SWAP candidate set. *)
+    front-layer program qubit — the standard SWAP candidate set, in
+    canonical ({!Qls_arch.Device.edges}) order. The physical front is
+    tracked incrementally across {!advance}/{!apply_swap}, so this costs
+    O(couplers incident to the front), not O(all couplers). Round-
+    invariant: build once per routing round. *)
 
 val extended_set : t -> size:int -> int list
 (** The SABRE "extended set": up to [size] DAG vertices following the
     front layer, collected breadth-first through the successor relation
-    (nearer successors first). *)
+    (nearer successors first). Round-invariant: build once per round and
+    share it across every candidate scored that round. *)
 
 val remaining_layers : t -> max_layers:int -> int list list
 (** ASAP timeslices of the not-yet-emitted two-qubit gates, starting from
     the current front layer, capped at [max_layers] slices. This is the
-    lookahead structure of the t|ket⟩-style router. *)
+    lookahead structure of the t|ket⟩-style router. Round-invariant:
+    build once per round and share it across every candidate scored that
+    round. *)
 
 val front_pairs_physical : t -> (int * int) list
 (** Physical qubit pairs of the front-layer gates. *)

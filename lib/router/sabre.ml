@@ -16,6 +16,7 @@ type options = {
   lookahead_decay : float option;
   bidirectional_passes : int;
   release_valve_after : int;
+  relative_tie_break : bool;
 }
 
 let default_options =
@@ -29,7 +30,18 @@ let default_options =
     lookahead_decay = None;
     bidirectional_passes = 2;
     release_valve_after = 32;
+    relative_tie_break = false;
   }
+
+(* The historical tie window is an absolute [1e-12], which silently widens
+   relative to the scores themselves on large devices (front sums grow
+   with device diameter and front size). The relative mode fixes the
+   window at 1e-9 of the best score; it changes which candidates count as
+   tied, so it sits behind an option and the goldens pin the default. *)
+let tied ~opts s best =
+  if opts.relative_tie_break then
+    Float.abs (s -. best) <= 1e-9 *. Float.max 1.0 best
+  else s <= best +. 1e-12
 
 let with_trials trials opts = { opts with trials }
 
@@ -48,7 +60,12 @@ let dist_after_swap device mapping p p' a b =
   in
   Device.distance device (reloc a) (reloc b)
 
-let score_swap ~opts ~st ~decay (p, p') =
+(* [extended] is the round's extended set, hoisted by the caller:
+   {!Route_state.extended_set} is round-invariant, so building it here —
+   once per {e candidate} — would redo the identical BFS
+   |candidates| times per round (the recomputation bug this refactor
+   removed). *)
+let score_swap ~opts ~st ~decay ~extended (p, p') =
   let device = Route_state.device st in
   let dag = Route_state.dag st in
   let mapping = Route_state.mapping st in
@@ -61,7 +78,6 @@ let score_swap ~opts ~st ~decay (p, p') =
       0.0 front
     /. float_of_int (max 1 (List.length front))
   in
-  let extended = Route_state.extended_set st ~size:opts.extended_set_size in
   let lookahead =
     match extended with
     | [] -> 0.0
@@ -106,15 +122,18 @@ let routing_pass ~opts ~rng ~trace ~device ~initial circuit =
     end
     else begin
       let candidates = Route_state.swap_candidates st in
+      let extended =
+        Route_state.extended_set st ~size:opts.extended_set_size
+      in
       let scored =
-        List.map (fun sw -> (sw, score_swap ~opts ~st ~decay sw)) candidates
+        List.map
+          (fun sw -> (sw, score_swap ~opts ~st ~decay ~extended sw))
+          candidates
       in
       let best_score =
         List.fold_left (fun acc (_, s) -> Float.min acc s) infinity scored
       in
-      let ties =
-        List.filter (fun (_, s) -> s <= best_score +. 1e-12) scored
-      in
+      let ties = List.filter (fun (_, s) -> tied ~opts s best_score) scored in
       let chosen, _ = Rng.pick rng ties in
       if trace then begin
         let dag = Route_state.dag st in

@@ -9,6 +9,7 @@ type options = {
   seed : int;
   vf2_node_limit : int;
   release_valve_after : int;
+  relative_tie_break : bool;
 }
 
 let default_options =
@@ -18,7 +19,16 @@ let default_options =
     seed = 0;
     vf2_node_limit = 200_000;
     release_valve_after = 32;
+    relative_tie_break = false;
   }
+
+(* Same scale-dependence fix as Sabre.tied: the absolute 1e-12 window is
+   the historical default the goldens pin; the relative mode tracks the
+   score magnitude. *)
+let tied ~opts s best =
+  if opts.relative_tie_break then
+    Float.abs (s -. best) <= 1e-9 *. Float.max 1.0 best
+  else s <= best +. 1e-12
 
 let dist_after_swap device mapping p p' a b =
   let reloc x =
@@ -27,11 +37,14 @@ let dist_after_swap device mapping p p' a b =
   in
   Device.distance device (reloc a) (reloc b)
 
-let score_swap ~opts ~st (p, p') =
+(* [layers] is the round's slice lookahead, hoisted by the caller:
+   {!Route_state.remaining_layers} is round-invariant (and simulates the
+   whole lookahead window), so rebuilding it per candidate multiplied the
+   round cost by |candidates| for no change in the result. *)
+let score_swap ~opts ~st ~layers (p, p') =
   let device = Route_state.device st in
   let dag = Route_state.dag st in
   let mapping = Route_state.mapping st in
-  let layers = Route_state.remaining_layers st ~max_layers:opts.lookahead_slices in
   let total = ref 0.0 in
   List.iteri
     (fun k layer ->
@@ -65,11 +78,14 @@ let route ?(options = default_options) ?initial device circuit =
     end
     else begin
       let candidates = Route_state.swap_candidates st in
+      let layers =
+        Route_state.remaining_layers st ~max_layers:opts.lookahead_slices
+      in
       let scored =
-        List.map (fun sw -> (sw, score_swap ~opts ~st sw)) candidates
+        List.map (fun sw -> (sw, score_swap ~opts ~st ~layers sw)) candidates
       in
       let best = List.fold_left (fun acc (_, s) -> Float.min acc s) infinity scored in
-      let ties = List.filter (fun (_, s) -> s <= best +. 1e-12) scored in
+      let ties = List.filter (fun (_, s) -> tied ~opts s best) scored in
       let (p, p'), _ = Rng.pick rng ties in
       Route_state.apply_swap st p p'
     end;

@@ -358,6 +358,47 @@ let pool_tests =
         Alcotest.(check (array int)) "results" [| 2; 3 |] r);
     test_case "empty input" (fun () ->
         check_int "no results" 0 (Array.length (Pool.map ~jobs:4 ~f:succ [||])));
+    test_case "a worker exception is re-raised, not a missing-result crash"
+      (fun () ->
+        (* Before PR 3 a worker exception killed its domain silently and
+           the caller died on "Pool.run: missing result" with the real
+           failure lost. The pool must now join every domain and re-raise
+           the first worker exception on the calling domain. *)
+        let f x = if x = 13 then failwith "boom" else x * 2 in
+        check_bool "failure surfaces" true
+          (try
+             ignore (Pool.map ~jobs:4 ~f (Array.init 40 Fun.id));
+             false
+           with Failure m -> m = "boom"));
+    test_case "worker exception with jobs = 1 (inline path)" (fun () ->
+        check_bool "failure surfaces" true
+          (try
+             ignore (Pool.map ~jobs:1 ~f:(fun _ -> failwith "inline") [| 0 |]);
+             false
+           with Failure m -> m = "inline"));
+    test_case "only the first exception wins when several workers fail"
+      (fun () ->
+        (* Every task fails; whichever exception is recorded first must be
+           the one re-raised — a Failure from [f], never an internal
+           missing-result Invalid_argument. *)
+        check_bool "a task failure, not an internal error" true
+          (try
+             ignore
+               (Pool.map ~jobs:4
+                  ~f:(fun x -> failwith (string_of_int x))
+                  (Array.init 20 Fun.id));
+             false
+           with
+           | Failure _ -> true
+           | Invalid_argument _ -> false));
+    test_case "results before the failure point are not required" (fun () ->
+        (* Failing on the very first task index must still tear down
+           cleanly even though no result was ever produced. *)
+        check_bool "clean teardown" true
+          (try
+             ignore (Pool.map ~jobs:2 ~f:(fun _ -> failwith "early") [| 1; 2; 3 |]);
+             false
+           with Failure m -> m = "early"));
   ]
 
 (* ------------------------------------------------------------------ *)

@@ -320,6 +320,30 @@ let metrics_tests =
     test_case "stddev" (fun () ->
         check_float "constant" 0.0 (Metrics.stddev [ 2.; 2.; 2. ]);
         check_float "spread" 2.0 (Metrics.stddev [ 2.; 6.; 2.; 6. ]));
+    test_case "stddev is the population (/n) variant" (fun () ->
+        (* sample (/(n-1)) stddev of [1;2;3;4] would be ~1.29; population
+           is sqrt(5/4) ~ 1.118 *)
+        check_float "population" (sqrt 1.25) (Metrics.stddev [ 1.; 2.; 3.; 4. ]);
+        check_float "singleton is 0" 0.0 (Metrics.stddev [ 7.0 ]));
+    test_case "median uses Float.compare, not polymorphic compare" (fun () ->
+        (* negative zero and infinities must order as floats *)
+        check_float "with -0." 0.0 (Metrics.median [ 0.; -0.; 1.; -1. ]);
+        check_float "infinities at the ends" 2.0
+          (Metrics.median [ infinity; 2.; neg_infinity ]));
+    test_case "median and stddev reject NaN with a typed error" (fun () ->
+        (* polymorphic compare sorts NaN below every float, so before the
+           typed error a single NaN silently shifted the median *)
+        let raises_nan fn f =
+          check_bool fn true
+            (try
+               ignore (f ());
+               false
+             with Metrics.Nan_input name -> name = fn)
+        in
+        raises_nan "Metrics.median" (fun () ->
+            Metrics.median [ 1.; Float.nan; 3. ]);
+        raises_nan "Metrics.stddev" (fun () ->
+            Metrics.stddev [ Float.nan; 2. ]));
   ]
 
 let fidelity_tests =

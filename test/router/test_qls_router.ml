@@ -624,6 +624,212 @@ let token_swap_props =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Goldens: routed outputs bit-identical to the pre-refactor recordings *)
+(* ------------------------------------------------------------------ *)
+
+(* Mirrors gen_goldens.fingerprint: MD5 over initial mapping + ops. *)
+let fingerprint t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "init:";
+  Array.iter
+    (fun p -> Buffer.add_string buf (Printf.sprintf "%d," p))
+    (Mapping.to_array (Transpiled.initial_mapping t));
+  Buffer.add_string buf "|ops:";
+  List.iter
+    (function
+      | Transpiled.Gate i -> Buffer.add_string buf (Printf.sprintf "G%d;" i)
+      | Transpiled.Swap (p, p') ->
+          Buffer.add_string buf (Printf.sprintf "S%d:%d;" p p'))
+    (Transpiled.ops t);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let golden_tests =
+  List.map
+    (fun (c : Goldens.case) ->
+      test_case
+        (Printf.sprintf "%s on %s seed %d" c.Goldens.router c.Goldens.device
+           c.Goldens.seed)
+        (fun () ->
+          let device =
+            match Qls_arch.Topologies.by_name c.Goldens.device with
+            | Some d -> d
+            | None -> Alcotest.fail ("unknown device " ^ c.Goldens.device)
+          in
+          let config =
+            {
+              Qubikos.Generator.default_config with
+              n_swaps = 3;
+              gate_budget = c.Goldens.gate_budget;
+              seed = c.Goldens.seed;
+            }
+          in
+          let inst = Qubikos.Generator.generate ~config device in
+          let circuit = inst.Qubikos.Benchmark.circuit in
+          let t =
+            match c.Goldens.router with
+            | "sabre" -> Sabre.route device circuit
+            | "tket" -> Tket_router.route device circuit
+            | r -> Alcotest.fail ("unknown router " ^ r)
+          in
+          check_int "swap count" c.Goldens.swaps (Transpiled.swap_count t);
+          Alcotest.(check string) "ops digest" c.Goldens.digest (fingerprint t)))
+    Goldens.cases
+
+(* ------------------------------------------------------------------ *)
+(* Hot-path invariants: lookahead queries are round-invariant, and the  *)
+(* routers build them once per round (the PR 3 hoisting).               *)
+(* ------------------------------------------------------------------ *)
+
+let hot_path_props =
+  [
+    QCheck.Test.make
+      ~name:"lookahead queries are invariant across a candidate sweep"
+      ~count:40
+      QCheck.(int_range 0 100_000)
+      (fun seed ->
+        (* The hoisting in sabre/tket is sound iff extended_set,
+           remaining_layers and swap_candidates return the same values
+           when recomputed per candidate as when computed once at the top
+           of the round — nothing between candidate evaluations mutates
+           the state. *)
+        let rng = Rng.create seed in
+        let c =
+          Random_circuit.uniform rng ~n_qubits:6 ~n_two_qubit:15
+            ~single_ratio:0.0
+        in
+        let device = Topologies.grid 2 3 in
+        let st =
+          Route_state.create ~device ~source:c
+            ~initial:(Placement.identity device c)
+        in
+        ignore (Route_state.advance st);
+        Route_state.finished st
+        ||
+        let es = Route_state.extended_set st ~size:20 in
+        let rl = Route_state.remaining_layers st ~max_layers:3 in
+        let cands = Route_state.swap_candidates st in
+        List.for_all
+          (fun _cand ->
+            Route_state.extended_set st ~size:20 = es
+            && Route_state.remaining_layers st ~max_layers:3 = rl
+            && Route_state.swap_candidates st = cands)
+          cands);
+  ]
+
+let hot_path_tests =
+  [
+    test_case "sabre builds the extended set once per round" (fun () ->
+        let device = Topologies.aspen4 () in
+        let rng = Rng.create 3 in
+        let c =
+          Random_circuit.uniform rng ~n_qubits:16 ~n_two_qubit:60
+            ~single_ratio:0.0
+        in
+        Route_state.Debug.reset ();
+        let t = Sabre.route device c in
+        let cnt = Route_state.Debug.counters () in
+        check_bool "verifies" true (Verifier.is_valid t);
+        let rounds = cnt.Route_state.Debug.swap_candidate_scans in
+        check_bool "routing happened" true (rounds > 0);
+        check_bool "at most one build per round" true
+          (cnt.Route_state.Debug.extended_set_builds <= rounds);
+        (* The pre-hoisting code built one extended set per candidate;
+           on aspen4 a blocked round offers >= 3 candidates, so the old
+           behaviour would violate the bound above by >= 3x. *)
+        let st =
+          Route_state.create ~device ~source:c
+            ~initial:(Placement.identity device c)
+        in
+        ignore (Route_state.advance st);
+        if not (Route_state.finished st) then
+          check_bool ">= 3 candidates per blocked round" true
+            (List.length (Route_state.swap_candidates st) >= 3));
+    test_case "tket builds remaining layers once per round" (fun () ->
+        let device = Topologies.aspen4 () in
+        let rng = Rng.create 5 in
+        let c =
+          Random_circuit.uniform rng ~n_qubits:16 ~n_two_qubit:60
+            ~single_ratio:0.0
+        in
+        Route_state.Debug.reset ();
+        let t = Tket_router.route device c in
+        let cnt = Route_state.Debug.counters () in
+        check_bool "verifies" true (Verifier.is_valid t);
+        let rounds = cnt.Route_state.Debug.swap_candidate_scans in
+        check_bool "routing happened" true (rounds > 0);
+        check_bool "at most one build per round" true
+          (cnt.Route_state.Debug.remaining_layers_builds <= rounds));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Tie-break epsilon modes                                             *)
+(* ------------------------------------------------------------------ *)
+
+let tie_break_tests =
+  [
+    test_case "sabre: both tie-break modes deterministic, default absolute"
+      (fun () ->
+        check_bool "default is absolute" true
+          (not Sabre.default_options.Sabre.relative_tie_break);
+        let device = Topologies.grid 3 3 in
+        let rng = Rng.create 11 in
+        let c =
+          Random_circuit.uniform rng ~n_qubits:9 ~n_two_qubit:40
+            ~single_ratio:0.0
+        in
+        let route opts = Sabre.route ~options:opts device c in
+        let abs1 = route Sabre.default_options
+        and abs2 = route Sabre.default_options in
+        let rel_opts =
+          { Sabre.default_options with Sabre.relative_tie_break = true }
+        in
+        let rel1 = route rel_opts and rel2 = route rel_opts in
+        check_bool "absolute mode deterministic" true
+          (Transpiled.ops abs1 = Transpiled.ops abs2);
+        check_bool "relative mode deterministic" true
+          (Transpiled.ops rel1 = Transpiled.ops rel2);
+        check_bool "absolute verifies" true (Verifier.is_valid abs1);
+        check_bool "relative verifies" true (Verifier.is_valid rel1));
+    test_case "sabre: both modes solve Fig. 1 optimally" (fun () ->
+        let device = Topologies.line 4 in
+        let swaps opts =
+          (Verifier.check_exn
+             (Sabre.route ~options:(Sabre.with_trials 8 opts) device
+                (triangle ())))
+            .Verifier.swap_count
+        in
+        check_int "absolute" 1 (swaps Sabre.default_options);
+        check_int "relative" 1
+          (swaps { Sabre.default_options with Sabre.relative_tie_break = true }));
+    test_case "tket: both tie-break modes deterministic, default absolute"
+      (fun () ->
+        check_bool "default is absolute" true
+          (not Tket_router.default_options.Tket_router.relative_tie_break);
+        let device = Topologies.grid 3 3 in
+        let rng = Rng.create 13 in
+        let c =
+          Random_circuit.uniform rng ~n_qubits:9 ~n_two_qubit:40
+            ~single_ratio:0.0
+        in
+        let route opts = Tket_router.route ~options:opts device c in
+        let abs1 = route Tket_router.default_options
+        and abs2 = route Tket_router.default_options in
+        let rel_opts =
+          {
+            Tket_router.default_options with
+            Tket_router.relative_tie_break = true;
+          }
+        in
+        let rel1 = route rel_opts and rel2 = route rel_opts in
+        check_bool "absolute mode deterministic" true
+          (Transpiled.ops abs1 = Transpiled.ops abs2);
+        check_bool "relative mode deterministic" true
+          (Transpiled.ops rel1 = Transpiled.ops rel2);
+        check_bool "absolute verifies" true (Verifier.is_valid abs1);
+        check_bool "relative verifies" true (Verifier.is_valid rel1));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Registry                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -659,5 +865,9 @@ let () =
       ("olsq-properties", List.map QCheck_alcotest.to_alcotest olsq_props);
       ("token-swap", token_swap_tests);
       ("token-swap-properties", List.map QCheck_alcotest.to_alcotest token_swap_props);
+      ("goldens", golden_tests);
+      ("hot-path", hot_path_tests);
+      ("hot-path-properties", List.map QCheck_alcotest.to_alcotest hot_path_props);
+      ("tie-break", tie_break_tests);
       ("registry", registry_tests);
     ]
