@@ -42,10 +42,12 @@ type scale = Quick | Default | Full
 let scale = ref Default
 let timing = ref true
 let jobs = ref (Qls_harness.Pool.recommended_jobs ())
+let trace = ref None
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--quick | --full] [--no-timing] [-j N | --jobs N]"
+    "usage: main.exe [--quick | --full] [--no-timing] [-j N | --jobs N] \
+     [--trace FILE]"
 
 let () =
   let argv = Sys.argv in
@@ -73,6 +75,16 @@ let () =
               Printf.eprintf "%s requires a positive integer\n" argv.(i);
               usage ();
               exit 2)
+      | "--trace" ->
+          if i + 1 < Array.length argv then begin
+            trace := Some argv.(i + 1);
+            parse (i + 2)
+          end
+          else begin
+            Printf.eprintf "--trace requires a file path\n";
+            usage ();
+            exit 2
+          end
       | arg ->
           Printf.eprintf "unknown argument %S\n" arg;
           usage ();
@@ -425,12 +437,16 @@ let run_fidelity_impact () =
 let () =
   Printf.printf "QUBIKOS benchmark & experiment harness (scale: %s)\n"
     (match !scale with Quick -> "quick" | Default -> "default" | Full -> "full/paper");
-  if !timing then run_timing ();
-  run_router_bench ();
-  run_optimality_study ();
-  run_queko_contrast ();
-  run_case_study ();
-  run_trials_ablation ();
-  run_fidelity_impact ();
-  run_figure4 ();
+  Option.iter Qls_obs.tracing_to !trace;
+  Fun.protect
+    ~finally:(fun () -> if !trace <> None then Qls_obs.shutdown ())
+    (fun () ->
+      if !timing then run_timing ();
+      run_router_bench ();
+      run_optimality_study ();
+      run_queko_contrast ();
+      run_case_study ();
+      run_trials_ablation ();
+      run_fidelity_impact ();
+      run_figure4 ());
   Printf.printf "\nDone. See EXPERIMENTS.md for paper-vs-measured discussion.\n"

@@ -74,6 +74,28 @@ let config_of device ~n_swaps ~gates ~seed =
     seed;
   }
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a structured trace of the run: $(i,FILE.jsonl) gets one \
+           CRC-sealed JSON line per span (crash-safe, appendable), any \
+           other extension gets a Chrome trace-event JSON loadable in \
+           Perfetto / chrome://tracing. Tracing off (the default) costs \
+           nothing on the routing hot path.")
+
+(* Run [f] with tracing armed when [--trace] was given; the sink is
+   flushed/closed on both exits so a failing campaign still leaves a
+   readable trace. *)
+let with_tracing trace f =
+  match trace with
+  | None -> f ()
+  | Some path ->
+      Qls_obs.tracing_to path;
+      Fun.protect ~finally:Qls_obs.shutdown f
+
 (* ------------------------------------------------------------------ *)
 (* generate                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -197,7 +219,8 @@ let route_cmd =
       & info [ "i"; "input" ] ~docv:"FILE"
           ~doc:"Route this OpenQASM 2.0 file instead of a generated instance.")
   in
-  let run device n_swaps gates seed tool trials input =
+  let run device n_swaps gates seed tool trials input trace =
+    with_tracing trace @@ fun () ->
     match Registry.by_name ~sabre_trials:trials tool with
     | None ->
         Format.eprintf "unknown tool %S (known: %s)@." tool
@@ -239,7 +262,9 @@ let route_cmd =
   in
   let doc = "Run a layout-synthesis tool and verify its output." in
   Cmd.v (Cmd.info "route" ~doc)
-    Term.(const run $ arch $ swaps $ gates $ seed $ tool $ trials $ input)
+    Term.(
+      const run $ arch $ swaps $ gates $ seed $ tool $ trials $ input
+      $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* evaluate                                                            *)
@@ -266,7 +291,8 @@ let evaluate_cmd =
       value & flag
       & info [ "full" ] ~doc:"Paper-scale: 10 circuits/point, 1000 trials.")
   in
-  let run device circuits trials counts full seed =
+  let run device circuits trials counts full seed trace =
+    with_tracing trace @@ fun () ->
     let config =
       if full then Evaluation.paper_figure_config device
       else
@@ -288,7 +314,8 @@ let evaluate_cmd =
   in
   let doc = "Reproduce one Fig.-4 panel (all tools, SWAP ratio per point)." in
   Cmd.v (Cmd.info "evaluate" ~doc)
-    Term.(const run $ arch $ circuits $ trials $ counts $ full $ seed)
+    Term.(
+      const run $ arch $ circuits $ trials $ counts $ full $ seed $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* campaign                                                            *)
@@ -419,8 +446,20 @@ let campaign_cmd =
              failed (e.g. after raising $(b,--timeout)) instead of keeping \
              their failure.")
   in
+  let tools =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "tools" ] ~docv:"NAME,.."
+          ~doc:
+            "Override the evaluated tool set with registry names (e.g. \
+             $(b,sabre,olsq)); the default is the paper's heuristic \
+             quartet.")
+  in
   let run device circuits trials counts full seed jobs timeout retries backoff
-      failure_budget degrade fsync compact inject out resume rerun_failed =
+      failure_budget degrade fsync compact inject out resume rerun_failed tools
+      trace =
+    with_tracing trace @@ fun () ->
     let store =
       match (out, resume) with
       | Some o, Some r when o <> r ->
@@ -445,11 +484,23 @@ let campaign_cmd =
           | Ok plan -> Ok plan
           | Error msg -> Error (Printf.sprintf "bad --inject spec: %s" msg))
     in
-    match (store, injection) with
-    | Error msg, _ | _, Error msg ->
+    let names =
+      match tools with
+      | None -> Ok None
+      | Some ns -> (
+          match List.filter (fun n -> Registry.by_name n = None) ns with
+          | [] -> Ok (Some ns)
+          | unknown ->
+              Error
+                (Printf.sprintf "unknown tool(s) %s; available: %s"
+                   (String.concat ", " unknown)
+                   (String.concat ", " Registry.names)))
+    in
+    match (store, injection, names) with
+    | Error msg, _, _ | _, Error msg, _ | _, _, Error msg ->
         Format.eprintf "campaign: %s@." msg;
         2
-    | Ok (store, do_resume), Ok plan ->
+    | Ok (store, do_resume), Ok plan, Ok names ->
         if not (Qls_faults.is_none plan) then begin
           Qls_faults.install plan;
           Format.eprintf "campaign: fault injection armed: %s@."
@@ -468,9 +519,9 @@ let campaign_cmd =
         in
         let t0 = Unix.gettimeofday () in
         let rows =
-          Evaluation.run_campaign ~jobs ?timeout ~retries ?backoff ?store
-            ~resume:do_resume ~rerun_failed ~fsync ?failure_budget ~degrade
-            ~progress:true ~config device
+          Evaluation.run_campaign ?names ~jobs ?timeout ~retries ?backoff
+            ?store ~resume:do_resume ~rerun_failed ~fsync ?failure_budget
+            ~degrade ~progress:true ~config device
         in
         Qls_faults.clear ();
         let elapsed = Unix.gettimeofday () -. t0 in
@@ -514,8 +565,9 @@ let campaign_cmd =
                 stats.Qls_harness.Store.quarantined
             end
         | None -> ());
-        let points = Evaluation.aggregate_campaign ~config ~device rows in
+        let points = Evaluation.aggregate_campaign ?names ~config ~device rows in
         Format.printf "@[<v>%a@]@." Evaluation.pp_points points;
+        Format.printf "@[<v>%a@]" Evaluation.pp_summary rows;
         Format.printf "mean optimality gap per tool:@.";
         List.iter
           (fun (tool, gap) -> Format.printf "  %-12s %8.1fx@." tool gap)
@@ -530,7 +582,7 @@ let campaign_cmd =
     Term.(
       const run $ arch $ circuits $ trials $ counts $ full $ seed $ jobs
       $ timeout $ retries $ backoff $ failure_budget $ degrade $ fsync
-      $ compact $ inject $ out $ resume $ rerun_failed)
+      $ compact $ inject $ out $ resume $ rerun_failed $ tools $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* study                                                               *)

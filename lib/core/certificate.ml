@@ -40,7 +40,7 @@ let edge_bearing_subgraph g =
   let sub, _ = Graph.induced g keep in
   sub
 
-let check bench =
+let check_structural bench =
   let failures = ref [] in
   let add f = failures := f :: !failures in
   let device = bench.Benchmark.device in
@@ -118,6 +118,12 @@ let check bench =
              }));
   match List.rev !failures with [] -> Ok () | fs -> Error fs
 
+(* The structural certificate (Lemmas 1–3 + designed-schedule replay) is
+   pure graph work; the span separates it from the exact-solver check. *)
+let check bench =
+  Qls_obs.with_span ~site:"certify" "certify.structural" (fun () ->
+      check_structural bench)
+
 let check_exn bench =
   match check bench with
   | Ok () -> ()
@@ -138,19 +144,30 @@ let check_exact ?(solver = Sat) ?node_budget bench =
   let exact_agrees =
     if bench.Benchmark.optimal_swaps = 0 then Some true
     else
-      match solver with
-      | Sat -> (
-          match
-            Qls_router.Olsq.check ?conflict_budget:node_budget ~swaps device
-              circuit
-          with
-          | Qls_router.Olsq.Infeasible -> Some true
-          | Qls_router.Olsq.Feasible _ -> Some false
-          | Qls_router.Olsq.Unknown -> None)
-      | Search -> (
-          match Qls_router.Exact.check ?node_budget ~swaps device circuit with
-          | Qls_router.Exact.Infeasible -> Some true
-          | Qls_router.Exact.Feasible _ -> Some false
-          | Qls_router.Exact.Unknown -> None)
+      Qls_obs.with_span ~site:"certify" "certify.exact"
+        ~attrs:(fun () ->
+          [
+            ( "method",
+              Qls_obs.Str (match solver with Sat -> "sat" | Search -> "search")
+            );
+            ("swaps", Qls_obs.Int swaps);
+          ])
+        (fun () ->
+          match solver with
+          | Sat -> (
+              match
+                Qls_router.Olsq.check ?conflict_budget:node_budget ~swaps
+                  device circuit
+              with
+              | Qls_router.Olsq.Infeasible -> Some true
+              | Qls_router.Olsq.Feasible _ -> Some false
+              | Qls_router.Olsq.Unknown -> None)
+          | Search -> (
+              match
+                Qls_router.Exact.check ?node_budget ~swaps device circuit
+              with
+              | Qls_router.Exact.Infeasible -> Some true
+              | Qls_router.Exact.Feasible _ -> Some false
+              | Qls_router.Exact.Unknown -> None))
   in
   { certified; exact_agrees }

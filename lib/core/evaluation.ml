@@ -59,9 +59,14 @@ let default_fallback = function
   | "tket" | "mlqls" | "sabre-decay" | "transition" -> Some "sabre"
   | _ -> None
 
-let tool_names = function
-  | Some tools -> List.map (fun t -> t.Router.name) tools
-  | None -> default_tool_names
+(* [names] (plain registry names, e.g. ["sabre"; "olsq"]) overrides the
+   tool set without constructing routers up front — resolution stays
+   per-task via {!resolve_tool}, keeping per-task seeding. *)
+let tool_names ?names tools =
+  match (names, tools) with
+  | Some ns, _ -> ns
+  | None, Some tools -> List.map (fun t -> t.Router.name) tools
+  | None, None -> default_tool_names
 
 (* ------------------------------------------------------------------ *)
 (* Campaign plumbing: the figure experiments decompose into            *)
@@ -73,8 +78,8 @@ let tool_names = function
 module Task = Qls_harness.Task
 module Campaign = Qls_harness.Campaign
 
-let campaign_tasks ?tools ~config device =
-  let names = tool_names tools in
+let campaign_tasks ?tools ?names ~config device =
+  let names = tool_names ?names tools in
   List.concat_map
     (fun n_swaps ->
       List.concat_map
@@ -178,10 +183,13 @@ let campaign_exec ?tools ~device (task : Task.t) =
   {
     Task.swaps = report.Verifier.swap_count;
     seconds = Unix.gettimeofday () -. t0;
+    (* Placeholder: the campaign overwrites this with the runner's real
+       attempt count once the task's retries are settled. *)
+    attempts = 1;
   }
 
-let aggregate_campaign ?tools ~config ~device rows =
-  let names = tool_names tools in
+let aggregate_campaign ?tools ?names ~config ~device rows =
+  let names = tool_names ?names tools in
   let ok = Campaign.outcomes rows in
   let rescued = Campaign.degraded rows in
   List.concat_map
@@ -223,10 +231,10 @@ let aggregate_campaign ?tools ~config ~device rows =
         names)
     config.swap_counts
 
-let run_campaign ?tools ?(jobs = 1) ?timeout ?(retries = 0) ?backoff ?store
+let run_campaign ?tools ?names ?(jobs = 1) ?timeout ?(retries = 0) ?backoff ?store
     ?(resume = false) ?(rerun_failed = false) ?(fsync = false)
     ?failure_budget ?(degrade = false) ?(progress = false) ~config device =
-  let tasks = campaign_tasks ?tools ~config device in
+  let tasks = campaign_tasks ?tools ?names ~config device in
   let defaults = Campaign.default_config () in
   let campaign_config =
     {
@@ -249,13 +257,13 @@ let run_campaign ?tools ?(jobs = 1) ?timeout ?(retries = 0) ?backoff ?store
   in
   Campaign.run campaign_config ~exec:(campaign_exec ?tools ~device) tasks
 
-let run_figure ?tools ?jobs ?timeout ?retries ?backoff ?store ?resume
+let run_figure ?tools ?names ?jobs ?timeout ?retries ?backoff ?store ?resume
     ?failure_budget ?degrade ?progress ~config device =
   let rows =
-    run_campaign ?tools ?jobs ?timeout ?retries ?backoff ?store ?resume
+    run_campaign ?tools ?names ?jobs ?timeout ?retries ?backoff ?store ?resume
       ?failure_budget ?degrade ?progress ~config device
   in
-  aggregate_campaign ?tools ~config ~device rows
+  aggregate_campaign ?tools ?names ~config ~device rows
 
 let run_point ?tools ?jobs ?timeout ?retries ?backoff ?store ?resume
     ?failure_budget ?degrade ?progress ~config ~n_swaps device =
@@ -335,6 +343,95 @@ let run_optimality_study ?(circuits_per_count = 10) ?(swap_counts = [ 1; 2; 3; 4
         o_mean_gates = Metrics.mean !gates;
       })
     swap_counts
+
+(* ------------------------------------------------------------------ *)
+(* Post-campaign summary: per-tool latency quantiles, retry and        *)
+(* degrade counts, plus the routing-effort aggregates the obs counters *)
+(* collected while the campaign ran.                                   *)
+(* ------------------------------------------------------------------ *)
+
+type tool_summary = {
+  s_tool : string;
+  s_tasks : int;
+  s_ok : int;
+  s_degraded : int;
+  s_failed : int;
+  s_retries : int;  (** attempts beyond the first, ok + degraded rows *)
+  s_p50 : float;  (** median task seconds over successful rows *)
+  s_p95 : float;
+}
+
+(* Nearest-rank quantile on a sorted array; exact, not the histogram
+   approximation — we have every sample here. *)
+let quantile q sorted =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let i = int_of_float (Float.round (q *. float_of_int (n - 1))) in
+    sorted.(max 0 (min (n - 1) i))
+
+let summarize_campaign rows =
+  let tbl = Hashtbl.create 8 in
+  let get tool =
+    match Hashtbl.find_opt tbl tool with
+    | Some cell -> cell
+    | None ->
+        let cell = (ref 0, ref 0, ref 0, ref 0, ref []) in
+        Hashtbl.replace tbl tool cell;
+        cell
+  in
+  List.iter
+    (fun (row : Campaign.row) ->
+      let ok, degr, failed, retries, secs = get row.Campaign.task.Task.tool in
+      match row.Campaign.status with
+      | Task.Done o ->
+          incr ok;
+          retries := !retries + (o.Task.attempts - 1);
+          secs := o.Task.seconds :: !secs
+      | Task.Degraded d ->
+          incr degr;
+          retries := !retries + (d.Task.outcome.Task.attempts - 1);
+          secs := d.Task.outcome.Task.seconds :: !secs
+      | Task.Failed _ -> incr failed)
+    rows;
+  Hashtbl.fold
+    (fun tool (ok, degr, failed, retries, secs) acc ->
+      let sorted = Array.of_list !secs in
+      Array.sort Float.compare sorted;
+      {
+        s_tool = tool;
+        s_tasks = !ok + !degr + !failed;
+        s_ok = !ok;
+        s_degraded = !degr;
+        s_failed = !failed;
+        s_retries = !retries;
+        s_p50 = quantile 0.50 sorted;
+        s_p95 = quantile 0.95 sorted;
+      }
+      :: acc)
+    tbl []
+  |> List.sort (fun a b -> String.compare a.s_tool b.s_tool)
+
+let pp_summary ppf rows =
+  let summaries = summarize_campaign rows in
+  Format.fprintf ppf "%-10s %6s %5s %5s %7s %8s %9s %9s@," "tool" "tasks"
+    "ok" "degr" "failed" "retries" "p50(s)" "p95(s)";
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "%-10s %6d %5d %5d %7d %8d %9.3f %9.3f@," s.s_tool
+        s.s_tasks s.s_ok s.s_degraded s.s_failed s.s_retries s.s_p50 s.s_p95)
+    summaries;
+  let counters = Qls_obs.counters () in
+  let v name = Option.value ~default:0 (List.assoc_opt name counters) in
+  let rounds = v "router.rounds" and gates = v "router.gates" in
+  if gates > 0 then
+    Format.fprintf ppf "router: %d rounds over %d gates (%.2f rounds/gate)@,"
+      rounds gates
+      (float_of_int rounds /. float_of_int gates);
+  let conflicts = v "sat.conflicts" in
+  if conflicts > 0 then
+    Format.fprintf ppf "sat: %d conflicts, %d learned, %d restarts@," conflicts
+      (v "sat.learned") (v "sat.restarts")
 
 let pp_optimality ppf rows =
   Format.fprintf ppf "%-10s %6s %9s %10s %16s %14s %11s@,"

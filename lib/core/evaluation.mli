@@ -54,12 +54,15 @@ val paper_figure_config : Qls_arch.Device.t -> figure_config
 
 val campaign_tasks :
   ?tools:Qls_router.Router.t list ->
+  ?names:string list ->
   config:figure_config ->
   Qls_arch.Device.t ->
   Qls_harness.Task.t list
 (** Decompose a figure into independent (n_swaps, circuit, tool)
     campaign tasks, ordered point-major so siblings of an instance run
-    close together and share its generation. *)
+    close together and share its generation. [names] overrides the tool
+    set with plain registry names (e.g. [\["sabre"; "olsq"\]]) without
+    constructing routers up front; it wins over [tools]. *)
 
 val campaign_exec :
   ?tools:Qls_router.Router.t list ->
@@ -75,6 +78,7 @@ val campaign_exec :
 
 val aggregate_campaign :
   ?tools:Qls_router.Router.t list ->
+  ?names:string list ->
   config:figure_config ->
   device:Qls_arch.Device.t ->
   Qls_harness.Campaign.row list ->
@@ -91,6 +95,7 @@ val default_fallback : string -> string option
 
 val run_campaign :
   ?tools:Qls_router.Router.t list ->
+  ?names:string list ->
   ?jobs:int ->
   ?timeout:float ->
   ?retries:int ->
@@ -139,6 +144,7 @@ val run_point :
 
 val run_figure :
   ?tools:Qls_router.Router.t list ->
+  ?names:string list ->
   ?jobs:int ->
   ?timeout:float ->
   ?retries:int ->
@@ -161,6 +167,28 @@ val tool_gap_summary : tool_point list -> (string * float) list
 
 val pp_points : Format.formatter -> tool_point list -> unit
 (** Render points as an aligned text table. *)
+
+type tool_summary = {
+  s_tool : string;
+  s_tasks : int;
+  s_ok : int;
+  s_degraded : int;
+  s_failed : int;
+  s_retries : int;  (** attempts beyond the first across ok+degraded rows *)
+  s_p50 : float;  (** median task seconds over successful rows *)
+  s_p95 : float;
+}
+(** One tool's line of the post-campaign summary. *)
+
+val summarize_campaign : Qls_harness.Campaign.row list -> tool_summary list
+(** Fold campaign rows into per-tool latency/retry/degrade summaries,
+    sorted by tool name. Resumed rows count with their recorded
+    seconds and attempts. *)
+
+val pp_summary : Format.formatter -> Qls_harness.Campaign.row list -> unit
+(** Render {!summarize_campaign} as an aligned table, followed by the
+    router rounds/gate and SAT effort footers when the {!Qls_obs}
+    counters saw any work this process. *)
 
 type optimality_row = {
   o_device : string;

@@ -313,7 +313,14 @@ let generate ?(config = default_config) device =
   let rng = Rng.create config.seed in
   let n_prog = Device.n_qubits device in
   let initial = Mapping.random rng ~n_program:n_prog ~n_physical:n_prog in
+  (* Phase spans only; generation is cold next to routing, but the trace
+     shows where a pathological config spends its time. *)
+  let traced = Qls_obs.enabled () in
+  let phase name =
+    if traced then Qls_obs.start ~site:"gen" name else Qls_obs.none
+  in
   (* Build the sections. *)
+  let sp = phase "gen.sections" in
   let sections = ref [] in
   let mapping = ref initial in
   let prev_special = ref None in
@@ -326,6 +333,8 @@ let generate ?(config = default_config) device =
     mapping := s.rs_after;
     prev_special := Some s.rs_special
   done;
+  if traced then
+    Qls_obs.stop sp ~attrs:[ ("n_swaps", Qls_obs.Int config.n_swaps) ];
   let sections = List.rev !sections in
   let final_mapping = !mapping in
   (* Blocks 0 .. n+1: block i >= 1 holds section i (gates, SWAP, special);
@@ -362,6 +371,7 @@ let generate ?(config = default_config) device =
     :: List.concat_map (fun (u, v) -> [ u; v ]) s.rs_gates
     |> List.sort_uniq compare
   in
+  let sp = phase "gen.fillers" in
   for _ = 1 to n_fillers do
     let j = Rng.int rng (n + 2) in
     let m_before, m_after = block_mappings j in
@@ -379,7 +389,15 @@ let generate ?(config = default_config) device =
     let q = Rng.int rng n_prog in
     blocks.(j) <- insert_at rng blocks.(j) (One (Gate.g1 name q))
   done;
+  if traced then
+    Qls_obs.stop sp
+      ~attrs:
+        [
+          ("fillers", Qls_obs.Int n_fillers);
+          ("singles", Qls_obs.Int n_single);
+        ];
   (* Materialise: circuit gates, designed transpiled ops, section meta. *)
+  let sp = phase "gen.materialise" in
   let flat = List.concat (Array.to_list blocks) in
   let gates_rev = ref [] in
   let ops_rev = ref [] in
@@ -407,7 +425,12 @@ let generate ?(config = default_config) device =
   let designed =
     Transpiled.create ~source:circuit ~device ~initial (List.rev !ops_rev)
   in
+  if traced then
+    Qls_obs.stop sp
+      ~attrs:[ ("gates", Qls_obs.Int (Array.length (Circuit.gates circuit))) ];
+  let sp = phase "gen.verify" in
   let report = Verifier.check_exn designed in
+  if traced then Qls_obs.stop sp;
   assert (report.Verifier.swap_count = config.n_swaps);
   let meta =
     List.mapi

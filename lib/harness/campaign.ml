@@ -33,15 +33,21 @@ type row = { task : Task.t; status : Task.status; resumed : bool }
 
 let abort_site = "campaign"
 
-let stderr_report ~total =
-  let tty = Unix.isatty Unix.stderr in
-  let seen = ref 0 in
+let stderr_report ?tty ?emit ~total =
+  let tty = match tty with Some b -> b | None -> Unix.isatty Unix.stderr in
+  let emit =
+    match emit with Some f -> f | None -> fun s -> Printf.eprintf "%s%!" s
+  in
+  (* Every worker domain calls the sink, so the sequence number must be
+     an atomic fetch-and-add: the old [int ref] with [incr] raced across
+     domains, losing or duplicating ticks — and with them the ~20
+     non-tty progress lines the modulus is meant to meter out. *)
+  let seen = Atomic.make 0 in
   let every = max 1 (total / 20) in
   fun line ->
-    incr seen;
-    if tty then Printf.eprintf "\r\027[K%s%!" line
-    else if !seen mod every = 0 || !seen = total then
-      Printf.eprintf "%s\n%!" line
+    let n = Atomic.fetch_and_add seen 1 + 1 in
+    if tty then emit (Printf.sprintf "\r\027[K%s" line)
+    else if n mod every = 0 || n = total then emit (line ^ "\n")
 
 (* Walk the fallback chain from the failed task's tool, cycle-safe. The
    first tool that completes turns the failure into [Degraded]; if the
@@ -57,12 +63,29 @@ let degrade config ~exec ~guard task err =
             Task.Failed err
         | Some via -> (
             let fb_task = { task with Task.tool = via } in
-            match
-              Runner.run ~key:(Task.id fb_task) ~seed:(Task.rng_seed fb_task)
-                guard
+            let traced = Qls_obs.enabled () in
+            let sp =
+              if traced then Qls_obs.start ~site:"harness" "campaign.degrade"
+              else Qls_obs.none
+            in
+            let result =
+              Runner.run_counted ~key:(Task.id fb_task)
+                ~seed:(Task.rng_seed fb_task) guard
                 (fun () -> exec fb_task)
-            with
-            | Ok outcome -> Task.Degraded { Task.outcome; via; error = err }
+            in
+            if traced then
+              Qls_obs.stop sp
+                ~attrs:
+                  [
+                    ("id", Qls_obs.Str (Task.id task));
+                    ("via", Qls_obs.Str via);
+                    ( "rescued",
+                      Qls_obs.Int (if Result.is_ok result then 1 else 0) );
+                  ];
+            match result with
+            | Ok (outcome, attempts) ->
+                Task.Degraded
+                  { Task.outcome = { outcome with Task.attempts }; via; error = err }
             | Error _ -> try_via (via :: tried) via)
       in
       try_via [] task.Task.tool
@@ -151,14 +174,34 @@ let run config ~exec tasks =
         Progress.record ~tool:task.Task.tool ~outcome:`Failed progress;
         rows.(i) <- Some { task; status; resumed = false }
     | None ->
+        let traced = Qls_obs.enabled () in
+        let sp =
+          if traced then Qls_obs.start ~site:"harness" "campaign.task"
+          else Qls_obs.none
+        in
         let status =
           match
-            Runner.run ~key:(Task.id task) ~seed:(Task.rng_seed task) guard
+            Runner.run_counted ~key:(Task.id task) ~seed:(Task.rng_seed task)
+              guard
               (fun () -> exec task)
           with
-          | Ok outcome -> Task.Done outcome
+          | Ok (outcome, attempts) ->
+              Task.Done { outcome with Task.attempts }
           | Error err -> degrade config ~exec ~guard task err
         in
+        if traced then
+          Qls_obs.stop sp
+            ~attrs:
+              [
+                ("id", Qls_obs.Str (Task.id task));
+                ("tool", Qls_obs.Str task.Task.tool);
+                ( "status",
+                  Qls_obs.Str
+                    (match status with
+                    | Task.Done _ -> "ok"
+                    | Task.Degraded _ -> "degraded"
+                    | Task.Failed _ -> "failed") );
+              ];
         Option.iter
           (fun s -> Store.append s { Store.task_id = Task.id task; status })
           store;

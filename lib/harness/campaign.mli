@@ -52,9 +52,14 @@ type row = { task : Task.t; status : Task.status; resumed : bool }
 (** One task's terminal state; [resumed] marks results satisfied from
     the checkpoint rather than executed by this run. *)
 
-val stderr_report : total:int -> string -> unit
+val stderr_report :
+  ?tty:bool -> ?emit:(string -> unit) -> total:int -> string -> unit
 (** A ready-made [report] sink: rewrites one status line in place when
-    stderr is a tty, otherwise prints ~20 lines over the campaign. *)
+    stderr is a tty, otherwise prints ~20 lines over the campaign. The
+    call counter is atomic — worker domains all report through the one
+    closure. [tty] overrides the [isatty] probe and [emit] replaces the
+    stderr write (both for tests; defaults probe stderr and print to
+    it). *)
 
 val run : config -> exec:(Task.t -> Task.outcome) -> Task.t list -> row list
 (** Execute the campaign; rows come back in task-list order. [exec] must

@@ -1,11 +1,17 @@
 type tool_stat = { mutable ratio_sum : float; mutable samples : int }
 
+(* The scalar counters are [Atomic] rather than mutex-guarded mutables:
+   {!finished} and {!eta_seconds} are read by arbitrary cross-domain
+   callers (and by {!render} while it already holds the mutex — OCaml
+   mutexes are not reentrant, so those reads could not simply take it).
+   Only the per-tool table, which needs a compound read-modify-write,
+   stays under the mutex. *)
 type t = {
   total : int;
-  mutable ok : int;
-  mutable degraded : int;
-  mutable failed : int;
-  mutable resumed : int;
+  ok : int Atomic.t;
+  degraded : int Atomic.t;
+  failed : int Atomic.t;
+  resumed : int Atomic.t;
   started : float;
   tools : (string, tool_stat) Hashtbl.t;
   mutex : Mutex.t;
@@ -14,10 +20,10 @@ type t = {
 let create ~total =
   {
     total;
-    ok = 0;
-    degraded = 0;
-    failed = 0;
-    resumed = 0;
+    ok = Atomic.make 0;
+    degraded = Atomic.make 0;
+    failed = Atomic.make 0;
+    resumed = Atomic.make 0;
     started = Unix.gettimeofday ();
     tools = Hashtbl.create 8;
     mutex = Mutex.create ();
@@ -32,62 +38,68 @@ let tool_stat t name =
       s
 
 let record ?ratio ?tool ~outcome t =
-  Mutex.protect t.mutex (fun () ->
-      (match outcome with
-      | `Ok -> t.ok <- t.ok + 1
-      | `Degraded -> t.degraded <- t.degraded + 1
-      | `Failed -> t.failed <- t.failed + 1);
-      (* Degraded ratios are excluded from the per-tool running gap: the
-         sample came from the fallback tool, not this one. *)
-      match (outcome, tool, ratio) with
-      | `Ok, Some tool, Some ratio ->
+  (match outcome with
+  | `Ok -> Atomic.incr t.ok
+  | `Degraded -> Atomic.incr t.degraded
+  | `Failed -> Atomic.incr t.failed);
+  (* Degraded ratios are excluded from the per-tool running gap: the
+     sample came from the fallback tool, not this one. *)
+  match (outcome, tool, ratio) with
+  | `Ok, Some tool, Some ratio ->
+      Mutex.protect t.mutex (fun () ->
           let s = tool_stat t tool in
           s.ratio_sum <- s.ratio_sum +. ratio;
-          s.samples <- s.samples + 1
-      | _ -> ())
+          s.samples <- s.samples + 1)
+  | _ -> ()
 
-let record_resumed t = Mutex.protect t.mutex (fun () -> t.resumed <- t.resumed + 1)
+let record_resumed t = Atomic.incr t.resumed
 
-let finished t = t.ok + t.degraded + t.failed + t.resumed
+let finished t =
+  Atomic.get t.ok + Atomic.get t.degraded + Atomic.get t.failed
+  + Atomic.get t.resumed
 
 let eta_seconds t =
   (* Only work done by this process predicts its pace; resumed tasks
      were free and would skew the estimate. *)
-  let fresh = t.ok + t.degraded + t.failed in
-  let remaining = t.total - finished t in
+  let fresh = Atomic.get t.ok + Atomic.get t.degraded + Atomic.get t.failed in
+  let remaining = t.total - fresh - Atomic.get t.resumed in
   if fresh = 0 || remaining <= 0 then None
   else
     let elapsed = Unix.gettimeofday () -. t.started in
     Some (elapsed /. float_of_int fresh *. float_of_int remaining)
 
 let render t =
-  Mutex.protect t.mutex (fun () ->
-      let b = Buffer.create 96 in
-      Buffer.add_string b
-        (Printf.sprintf "campaign %d/%d ok:%d failed:%d" (finished t) t.total
-           t.ok t.failed);
-      if t.degraded > 0 then
-        Buffer.add_string b (Printf.sprintf " degraded:%d" t.degraded);
-      if t.resumed > 0 then
-        Buffer.add_string b (Printf.sprintf " resumed:%d" t.resumed);
-      let gaps =
+  let b = Buffer.create 96 in
+  Buffer.add_string b
+    (Printf.sprintf "campaign %d/%d ok:%d failed:%d" (finished t) t.total
+       (Atomic.get t.ok) (Atomic.get t.failed));
+  if Atomic.get t.degraded > 0 then
+    Buffer.add_string b (Printf.sprintf " degraded:%d" (Atomic.get t.degraded));
+  if Atomic.get t.resumed > 0 then
+    Buffer.add_string b (Printf.sprintf " resumed:%d" (Atomic.get t.resumed));
+  let gaps =
+    Mutex.protect t.mutex (fun () ->
         Hashtbl.fold
           (fun name s acc ->
             if s.samples > 0 then
               (name, s.ratio_sum /. float_of_int s.samples) :: acc
             else acc)
-          t.tools []
-        |> List.sort compare
-      in
-      if gaps <> [] then begin
-        Buffer.add_string b " |";
-        List.iter
-          (fun (name, gap) ->
-            Buffer.add_string b (Printf.sprintf " %s %.1fx" name gap))
-          gaps
-      end;
-      (match eta_seconds t with
-      | Some eta when eta >= 1.0 ->
-          Buffer.add_string b (Printf.sprintf " | eta %.0fs" eta)
-      | _ -> ());
-      Buffer.contents b)
+          t.tools [])
+    (* Sort by the name alone: polymorphic [compare] on the (name, gap)
+       pairs would fall through to raw float comparison on equal names
+       and silently misorder NaN gaps — float order must go through
+       [Float.compare], and here the float has no business in the key. *)
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  if gaps <> [] then begin
+    Buffer.add_string b " |";
+    List.iter
+      (fun (name, gap) ->
+        Buffer.add_string b (Printf.sprintf " %s %.1fx" name gap))
+      gaps
+  end;
+  (match eta_seconds t with
+  | Some eta when eta >= 1.0 ->
+      Buffer.add_string b (Printf.sprintf " | eta %.0fs" eta)
+  | _ -> ());
+  Buffer.contents b

@@ -26,11 +26,14 @@ val record_resumed : t -> unit
     ETA pace estimate — it cost this run nothing). *)
 
 val finished : t -> int
-(** Tasks accounted for so far, resumed ones included. *)
+(** Tasks accounted for so far, resumed ones included. Safe from any
+    domain at any time — the counters are atomics, not mutex-guarded
+    mutables read bare. *)
 
 val eta_seconds : t -> float option
 (** Remaining-time estimate from this run's own pace; [None] until a
-    fresh task has finished or once everything is done. *)
+    fresh task has finished or once everything is done. Safe from any
+    domain, like {!finished}. *)
 
 val render : t -> string
 (** The status line (no trailing newline). *)

@@ -84,7 +84,10 @@ let run_once ~timeout ~site f =
       in
       wait ()
 
-let run ?(site = site_exec) ?(key = "") ?(seed = 0) config f =
+let attempt_hist =
+  lazy (Qls_obs.histogram "runner.attempt_seconds")
+
+let run_counted ?(site = site_exec) ?(key = "") ?(seed = 0) config f =
   (* The fault hook runs inside the guarded body: an injected exception
      is classified like a real one, an injected delay can trip the real
      timeout. *)
@@ -93,17 +96,48 @@ let run ?(site = site_exec) ?(key = "") ?(seed = 0) config f =
     f ()
   in
   let rec attempt n =
-    match run_once ~timeout:config.timeout ~site body with
-    | Ok v -> Ok v
+    let traced = Qls_obs.enabled () in
+    let sp =
+      if traced then Qls_obs.start ~site:"harness" "runner.attempt"
+      else Qls_obs.none
+    in
+    let t0 = Unix.gettimeofday () in
+    let result = run_once ~timeout:config.timeout ~site body in
+    Qls_obs.observe (Lazy.force attempt_hist) (Unix.gettimeofday () -. t0);
+    if traced then
+      Qls_obs.stop sp
+        ~attrs:
+          [
+            ("key", Qls_obs.Str key);
+            ("attempt", Qls_obs.Int (n + 1));
+            ( "result",
+              Qls_obs.Str
+                (match result with
+                | Ok _ -> "ok"
+                | Error e -> Herror.klass_name e.Herror.klass) );
+          ];
+    match result with
+    | Ok v -> Ok (v, n + 1)
     | Error e when Herror.retryable e && n < config.retries ->
         let pause = backoff_delay config ~seed ~attempt:n in
-        if pause > 0.0 then Thread.delay pause;
+        if pause > 0.0 then begin
+          let bsp =
+            if Qls_obs.enabled () then
+              Qls_obs.start ~site:"harness" "runner.backoff"
+            else Qls_obs.none
+          in
+          Thread.delay pause;
+          Qls_obs.stop bsp
+        end;
         attempt (n + 1)
     | Error e -> Error { e with Herror.attempts = n + 1 }
   in
   attempt 0
 
+let run ?site ?key ?seed config f =
+  Result.map fst (run_counted ?site ?key ?seed config f)
+
 let guard ?site ?key ?seed config f =
-  match run ?site ?key ?seed config f with
-  | Ok o -> Task.Done o
+  match run_counted ?site ?key ?seed config f with
+  | Ok (o, attempts) -> Task.Done { o with Task.attempts }
   | Error e -> Task.Failed e

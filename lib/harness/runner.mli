@@ -65,6 +65,22 @@ val run :
     drives the backoff jitter (use {!Task.rng_seed}). [Error] carries
     the classified error of the last attempt, with [attempts] set. *)
 
+val run_counted :
+  ?site:string ->
+  ?key:string ->
+  ?seed:int ->
+  config ->
+  (unit -> 'a) ->
+  ('a * int, Herror.t) result
+(** {!run}, but success also reports how many attempts it took
+    ([Ok (v, 1)] = first try). Historically the count was only recorded
+    on [Error], so a task that needed retries was indistinguishable from
+    a first-try success — the campaign uses this variant so the store
+    keeps the real count. Each attempt is traced as a
+    ["runner.attempt"] span (with a ["runner.backoff"] span for each
+    retry pause) and timed into the ["runner.attempt_seconds"]
+    histogram. *)
+
 val guard :
   ?site:string ->
   ?key:string ->
@@ -72,6 +88,7 @@ val guard :
   config ->
   (unit -> Task.outcome) ->
   Task.status
-(** {!run} mapped onto {!Task.status} — the worker-loop entry point.
-    Never yields [Degraded]; degradation is campaign policy
-    (see {!Campaign}). *)
+(** {!run_counted} mapped onto {!Task.status} — the worker-loop entry
+    point; the outcome's [attempts] placeholder is overwritten with the
+    runner's real count. Never yields [Degraded]; degradation is
+    campaign policy (see {!Campaign}). *)

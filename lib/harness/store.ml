@@ -201,17 +201,24 @@ let error_fields (e : Herror.t) =
     (Herror.klass_name e.Herror.klass)
     (escape e.Herror.site) (escape e.Herror.message) e.Herror.attempts
 
+(* Ok lines carry the runner's attempt count under ["attempts"]; on a
+   degraded line that key already belongs to the original error (via
+   [error_fields]), so the fallback outcome's count is ["fb_attempts"]
+   to keep the flat object collision-free. v2 lines predate both keys
+   and load with the count defaulted to 1. *)
 let line_of_entry e =
   seal
     (match e.status with
     | Task.Done o ->
-        Printf.sprintf {|{"id":"%s","status":"ok","swaps":%d,"seconds":%.6f}|}
-          (escape e.task_id) o.Task.swaps o.Task.seconds
+        Printf.sprintf
+          {|{"id":"%s","status":"ok","swaps":%d,"seconds":%.6f,"attempts":%d}|}
+          (escape e.task_id) o.Task.swaps o.Task.seconds o.Task.attempts
     | Task.Degraded d ->
         Printf.sprintf
-          {|{"id":"%s","status":"degraded","via":"%s","swaps":%d,"seconds":%.6f,%s}|}
+          {|{"id":"%s","status":"degraded","via":"%s","swaps":%d,"seconds":%.6f,"fb_attempts":%d,%s}|}
           (escape e.task_id) (escape d.Task.via) d.Task.outcome.Task.swaps
-          d.Task.outcome.Task.seconds (error_fields d.Task.error)
+          d.Task.outcome.Task.seconds d.Task.outcome.Task.attempts
+          (error_fields d.Task.error)
     | Task.Failed err ->
         Printf.sprintf {|{"id":"%s","status":"failed",%s}|} (escape e.task_id)
           (error_fields err))
@@ -238,11 +245,20 @@ let error_of_fields fields =
       | None -> 1);
   }
 
-let outcome_of_fields fields =
+let outcome_of_fields ~attempts_key fields =
   match (List.assoc_opt "swaps" fields, List.assoc_opt "seconds" fields) with
   | Some swaps, Some seconds -> (
       match (int_of_string_opt swaps, float_of_string_opt seconds) with
-      | Some swaps, Some seconds -> { Task.swaps; seconds }
+      | Some swaps, Some seconds ->
+          let attempts =
+            match List.assoc_opt attempts_key fields with
+            | None -> 1 (* v2 line: the count was not yet recorded *)
+            | Some raw -> (
+                match int_of_string_opt raw with
+                | Some n -> n
+                | None -> malformed "bad %s %S" attempts_key raw)
+          in
+          { Task.swaps; seconds; attempts }
       | _ -> malformed "bad outcome numbers")
   | _ -> malformed "missing outcome fields"
 
@@ -255,12 +271,12 @@ let entry_of_line line =
     | fields -> (
         match (List.assoc_opt "id" fields, List.assoc_opt "status" fields) with
         | Some task_id, Some "ok" -> (
-            match outcome_of_fields fields with
+            match outcome_of_fields ~attempts_key:"attempts" fields with
             | o -> Ok { task_id; status = Task.Done o }
             | exception Malformed m -> Error m)
         | Some task_id, Some "degraded" -> (
             match
-              ( outcome_of_fields fields,
+              ( outcome_of_fields ~attempts_key:"fb_attempts" fields,
                 List.assoc_opt "via" fields,
                 error_of_fields fields )
             with

@@ -14,13 +14,21 @@
     Line schema (the [crc] member is always last, over the bytes of the
     line without it; v1 lines without [crc] are still accepted):
     {v
-    {"id":"…/sabre/…","status":"ok","swaps":12,"seconds":0.41,"crc":"9a3b0c12"}
+    {"id":"…/sabre/…","status":"ok","swaps":12,"seconds":0.41,"attempts":1,
+     "crc":"9a3b0c12"}
     {"id":"…","status":"degraded","via":"sabre","swaps":14,"seconds":0.2,
-     "eclass":"timeout","esite":"runner.exec","error":"timeout after 5s",
-     "attempts":2,"crc":"…"}
+     "fb_attempts":1,"eclass":"timeout","esite":"runner.exec",
+     "error":"timeout after 5s","attempts":2,"crc":"…"}
     {"id":"…","status":"failed","eclass":"permanent","esite":"runner.exec",
      "error":"…","attempts":1,"crc":"…"}
     v}
+
+    On an ok line ["attempts"] is the runner attempt count that produced
+    the outcome; on a degraded line ["attempts"] belongs to the original
+    error and the fallback outcome's count is ["fb_attempts"] (the flat
+    object cannot hold the key twice). v2 lines lacking either key load
+    with the count defaulted to 1, so resuming an old store is
+    bit-compatible.
 
     Fault-injection sites: ["store.append"] mangles the sealed outgoing
     bytes (torn writes, bit flips); ["store.load"] mangles each line as

@@ -9,7 +9,7 @@ type t = {
   base_seed : int;
 }
 
-type outcome = { swaps : int; seconds : float }
+type outcome = { swaps : int; seconds : float; attempts : int }
 type degradation = { outcome : outcome; via : string; error : Herror.t }
 type status = Done of outcome | Degraded of degradation | Failed of Herror.t
 
@@ -33,9 +33,18 @@ let ratio ~task outcome =
   if task.n_swaps <= 0 then None
   else Some (float_of_int outcome.swaps /. float_of_int task.n_swaps)
 
+(* Attempt counts only appear when they carry information (a retried
+   task), so single-attempt fingerprints are unchanged from before the
+   field existed. *)
+let pp_attempts ppf n =
+  if n > 1 then Format.fprintf ppf ", %d attempts" n
+
 let pp_status ppf = function
-  | Done o -> Format.fprintf ppf "done (%d swaps, %.2fs)" o.swaps o.seconds
+  | Done o ->
+      Format.fprintf ppf "done (%d swaps, %.2fs%a)" o.swaps o.seconds
+        pp_attempts o.attempts
   | Degraded d ->
-      Format.fprintf ppf "degraded via %s (%d swaps, %.2fs; %a)" d.via
-        d.outcome.swaps d.outcome.seconds Herror.pp d.error
+      Format.fprintf ppf "degraded via %s (%d swaps, %.2fs%a; %a)" d.via
+        d.outcome.swaps d.outcome.seconds pp_attempts d.outcome.attempts
+        Herror.pp d.error
   | Failed e -> Format.fprintf ppf "failed (%a)" Herror.pp e

@@ -18,8 +18,13 @@ type t = {
   base_seed : int;  (** campaign-wide seed all per-task seeds derive from *)
 }
 
-type outcome = { swaps : int; seconds : float }
-(** A successful routing: verified SWAP count and wall-clock seconds. *)
+type outcome = { swaps : int; seconds : float; attempts : int }
+(** A successful routing: verified SWAP count, wall-clock seconds, and
+    how many {!Runner} attempts it took (1 = first try; 3 means two
+    retryable failures preceded this result). [exec] functions set 1 —
+    they see one attempt by construction — and the campaign overwrites
+    it with the runner's real count, so a task that needed retries stays
+    distinguishable from a first-try success in the store. *)
 
 type degradation = { outcome : outcome; via : string; error : Herror.t }
 (** The task's own tool failed with [error], but a fallback tool [via]

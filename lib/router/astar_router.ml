@@ -131,6 +131,9 @@ let fallback_swaps device mapping target_pairs =
     target_pairs;
   List.rev !swaps
 
+let obs_rounds = lazy (Qls_obs.counter "router.rounds")
+let obs_gates = lazy (Qls_obs.counter "router.gates")
+
 let route ?(options = default_options) ?initial device circuit =
   let opts = options in
   let start =
@@ -139,8 +142,18 @@ let route ?(options = default_options) ?initial device circuit =
     | None -> Placement.identity device circuit
   in
   let st = Route_state.create ~device ~source:circuit ~initial:start in
+  let traced = Qls_obs.enabled () in
+  let pass_sp =
+    if traced then Qls_obs.start ~site:"router" "astar.route" else Qls_obs.none
+  in
+  let rounds = ref 0 in
   ignore (Route_state.advance st);
   while not (Route_state.finished st) do
+    incr rounds;
+    let layer_sp =
+      if traced then Qls_obs.start ~site:"router" "astar.layer"
+      else Qls_obs.none
+    in
     let dag = Route_state.dag st in
     let layers = Route_state.remaining_layers st ~max_layers:2 in
     let target, lookahead =
@@ -159,11 +172,27 @@ let route ?(options = default_options) ?initial device circuit =
     in
     List.iter (fun (p, p') -> Route_state.apply_swap st p p') swaps;
     let emitted = Route_state.advance st in
+    if traced then
+      Qls_obs.stop layer_sp
+        ~attrs:
+          [
+            ("emitted", Qls_obs.Int emitted);
+            ("swaps", Qls_obs.Int (List.length swaps));
+          ];
     (* The A* goal guarantees the whole layer became executable; the
        fallback guarantees at least one gate did. *)
     if emitted = 0 then
       failwith "Astar_router: no progress after layer search (bug)"
   done;
+  Qls_obs.add (Lazy.force obs_rounds) !rounds;
+  Qls_obs.add (Lazy.force obs_gates) (Route_state.done_count st);
+  if traced then
+    Qls_obs.stop pass_sp
+      ~attrs:
+        [
+          ("rounds", Qls_obs.Int !rounds);
+          ("swaps", Qls_obs.Int (Route_state.swap_count st));
+        ];
   Route_state.finish st
 
 let router ?(options = default_options) () =

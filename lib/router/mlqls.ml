@@ -310,7 +310,14 @@ let place ?(options = default_options) device circuit =
 let route ?(options = default_options) ?initial device circuit =
   let opts = options in
   let start =
-    match initial with Some m -> m | None -> place ~options device circuit
+    match initial with
+    | Some m -> m
+    | None ->
+        (* Covers coarsening, greedy anchor placement and the per-level
+           refinement sweeps; the routing phase shows up as Sabre's own
+           spans. *)
+        Qls_obs.with_span ~site:"router" "mlqls.place" (fun () ->
+            place ~options device circuit)
   in
   Sabre.route ~options:opts.routing ~initial:start device circuit
 

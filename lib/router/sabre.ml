@@ -106,6 +106,11 @@ let score_swap ~opts ~st ~decay ~extended (p, p') =
   let decay_factor = Float.max decay.(p) decay.(p') in
   decay_factor *. (basic +. (opts.extended_set_weight *. lookahead))
 
+(* Pass-level aggregates feed the post-campaign summary even with span
+   tracing off; the two [add]s per pass are noise next to routing. *)
+let obs_rounds = lazy (Qls_obs.counter "router.rounds")
+let obs_gates = lazy (Qls_obs.counter "router.gates")
+
 let routing_pass ~opts ~rng ~trace ~device ~initial circuit =
   let st = Route_state.create ~device ~source:circuit ~initial in
   let n_phys = Device.n_qubits device in
@@ -113,8 +118,20 @@ let routing_pass ~opts ~rng ~trace ~device ~initial circuit =
   let decisions = ref [] in
   let rounds_since_reset = ref 0 in
   let stuck = ref 0 in
+  (* [traced] is read once per pass so the disabled path costs one
+     branch per round and allocates nothing (not even the attrs list). *)
+  let traced = Qls_obs.enabled () in
+  let pass_sp =
+    if traced then Qls_obs.start ~site:"router" "sabre.pass" else Qls_obs.none
+  in
+  let rounds = ref 0 in
   ignore (Route_state.advance st);
   while not (Route_state.finished st) do
+    incr rounds;
+    let round_sp =
+      if traced then Qls_obs.start ~site:"router" "sabre.round"
+      else Qls_obs.none
+    in
     if !stuck > opts.release_valve_after then begin
       Route_state.force_route_first st;
       stuck := 0;
@@ -156,6 +173,8 @@ let routing_pass ~opts ~rng ~trace ~device ~initial circuit =
       end
     end;
     let emitted = Route_state.advance st in
+    if traced then
+      Qls_obs.stop round_sp ~attrs:[ ("emitted", Qls_obs.Int emitted) ];
     if emitted > 0 then begin
       Array.fill decay 0 n_phys 1.0;
       rounds_since_reset := 0;
@@ -163,6 +182,16 @@ let routing_pass ~opts ~rng ~trace ~device ~initial circuit =
     end
     else incr stuck
   done;
+  Qls_obs.add (Lazy.force obs_rounds) !rounds;
+  Qls_obs.add (Lazy.force obs_gates) (Route_state.done_count st);
+  if traced then
+    Qls_obs.stop pass_sp
+      ~attrs:
+        [
+          ("rounds", Qls_obs.Int !rounds);
+          ("swaps", Qls_obs.Int (Route_state.swap_count st));
+          ("gates", Qls_obs.Int (Route_state.done_count st));
+        ];
   (Route_state.finish st, List.rev !decisions)
 
 let reverse_circuit circuit =
@@ -197,8 +226,17 @@ let route ?(options = default_options) ?initial device circuit =
       | Some m -> m
       | None -> Placement.random rng device circuit
     in
+    let traced = Qls_obs.enabled () in
+    let sp =
+      if traced then Qls_obs.start ~site:"router" "sabre.trial"
+      else Qls_obs.none
+    in
     let result, _ = run_trial ~opts ~rng ~trace:false ~device ~initial:start circuit in
     let swaps = Transpiled.swap_count result in
+    if traced then
+      Qls_obs.stop sp
+        ~attrs:
+          [ ("trial", Qls_obs.Int trial); ("swaps", Qls_obs.Int swaps) ];
     match !best with
     | Some (_, best_swaps) when best_swaps <= swaps -> ()
     | Some _ | None -> best := Some (result, swaps)

@@ -57,6 +57,11 @@ let score_swap ~opts ~st ~layers (p, p') =
     layers;
   !total
 
+(* Same registry names as Sabre's — the obs registry hands back one
+   shared counter per name, so the summary aggregates across routers. *)
+let obs_rounds = lazy (Qls_obs.counter "router.rounds")
+let obs_gates = lazy (Qls_obs.counter "router.gates")
+
 let route ?(options = default_options) ?initial device circuit =
   let opts = options in
   let rng = Rng.create opts.seed in
@@ -70,8 +75,17 @@ let route ?(options = default_options) ?initial device circuit =
   in
   let st = Route_state.create ~device ~source:circuit ~initial:start in
   let stuck = ref 0 in
+  let traced = Qls_obs.enabled () in
+  let pass_sp =
+    if traced then Qls_obs.start ~site:"router" "tket.route" else Qls_obs.none
+  in
+  let rounds = ref 0 in
   ignore (Route_state.advance st);
   while not (Route_state.finished st) do
+    incr rounds;
+    let round_sp =
+      if traced then Qls_obs.start ~site:"router" "tket.round" else Qls_obs.none
+    in
     if !stuck > opts.release_valve_after then begin
       Route_state.force_route_first st;
       stuck := 0
@@ -89,8 +103,20 @@ let route ?(options = default_options) ?initial device circuit =
       let (p, p'), _ = Rng.pick rng ties in
       Route_state.apply_swap st p p'
     end;
-    if Route_state.advance st > 0 then stuck := 0 else incr stuck
+    let emitted = Route_state.advance st in
+    if traced then
+      Qls_obs.stop round_sp ~attrs:[ ("emitted", Qls_obs.Int emitted) ];
+    if emitted > 0 then stuck := 0 else incr stuck
   done;
+  Qls_obs.add (Lazy.force obs_rounds) !rounds;
+  Qls_obs.add (Lazy.force obs_gates) (Route_state.done_count st);
+  if traced then
+    Qls_obs.stop pass_sp
+      ~attrs:
+        [
+          ("rounds", Qls_obs.Int !rounds);
+          ("swaps", Qls_obs.Int (Route_state.swap_count st));
+        ];
   Route_state.finish st
 
 let router ?(options = default_options) () =

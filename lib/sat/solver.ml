@@ -28,6 +28,8 @@ type t = {
   mutable model : bool array option;
   mutable conflicts : int;
   mutable decisions : int;
+  mutable restarts : int;
+  mutable learned : int;
 }
 
 (* Internal literal encoding: positive v -> 2(v-1), negative v -> 2(v-1)+1. *)
@@ -62,6 +64,8 @@ let create nv =
     model = None;
     conflicts = 0;
     decisions = 0;
+    restarts = 0;
+    learned = 0;
   }
 
 let n_vars t = t.nv
@@ -265,11 +269,13 @@ let pick_branch t =
   done;
   !best
 
-let solve ?(conflict_budget = 2_000_000) t =
+let solve_raw ~conflict_budget t =
   t.started <- true;
   t.model <- None;
   t.conflicts <- 0;
   t.decisions <- 0;
+  t.restarts <- 0;
+  t.learned <- 0;
   if t.root_unsat then Unsat
   else begin
     (* enqueue root units *)
@@ -305,6 +311,7 @@ let solve ?(conflict_budget = 2_000_000) t =
              | l :: _ ->
                  let c = Array.of_list learnt in
                  let ci = push_clause t c in
+                 t.learned <- t.learned + 1;
                  (* watch the asserting literal and one backjump-level lit *)
                  watch t c.(0) ci;
                  (* move a literal of the backjump level to slot 1 *)
@@ -324,6 +331,7 @@ let solve ?(conflict_budget = 2_000_000) t =
            else if !since_restart > !restart_limit then begin
              since_restart := 0;
              restart_limit := !restart_limit * 3 / 2;
+             t.restarts <- t.restarts + 1;
              backtrack t 0
            end
            else begin
@@ -346,6 +354,45 @@ let solve ?(conflict_budget = 2_000_000) t =
     end
   end
 
+(* Aggregate CDCL effort into the obs registry once per [solve]; the
+   per-solve span carries the same numbers as attributes when tracing. *)
+let obs_conflicts = lazy (Qls_obs.counter "sat.conflicts")
+let obs_learned = lazy (Qls_obs.counter "sat.learned")
+let obs_restarts = lazy (Qls_obs.counter "sat.restarts")
+
+let solve ?(conflict_budget = 2_000_000) t =
+  let traced = Qls_obs.enabled () in
+  let sp =
+    if traced then Qls_obs.start ~site:"sat" "sat.solve" else Qls_obs.none
+  in
+  let res =
+    match solve_raw ~conflict_budget t with
+    | r -> r
+    | exception e ->
+        if traced then
+          Qls_obs.stop sp ~attrs:[ ("result", Qls_obs.Str "exception") ];
+        raise e
+  in
+  Qls_obs.add (Lazy.force obs_conflicts) t.conflicts;
+  Qls_obs.add (Lazy.force obs_learned) t.learned;
+  Qls_obs.add (Lazy.force obs_restarts) t.restarts;
+  if traced then
+    Qls_obs.stop sp
+      ~attrs:
+        [
+          ( "result",
+            Qls_obs.Str
+              (match res with
+              | Sat -> "sat"
+              | Unsat -> "unsat"
+              | Unknown -> "unknown") );
+          ("conflicts", Qls_obs.Int t.conflicts);
+          ("decisions", Qls_obs.Int t.decisions);
+          ("restarts", Qls_obs.Int t.restarts);
+          ("learned", Qls_obs.Int t.learned);
+        ];
+  res
+
 let value t v =
   if v < 1 || v > t.nv then invalid_arg "Solver.value: variable out of range";
   match t.model with
@@ -353,3 +400,5 @@ let value t v =
   | None -> invalid_arg "Solver.value: no model (last solve was not Sat)"
 
 let stats t = (t.conflicts, t.decisions)
+let restarts t = t.restarts
+let learned t = t.learned

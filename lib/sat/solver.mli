@@ -42,3 +42,10 @@ val value : t -> int -> bool
 
 val stats : t -> int * int
 (** [(conflicts, decisions)] of the last solve. *)
+
+val restarts : t -> int
+(** Geometric restarts performed during the last solve. *)
+
+val learned : t -> int
+(** Learnt clauses pushed into the database during the last solve (unit
+    learnts, which need no clause record, are not counted). *)

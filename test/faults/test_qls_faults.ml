@@ -39,7 +39,7 @@ let mk_task i =
   }
 
 let synthetic_exec task =
-  { Task.swaps = Task.rng_seed task mod 97; seconds = 0.0 }
+  { Task.swaps = Task.rng_seed task mod 97; seconds = 0.0; attempts = 1 }
 
 (* Every test leaves the ambient plan clear, even on failure. *)
 let with_plan plan f =
@@ -238,7 +238,7 @@ let store_tests =
                 Store.append store
                   {
                     Store.task_id = Printf.sprintf "t/%d" i;
-                    status = Task.Done { Task.swaps = i; seconds = 0.0 };
+                    status = Task.Done { Task.swaps = i; seconds = 0.0; attempts = 1 };
                   })
               [ 0; 1; 2; 3 ];
             Store.close store);
@@ -255,7 +255,7 @@ let store_tests =
             Store.append store
               {
                 Store.task_id = Printf.sprintf "t/%d" i;
-                status = Task.Done { Task.swaps = i; seconds = 0.0 };
+                status = Task.Done { Task.swaps = i; seconds = 0.0; attempts = 1 };
               })
           [ 0; 1; 2 ];
         Store.close store;
@@ -443,7 +443,7 @@ let synthetic_entries n =
                  (Printf.sprintf "flake #%d" i));
         }
       else
-        { Store.task_id = id; status = Task.Done { Task.swaps = i; seconds = 0.0 } })
+        { Store.task_id = id; status = Task.Done { Task.swaps = i; seconds = 0.0; attempts = 1 } })
 
 let entry_equal (a : Store.entry) (b : Store.entry) =
   a.Store.task_id = b.Store.task_id
@@ -565,7 +565,7 @@ let damage_props =
       (fun (id, msg) ->
         let originals =
           [
-            { Store.task_id = id; status = Task.Done { Task.swaps = 3; seconds = 0.0 } };
+            { Store.task_id = id; status = Task.Done { Task.swaps = 3; seconds = 0.0; attempts = 1 } };
             {
               Store.task_id = id ^ "/2";
               status = Task.Failed (Herror.permanent ~site:msg msg);
@@ -593,7 +593,7 @@ let roundtrip_tests =
             [
               {
                 Store.task_id = id;
-                status = Task.Done { Task.swaps = 1; seconds = 0.0 };
+                status = Task.Done { Task.swaps = 1; seconds = 0.0; attempts = 1 };
               };
             ]
         in

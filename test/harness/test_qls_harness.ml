@@ -44,7 +44,7 @@ let fresh_store_path () =
 (* A deterministic synthetic workload: outcome is a pure function of the
    task, like real routing, but instant. *)
 let synthetic_exec task =
-  { Task.swaps = Task.rng_seed task mod 97; seconds = 0.0 }
+  { Task.swaps = Task.rng_seed task mod 97; seconds = 0.0; attempts = 1 }
 
 let transient_exn msg = Herror.Error (Herror.transient ~site:"test" msg)
 
@@ -83,7 +83,7 @@ let task_tests =
           (Task.rng_seed t <> Task.rng_seed (mk_task ~tool:"qmap" ())));
     test_case "ratio divides by the designed optimum" (fun () ->
         let t = mk_task ~n_swaps:4 () in
-        match Task.ratio ~task:t { Task.swaps = 10; seconds = 0.0 } with
+        match Task.ratio ~task:t { Task.swaps = 10; seconds = 0.0; attempts = 1 } with
         | Some r -> Alcotest.(check (float 1e-9)) "ratio" 2.5 r
         | None -> Alcotest.fail "expected a ratio");
   ]
@@ -146,7 +146,7 @@ let store_tests =
         Store.append store
           {
             Store.task_id = "a/1";
-            status = Task.Done { Task.swaps = 12; seconds = 0.5 };
+            status = Task.Done { Task.swaps = 12; seconds = 0.5; attempts = 1 };
           };
         Store.append store
           {
@@ -160,7 +160,7 @@ let store_tests =
             status =
               Task.Degraded
                 {
-                  Task.outcome = { Task.swaps = 9; seconds = 0.25 };
+                  Task.outcome = { Task.swaps = 9; seconds = 0.25; attempts = 1 };
                   via = "sabre";
                   error = err;
                 };
@@ -197,7 +197,7 @@ let store_tests =
         Store.append store
           {
             Store.task_id = "ok";
-            status = Task.Done { Task.swaps = 1; seconds = 0.1 };
+            status = Task.Done { Task.swaps = 1; seconds = 0.1; attempts = 1 };
           };
         Store.close store;
         let oc = open_out_gen [ Open_append ] 0o644 path in
@@ -217,7 +217,7 @@ let store_tests =
             Store.append store
               {
                 Store.task_id = Printf.sprintf "t/%d" i;
-                status = Task.Done { Task.swaps = i; seconds = 0.1 };
+                status = Task.Done { Task.swaps = i; seconds = 0.1; attempts = 1 };
               })
           [ 0; 1; 2 ];
         Store.close store;
@@ -289,7 +289,7 @@ let store_tests =
               { Store.task_id = "t"; status = Task.Failed (Herror.permanent "first") };
               {
                 Store.task_id = "t";
-                status = Task.Done { Task.swaps = 3; seconds = 0.2 };
+                status = Task.Done { Task.swaps = 3; seconds = 0.2; attempts = 1 };
               };
             ]
         in
@@ -305,12 +305,12 @@ let store_tests =
         Store.append store
           {
             Store.task_id = "t/1";
-            status = Task.Done { Task.swaps = 5; seconds = 0.1 };
+            status = Task.Done { Task.swaps = 5; seconds = 0.1; attempts = 1 };
           };
         Store.append store
           {
             Store.task_id = "t/0";
-            status = Task.Done { Task.swaps = 2; seconds = 0.4 };
+            status = Task.Done { Task.swaps = 2; seconds = 0.4; attempts = 1 };
           };
         Store.close store;
         (* Splice a corrupt line into the middle of the file. *)
@@ -820,6 +820,200 @@ let aggregation_tests =
           (List.length (Evaluation.aggregate_campaign ~config ~device rows)));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Attempt-count surfacing: Runner.run_counted, the campaign's Done    *)
+(* path, and the store round-trip (with v2 compatibility)              *)
+(* ------------------------------------------------------------------ *)
+
+let attempts_tests =
+  [
+    test_case "run_counted reports 1 attempt on first-try success" (fun () ->
+        match Runner.run_counted immediate (fun () -> 9) with
+        | Ok (v, attempts) ->
+            check_int "value" 9 v;
+            check_int "attempts" 1 attempts
+        | Error e -> Alcotest.failf "unexpected error: %s" (Herror.to_string e));
+    test_case "run_counted reports the real attempt count after retries"
+      (fun () ->
+        let calls = Atomic.make 0 in
+        let flaky () =
+          if Atomic.fetch_and_add calls 1 < 2 then raise (transient_exn "flaky")
+          else 7
+        in
+        match Runner.run_counted { immediate with Runner.retries = 2 } flaky with
+        | Ok (v, attempts) ->
+            check_int "value" 7 v;
+            check_int "three attempts" 3 attempts
+        | Error e -> Alcotest.failf "unexpected error: %s" (Herror.to_string e));
+    test_case "a retried task's Done row carries its attempt count \
+               through the campaign and the store"
+      (fun () ->
+        let path = fresh_store_path () in
+        let calls = Atomic.make 0 in
+        let exec task =
+          if Atomic.fetch_and_add calls 1 = 0 then
+            raise (transient_exn "warmup")
+          else synthetic_exec task
+        in
+        let config =
+          { (campaign_config ~store_path:path ()) with Campaign.retries = 2 }
+        in
+        (match Campaign.run config ~exec [ mk_task () ] with
+        | [ { Campaign.status = Task.Done o; _ } ] ->
+            check_int "second attempt succeeded" 2 o.Task.attempts
+        | _ -> Alcotest.fail "expected one Done row");
+        (match Store.load path with
+        | [ { Store.status = Task.Done o; _ } ] ->
+            check_int "store preserves attempts" 2 o.Task.attempts
+        | _ -> Alcotest.fail "expected one stored ok line");
+        Sys.remove path);
+    test_case "degraded lines round-trip both the error's and the \
+               fallback's attempt counts"
+      (fun () ->
+        let path = fresh_store_path () in
+        let store = Store.open_append path in
+        let err =
+          Herror.v ~site:"runner.exec" ~attempts:3 Herror.Timeout "slow"
+        in
+        Store.append store
+          {
+            Store.task_id = "d/1";
+            status =
+              Task.Degraded
+                {
+                  Task.outcome = { Task.swaps = 9; seconds = 0.25; attempts = 2 };
+                  via = "sabre";
+                  error = err;
+                };
+          };
+        Store.close store;
+        (match Store.load path with
+        | [ { Store.status = Task.Degraded d; _ } ] ->
+            check_int "fallback attempts" 2 d.Task.outcome.Task.attempts;
+            check_int "original error attempts" 3 d.Task.error.Herror.attempts
+        | _ -> Alcotest.fail "expected one degraded entry");
+        Sys.remove path);
+    test_case "v2 lines without attempt keys load with attempts = 1"
+      (fun () ->
+        let path = fresh_store_path () in
+        let oc = open_out path in
+        (* Pre-attempts ok and degraded lines, unsealed (v1 framing is
+           still accepted) — exactly what an old store contains. *)
+        output_string oc
+          {|{"id":"old/ok","status":"ok","swaps":4,"seconds":0.5}|};
+        output_char oc '\n';
+        output_string oc
+          {|{"id":"old/degr","status":"degraded","via":"sabre","swaps":6,"seconds":0.2,"eclass":"timeout","esite":"runner.exec","error":"slow","attempts":2}|};
+        output_char oc '\n';
+        close_out oc;
+        let entries, corrupt = Store.load_verified path in
+        Sys.remove path;
+        check_int "nothing quarantined" 0 (List.length corrupt);
+        match entries with
+        | [ e1; e2 ] ->
+            (match e1.Store.status with
+            | Task.Done o ->
+                check_int "ok defaults to one attempt" 1 o.Task.attempts
+            | _ -> Alcotest.fail "entry 1 should be ok");
+            (match e2.Store.status with
+            | Task.Degraded d ->
+                check_int "fallback defaults to one attempt" 1
+                  d.Task.outcome.Task.attempts;
+                check_int "error keeps its own attempts" 2
+                  d.Task.error.Herror.attempts
+            | _ -> Alcotest.fail "entry 2 should be degraded")
+        | l -> Alcotest.failf "expected 2 entries, got %d" (List.length l));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Cross-domain races: Progress counters/render and the stderr_report  *)
+(* sequence counter hammered from several domains at once              *)
+(* ------------------------------------------------------------------ *)
+
+let concurrency_tests =
+  [
+    test_case "progress survives multi-domain record/render/eta hammering"
+      (fun () ->
+        let domains = 4 and per = 2_000 in
+        let p = Progress.create ~total:(domains * per) in
+        let worker d () =
+          let tool = Printf.sprintf "tool%d" d in
+          for i = 1 to per do
+            (match i mod 3 with
+            | 0 -> Progress.record ~tool ~outcome:`Failed p
+            | 1 -> Progress.record ~ratio:2.0 ~tool ~outcome:`Ok p
+            | _ -> Progress.record ~tool ~outcome:`Degraded p);
+            (* Readers race the writers on purpose: [render] holds the
+               tool mutex while [finished]/[eta_seconds] read the atomic
+               counters — the pre-fix code read unguarded mutables here
+               and could tear or deadlock. *)
+            if i mod 128 = 0 then ignore (Progress.render p);
+            ignore (Progress.finished p);
+            ignore (Progress.eta_seconds p)
+          done
+        in
+        let ds = List.init domains (fun d -> Domain.spawn (worker d)) in
+        List.iter Domain.join ds;
+        check_int "no lost ticks" (domains * per) (Progress.finished p);
+        check_bool "eta settles to None when done" true
+          (Progress.eta_seconds p = None);
+        (* Tools are listed in String.compare order whatever the domain
+           interleaving was. *)
+        let line = Progress.render p in
+        let pos sub =
+          let n = String.length sub in
+          let rec go i =
+            if i + n > String.length line then
+              Alcotest.failf "render misses %S in %S" sub line
+            else if String.sub line i n = sub then i
+            else go (i + 1)
+          in
+          go 0
+        in
+        check_bool "tools sorted by name" true
+          (pos "tool0" < pos "tool1"
+          && pos "tool1" < pos "tool2"
+          && pos "tool2" < pos "tool3"));
+    test_case "stderr_report meters exactly total/20 lines from N domains"
+      (fun () ->
+        let total = 200 and domains = 4 in
+        let emitted = Atomic.make 0 in
+        let report =
+          Campaign.stderr_report ~tty:false
+            ~emit:(fun line ->
+              check_bool "non-tty lines end in newline" true
+                (String.length line > 0 && line.[String.length line - 1] = '\n');
+              Atomic.incr emitted)
+            ~total
+        in
+        let ds =
+          List.init domains (fun _ ->
+              Domain.spawn (fun () ->
+                  for _ = 1 to total / domains do
+                    report "campaign 1/200"
+                  done))
+        in
+        List.iter Domain.join ds;
+        (* every = total/20 = 10; the shared atomic counter fires on each
+           multiple of 10 up to 200 — exactly 20 emissions. The pre-fix
+           [int ref] lost increments across domains, skipping multiples
+           and emitting a wrong, run-dependent number of lines. *)
+        check_int "exactly 20 metered lines" 20 (Atomic.get emitted));
+    test_case "stderr_report in tty mode rewrites every line in place"
+      (fun () ->
+        let calls = ref [] in
+        let report =
+          Campaign.stderr_report ~tty:true
+            ~emit:(fun s -> calls := s :: !calls)
+            ~total:3
+        in
+        report "a";
+        report "b";
+        check_int "every call emits" 2 (List.length !calls);
+        check_bool "carriage-return rewrite" true
+          (List.for_all (fun s -> String.length s > 0 && s.[0] = '\r') !calls));
+  ]
+
 let () =
   Alcotest.run "qls_harness"
     [
@@ -830,4 +1024,6 @@ let () =
       ("runner", runner_tests);
       ("campaign", campaign_tests);
       ("aggregation", aggregation_tests);
+      ("attempts", attempts_tests);
+      ("concurrency", concurrency_tests);
     ]

@@ -851,6 +851,52 @@ let registry_tests =
         check_bool "none" true (Registry.by_name "quantum-magic" = None));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Tracing transparency: arming Qls_obs must not change routed output  *)
+(* (the instrumentation consumes no RNG and mutates no router state)   *)
+(* ------------------------------------------------------------------ *)
+
+let tracing_tests =
+  [
+    test_case "routed outputs are bit-identical with tracing on and off"
+      (fun () ->
+        let device = Topologies.grid 3 3 in
+        let rng = Rng.create 2024 in
+        let circuit =
+          Random_circuit.uniform rng ~n_qubits:9 ~n_two_qubit:40
+            ~single_ratio:0.2
+        in
+        let routers =
+          [
+            ("sabre", fun () -> Sabre.route device circuit);
+            ("tket", fun () -> Tket_router.route device circuit);
+            ("qmap", fun () -> Astar_router.route device circuit);
+            ("mlqls", fun () -> Mlqls.route device circuit);
+          ]
+        in
+        let plain = List.map (fun (n, r) -> (n, fingerprint (r ()))) routers in
+        let path = Filename.temp_file "qls_router_trace" ".jsonl" in
+        Qls_obs.tracing_to path;
+        let traced =
+          Fun.protect ~finally:Qls_obs.shutdown (fun () ->
+              List.map (fun (n, r) -> (n, fingerprint (r ()))) routers)
+        in
+        List.iter2
+          (fun (name, off) (_, on) ->
+            Alcotest.(check string)
+              (name ^ " unchanged by tracing") off on)
+          plain traced;
+        (* And the trace actually recorded router work. *)
+        let records, bad = Qls_obs.load_jsonl path in
+        Sys.remove path;
+        check_int "trace intact" 0 bad;
+        let has name = List.exists (fun r -> r.Qls_obs.r_name = name) records in
+        check_bool "sabre rounds traced" true (has "sabre.round");
+        check_bool "tket rounds traced" true (has "tket.round");
+        check_bool "astar layers traced" true (has "astar.layer");
+        check_bool "mlqls placement traced" true (has "mlqls.place"));
+  ]
+
 let () =
   Alcotest.run "qls_router"
     [
@@ -870,4 +916,5 @@ let () =
       ("hot-path-properties", List.map QCheck_alcotest.to_alcotest hot_path_props);
       ("tie-break", tie_break_tests);
       ("registry", registry_tests);
+      ("tracing", tracing_tests);
     ]
