@@ -153,13 +153,16 @@ let run_timing () =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
   let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] in
+  let rows =
+    Hashtbl.fold (fun name v acc -> (name, v) :: acc) results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
   List.iter
     (fun (name, v) ->
       match Analyze.OLS.estimates v with
       | Some [ ns ] -> Printf.printf "%-45s %12.3f ms/run\n" name (ns /. 1e6)
       | Some _ | None -> Printf.printf "%-45s %12s\n" name "n/a")
-    (List.sort compare rows)
+    rows
 
 (* ------------------------------------------------------------------ *)
 (* Router hot-path microbenchmark (perf trajectory)                    *)
@@ -313,7 +316,8 @@ let run_case_study () =
         (fun i ((p, p'), score) ->
           if i < 6 then
             Printf.printf "    candidate SWAP(p%d,p%d): score %.4f%s\n" p p' score
-              (if (p, p') = d.Sabre.chosen then "   <- chosen" else ""))
+              (let cp, cp' = d.Sabre.chosen in
+               if p = cp && p' = cp' then "   <- chosen" else ""))
         d.Sabre.candidates
   | [] -> ());
   (* Ablation A2: does the proposed fix transfer to larger devices? *)
@@ -439,7 +443,7 @@ let () =
     (match !scale with Quick -> "quick" | Default -> "default" | Full -> "full/paper");
   Option.iter Qls_obs.tracing_to !trace;
   Fun.protect
-    ~finally:(fun () -> if !trace <> None then Qls_obs.shutdown ())
+    ~finally:(fun () -> if Option.is_some !trace then Qls_obs.shutdown ())
     (fun () ->
       if !timing then run_timing ();
       run_router_bench ();

@@ -317,13 +317,14 @@ let check ~baseline ~tolerance entries =
               e.router e.device e.gate_budget e.builds_per_round
               b.builds_per_round)
     entries;
-  Hashtbl.iter
-    (fun router logs ->
-      let n = List.length logs in
-      let geomean = exp (List.fold_left ( +. ) 0.0 logs /. float_of_int n) in
-      if geomean > 1.0 +. tolerance then
-        note
-          "%s: ns_per_gate geomean ratio %.3f over %d cells exceeds baseline by more than %.0f%%"
-          router geomean n (tolerance *. 100.0))
-    ratios;
+  (* Report per-router problems in name order, not hash order. *)
+  Hashtbl.fold (fun router logs acc -> (router, logs) :: acc) ratios []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.iter (fun (router, logs) ->
+         let n = List.length logs in
+         let geomean = exp (List.fold_left ( +. ) 0.0 logs /. float_of_int n) in
+         if geomean > 1.0 +. tolerance then
+           note
+             "%s: ns_per_gate geomean ratio %.3f over %d cells exceeds baseline by more than %.0f%%"
+             router geomean n (tolerance *. 100.0));
   match List.rev !problems with [] -> Ok () | ps -> Error ps

@@ -488,7 +488,7 @@ let campaign_cmd =
       match tools with
       | None -> Ok None
       | Some ns -> (
-          match List.filter (fun n -> Registry.by_name n = None) ns with
+          match List.filter (fun n -> Option.is_none (Registry.by_name n)) ns with
           | [] -> Ok (Some ns)
           | unknown ->
               Error
@@ -572,7 +572,7 @@ let campaign_cmd =
         List.iter
           (fun (tool, gap) -> Format.printf "  %-12s %8.1fx@." tool gap)
           (Evaluation.tool_gap_summary points);
-        if points = [] then 1 else 0
+        if List.is_empty points then 1 else 0
   in
   let doc =
     "Run a Fig.-4 panel as a parallel, checkpointed campaign (resumable \

@@ -69,12 +69,17 @@ let readout_error t p =
   t.readout.(p)
 
 let extremum_coupler ~better t =
-  Hashtbl.fold
-    (fun edge e acc ->
-      match acc with
-      | Some (_, be) when not (better e be) -> acc
-      | _ -> Some (edge, e))
-    t.q2 None
+  (* Scan couplers in ascending canonical order so ties on the error
+     value resolve to the smallest coupler, never to hash order. *)
+  Hashtbl.fold (fun edge e acc -> (edge, e) :: acc) t.q2 []
+  |> List.sort (fun ((a, b), _) ((c, d), _) ->
+         match Int.compare a c with 0 -> Int.compare b d | n -> n)
+  |> List.fold_left
+       (fun acc (edge, e) ->
+         match acc with
+         | Some (_, be) when not (better e be) -> acc
+         | _ -> Some (edge, e))
+       None
   |> function
   | Some x -> x
   | None -> invalid_arg "Noise: device has no couplers"

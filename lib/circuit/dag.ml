@@ -50,7 +50,7 @@ let in_degree d i = List.length d.preds.(i)
 let front_layer d =
   let acc = ref [] in
   for i = n_gates d - 1 downto 0 do
-    if d.preds.(i) = [] then acc := i :: !acc
+    if List.is_empty d.preds.(i) then acc := i :: !acc
   done;
   !acc
 

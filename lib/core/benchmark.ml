@@ -22,7 +22,7 @@ type t = {
 
 let backbone_indices t =
   List.concat_map (fun s -> s.backbone_circuit_indices) t.sections
-  |> List.sort_uniq compare
+  |> List.sort_uniq Int.compare
 
 let two_qubit_count t = Qls_circuit.Circuit.two_qubit_count t.circuit
 

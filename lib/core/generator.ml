@@ -41,7 +41,9 @@ let canon (u, v) = if u < v then (u, v) else (v, u)
 
 module PS = Set.Make (struct
   type t = int * int
-  let compare = compare
+
+  let compare (a, b) (c, d) =
+    match Int.compare a c with 0 -> Int.compare b d | n -> n
 end)
 
 (* Pick the designed SWAP for a section: an oriented coupler (p, p') such
@@ -369,7 +371,7 @@ let generate ?(config = default_config) device =
     let s = sections_arr.(max 0 (min (n - 1) (j - 1))) in
     s.rs_anchor :: s.rs_target
     :: List.concat_map (fun (u, v) -> [ u; v ]) s.rs_gates
-    |> List.sort_uniq compare
+    |> List.sort_uniq Int.compare
   in
   let sp = phase "gen.fillers" in
   for _ = 1 to n_fillers do

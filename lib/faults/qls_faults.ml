@@ -10,7 +10,7 @@ type plan = { seed : int; rules : rule list }
 exception Injected of { site : string; transient : bool }
 
 let none = { seed = 0; rules = [] }
-let is_none p = p.rules = []
+let is_none p = List.is_empty p.rules
 
 (* ------------------------------------------------------------------ *)
 (* Spec syntax                                                         *)
@@ -89,7 +89,7 @@ let parse spec =
                   (Printf.sprintf "bad clause %S (expected %s)" clause
                      spec_help)))
   in
-  if clauses = [] then Error "empty injection spec" else go 0 [] clauses
+  if List.is_empty clauses then Error "empty injection spec" else go 0 [] clauses
 
 let to_string p =
   String.concat ";"

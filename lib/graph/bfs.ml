@@ -17,7 +17,9 @@ let distances g src =
   dist
 
 let multi_source_distances g srcs =
-  if srcs = [] then invalid_arg "Bfs.multi_source_distances: no sources";
+  (match srcs with
+  | [] -> invalid_arg "Bfs.multi_source_distances: no sources"
+  | _ :: _ -> ());
   let n = Graph.n_vertices g in
   let dist = Array.make n max_int in
   let queue = Queue.create () in

@@ -9,6 +9,9 @@ type t = {
 
 let canon u v = if u < v then (u, v) else (v, u)
 
+let compare_edge (u1, v1) (u2, v2) =
+  match Int.compare u1 u2 with 0 -> Int.compare v1 v2 | c -> c
+
 let check_endpoint n v =
   if v < 0 || v >= n then
     invalid_arg (Printf.sprintf "Graph: vertex %d outside [0, %d)" v n)
@@ -17,7 +20,7 @@ let create n edge_list =
   if n < 0 then invalid_arg "Graph.create: negative vertex count";
   let module ES = Set.Make (struct
     type t = int * int
-    let compare = compare
+    let compare = compare_edge
   end) in
   let set =
     List.fold_left
@@ -45,7 +48,7 @@ let create n edge_list =
       adj.(v).(fill.(v)) <- u;
       fill.(v) <- fill.(v) + 1)
     edges;
-  Array.iter (fun nbrs -> Array.sort compare nbrs) adj;
+  Array.iter (fun nbrs -> Array.sort Int.compare nbrs) adj;
   (* Incident edge indices: edges are scanned in ascending index order, so
      each per-vertex list comes out ascending without a sort. *)
   let inc = Array.init n (fun v -> Array.make deg.(v) 0) in
@@ -118,7 +121,7 @@ let degree_histogram g =
       Hashtbl.replace tbl d (1 + Option.value ~default:0 (Hashtbl.find_opt tbl d)))
     g.adj;
   Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl []
-  |> List.sort compare
+  |> List.sort compare_edge
 
 let add_edges g es = create g.n (es @ Array.to_list g.edges)
 
@@ -173,7 +176,7 @@ let components g =
             end)
           g.adj.(v)
       done;
-      comps := List.sort compare !members :: !comps
+      comps := List.sort Int.compare !members :: !comps
     end
   done;
   List.rev !comps

@@ -16,7 +16,7 @@ let variable_order pattern =
       0
       (Graph.neighbors_array pattern v)
   in
-  while !remaining <> [] do
+  while not (List.is_empty !remaining) do
     (* Choose the vertex with (most placed neighbours, then highest degree). *)
     let best =
       List.fold_left

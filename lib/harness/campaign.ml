@@ -100,7 +100,7 @@ let run config ~exec tasks =
         (Store.completed entries, bad)
     | _ -> (Hashtbl.create 0, [])
   in
-  if quarantined <> [] then
+  if not (List.is_empty quarantined) then
     Format.eprintf
       "warning: %d corrupt checkpoint line(s) quarantined on resume (first: \
        line %d, %s); their tasks will be re-run@."
@@ -152,7 +152,7 @@ let run config ~exec tasks =
         if
           n >= config.budget_min
           && float_of_int f /. float_of_int n > budget
-          && Atomic.get aborted = None
+          && Option.is_none (Atomic.get aborted)
         then
           Atomic.set aborted
             (Some

@@ -9,7 +9,7 @@ let run ~jobs ~f tasks =
   let failed = Atomic.make None in
   let worker () =
     let rec loop () =
-      if Atomic.get failed = None then begin
+      if Option.is_none (Atomic.get failed) then begin
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
           (match f i tasks.(i) with

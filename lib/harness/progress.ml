@@ -24,6 +24,7 @@ let create ~total =
     degraded = Atomic.make 0;
     failed = Atomic.make 0;
     resumed = Atomic.make 0;
+    (* lint: nondet-source — campaign start time, feeds the ETA only *)
     started = Unix.gettimeofday ();
     tools = Hashtbl.create 8;
     mutex = Mutex.create ();
@@ -65,8 +66,26 @@ let eta_seconds t =
   let remaining = t.total - fresh - Atomic.get t.resumed in
   if fresh = 0 || remaining <= 0 then None
   else
+    (* lint: nondet-source — elapsed time feeds the ETA estimate only *)
     let elapsed = Unix.gettimeofday () -. t.started in
     Some (elapsed /. float_of_int fresh *. float_of_int remaining)
+
+(* The only read path into the per-tool table: the snapshot is taken
+   under the mutex and ordered before it escapes, so callers can never
+   observe hash order or a half-applied [record]. *)
+let tool_gaps t =
+  Mutex.protect t.mutex (fun () ->
+      Hashtbl.fold
+        (fun name s acc ->
+          if s.samples > 0 then
+            (name, s.ratio_sum /. float_of_int s.samples) :: acc
+          else acc)
+        t.tools [])
+  (* Sort by the name alone: polymorphic [compare] on the (name, gap)
+     pairs would fall through to raw float comparison on equal names
+     and silently misorder NaN gaps — float order must go through
+     [Float.compare], and here the float has no business in the key. *)
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let render t =
   let b = Buffer.create 96 in
@@ -77,21 +96,8 @@ let render t =
     Buffer.add_string b (Printf.sprintf " degraded:%d" (Atomic.get t.degraded));
   if Atomic.get t.resumed > 0 then
     Buffer.add_string b (Printf.sprintf " resumed:%d" (Atomic.get t.resumed));
-  let gaps =
-    Mutex.protect t.mutex (fun () ->
-        Hashtbl.fold
-          (fun name s acc ->
-            if s.samples > 0 then
-              (name, s.ratio_sum /. float_of_int s.samples) :: acc
-            else acc)
-          t.tools [])
-    (* Sort by the name alone: polymorphic [compare] on the (name, gap)
-       pairs would fall through to raw float comparison on equal names
-       and silently misorder NaN gaps — float order must go through
-       [Float.compare], and here the float has no business in the key. *)
-    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-  in
-  if gaps <> [] then begin
+  let gaps = tool_gaps t in
+  if not (List.is_empty gaps) then begin
     Buffer.add_string b " |";
     List.iter
       (fun (name, gap) ->

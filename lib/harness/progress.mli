@@ -35,5 +35,11 @@ val eta_seconds : t -> float option
     fresh task has finished or once everything is done. Safe from any
     domain, like {!finished}. *)
 
+val tool_gaps : t -> (string * float) list
+(** Per-tool mean swap-count gap so far, sorted by tool name. The
+    snapshot is taken under the internal mutex — this is the only way
+    the per-tool table is read, so concurrent {!record} calls can never
+    be observed half-applied, and hash order never escapes. *)
+
 val render : t -> string
 (** The status line (no trailing newline). *)

@@ -22,7 +22,8 @@ let backoff_delay config ~seed ~attempt =
   if config.backoff <= 0.0 then 0.0
   else
     let base =
-      min config.backoff_max (config.backoff *. (2.0 ** float_of_int attempt))
+      Float.min config.backoff_max
+        (config.backoff *. (2.0 ** float_of_int attempt))
     in
     (* Deterministic per-task jitter in [0.5, 1.5) x base: retries of a
        whole failed point decorrelate instead of thundering back in
@@ -56,6 +57,7 @@ let run_once ~timeout ~site f =
         (try Unix.close rd with _ -> ());
         try Unix.close wr with _ -> ()
       in
+      (* lint: nondet-source — wall-clock enforces the timeout guard *)
       let deadline = Unix.gettimeofday () +. limit in
       let rec wait () =
         match Atomic.get cell with
@@ -64,6 +66,7 @@ let run_once ~timeout ~site f =
             close_both ();
             r
         | None ->
+            (* lint: nondet-source — wall-clock enforces the timeout guard *)
             let remaining = deadline -. Unix.gettimeofday () in
             if remaining <= 0.0 then begin
               (* Abandon the body; the reaper keeps the pipe open until
@@ -101,8 +104,10 @@ let run_counted ?(site = site_exec) ?(key = "") ?(seed = 0) config f =
       if traced then Qls_obs.start ~site:"harness" "runner.attempt"
       else Qls_obs.none
     in
+    (* lint: nondet-source — attempt timing feeds a histogram only *)
     let t0 = Unix.gettimeofday () in
     let result = run_once ~timeout:config.timeout ~site body in
+    (* lint: nondet-source — attempt timing feeds a histogram only *)
     Qls_obs.observe (Lazy.force attempt_hist) (Unix.gettimeofday () -. t0);
     if traced then
       Qls_obs.stop sp

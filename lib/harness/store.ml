@@ -104,7 +104,9 @@ let fields_of_line line =
   in
   let expect c =
     skip_ws ();
-    if peek () = Some c then incr pos else malformed "expected %C at byte %d" c !pos
+    match peek () with
+    | Some d when Char.equal d c -> incr pos
+    | Some _ | None -> malformed "expected %C at byte %d" c !pos
   in
   let hex_digit c =
     match c with
@@ -187,7 +189,7 @@ let fields_of_line line =
           | None -> malformed "truncated object"
         in
         skip_ws ();
-        if peek () = Some ',' then incr pos;
+        (match peek () with Some ',' -> incr pos | Some _ | None -> ());
         members ((key, value) :: acc)
   in
   members []
@@ -350,7 +352,7 @@ let compact ?(fsync = false) path =
   let entries, bad = load_verified path in
   (* Quarantine damaged lines before they are dropped from the rewrite:
      the bytes survive for forensics, the store stops re-reading them. *)
-  if bad <> [] then begin
+  if not (List.is_empty bad) then begin
     let qc =
       open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644
         (path ^ ".quarantine")

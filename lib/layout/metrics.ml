@@ -6,7 +6,7 @@ let mean_opt = function [] -> None | xs -> Some (mean xs)
 
 let swap_ratio ~optimal ~swap_counts =
   if optimal <= 0 then invalid_arg "Metrics.swap_ratio: optimal must be positive";
-  if swap_counts = [] then invalid_arg "Metrics.swap_ratio: no samples";
+  if List.is_empty swap_counts then invalid_arg "Metrics.swap_ratio: no samples";
   mean (List.map float_of_int swap_counts) /. float_of_int optimal
 
 let geometric_mean = function

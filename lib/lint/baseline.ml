@@ -1,0 +1,121 @@
+(* The grandfather file: tab-separated [file \t rule \t count] lines,
+   '#' comments. An entry waives up to [count] findings of [rule] in
+   [file]; anything beyond the allowance is reported as usual. Entries
+   whose allowance exceeds the current finding count are stale — the
+   debt was paid down — and are reported so the file keeps shrinking. *)
+
+type entry = { file : string; rule : string; allowed : int }
+
+let entry_order a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c else String.compare a.rule b.rule
+
+let parse_line lineno line =
+  let line = String.trim line in
+  if String.length line = 0 || line.[0] = '#' then Ok None
+  else
+    match String.split_on_char '\t' line with
+    | [ file; rule; count ] -> (
+        match int_of_string_opt (String.trim count) with
+        | Some allowed when allowed > 0 -> Ok (Some { file; rule; allowed })
+        | _ -> Error (Printf.sprintf "line %d: bad count %S" lineno count))
+    | _ ->
+        Error
+          (Printf.sprintf "line %d: expected 'file<TAB>rule<TAB>count'" lineno)
+
+let load path =
+  if not (Sys.file_exists path) then Ok []
+  else
+    let ic = open_in path in
+    let entries = ref [] and errors = ref [] and lineno = ref 0 in
+    (try
+       while true do
+         let line = input_line ic in
+         incr lineno;
+         match parse_line !lineno line with
+         | Ok (Some e) -> entries := e :: !entries
+         | Ok None -> ()
+         | Error msg -> errors := msg :: !errors
+       done
+     with End_of_file -> ());
+    close_in_noerr ic;
+    match List.rev !errors with
+    | [] -> Ok (List.sort entry_order (List.rev !entries))
+    | e :: _ -> Error e
+
+let render entries =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    "# qls_lint baseline: grandfathered findings, one 'file<TAB>rule<TAB>count' per line.\n\
+     # Regenerate with: dune exec analysis/qls_lint_main.exe -- --write-baseline lint.baseline\n";
+  List.iter
+    (fun e -> Buffer.add_string b (Printf.sprintf "%s\t%s\t%d\n" e.file e.rule e.allowed))
+    (List.sort entry_order entries);
+  Buffer.contents b
+
+(* Group sorted findings into per-(file, rule) runs. *)
+let group findings =
+  let sorted = List.sort Finding.order findings in
+  List.fold_left
+    (fun acc (f : Finding.t) ->
+      match acc with
+      | (file, rule, fs) :: rest
+        when String.equal file f.Finding.file && String.equal rule f.Finding.rule
+        ->
+          (file, rule, f :: fs) :: rest
+      | _ -> (f.Finding.file, f.Finding.rule, [ f ]) :: acc)
+    [] sorted
+  |> List.rev_map (fun (file, rule, fs) -> (file, rule, List.rev fs))
+  |> List.rev
+
+let of_findings findings =
+  group findings
+  |> List.map (fun (file, rule, fs) -> { file; rule; allowed = List.length fs })
+
+type applied = {
+  kept : Finding.t list;   (** findings beyond any allowance, sorted *)
+  waived : int;            (** findings covered by the baseline *)
+  stale : entry list;      (** allowances no current finding consumes fully *)
+}
+
+let apply entries findings =
+  let allowance file rule =
+    match
+      List.find_opt
+        (fun e -> String.equal e.file file && String.equal e.rule rule)
+        entries
+    with
+    | Some e -> e.allowed
+    | None -> 0
+  in
+  let groups = group findings in
+  let kept, waived =
+    List.fold_left
+      (fun (kept, waived) (file, rule, fs) ->
+        let n = List.length fs in
+        let a = allowance file rule in
+        if a >= n then (kept, waived + n)
+        else
+          (* Keep the last (n - a) findings of the run: new findings in a
+             grandfathered file tend to come after the old ones, and the
+             choice only affects which lines are printed, not the verdict. *)
+          (kept @ List.filteri (fun i _ -> i >= a) fs, waived + min a n))
+      ([], 0) groups
+  in
+  let stale =
+    List.filter
+      (fun e ->
+        let current =
+          match
+            List.find_opt
+              (fun (file, rule, _) ->
+                String.equal file e.file && String.equal rule e.rule)
+              groups
+          with
+          | Some (_, _, fs) -> List.length fs
+          | None -> 0
+        in
+        current < e.allowed)
+      entries
+  in
+  { kept = List.sort Finding.order kept; waived; stale }

@@ -1,0 +1,101 @@
+(* Parse → rules → suppressions for one file; directory walking for the
+   tree. Parsing uses compiler-libs ([Parse.implementation]) on the raw
+   source, so the engine sees exactly what the compiler sees — no ppx,
+   no type information. *)
+
+type report = {
+  findings : Finding.t list;  (** unsuppressed, sorted *)
+  suppressed : int;           (** findings silenced by in-source comments *)
+  files : int;
+  parse_failures : int;
+}
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse path src =
+  let lexbuf = Lexing.from_string src in
+  Location.init lexbuf path;
+  match Parse.implementation lexbuf with
+  | structure -> Ok structure
+  | exception Syntaxerr.Error err ->
+      let loc = Syntaxerr.location_of_error err in
+      Error
+        (Finding.of_location ~file:path ~rule:"parse-error"
+           ~severity:Finding.Error loc "file does not parse")
+  | exception e ->
+      Error
+        (Finding.v ~file:path ~line:1 ~col:0 ~rule:"parse-error"
+           ~severity:Finding.Error (Printexc.to_string e))
+
+let lint_source ~rules ~file src =
+  match parse file src with
+  | Error f -> ([ f ], 0, 1)
+  | Ok structure ->
+      let ctx = { Rules.file } in
+      let raw =
+        List.concat_map (fun r -> r.Rules.check ctx structure) rules
+      in
+      let sup = Suppress.scan src in
+      let kept, silenced =
+        List.partition
+          (fun (f : Finding.t) ->
+            not (Suppress.suppressed sup ~line:f.Finding.line ~rule:f.Finding.rule))
+          raw
+      in
+      (List.sort Finding.order kept, List.length silenced, 0)
+
+let lint_file ~rules path = lint_source ~rules ~file:path (read_file path)
+
+(* Deterministic walk: directory entries sorted with [String.compare],
+   [_build] and dotfiles skipped. *)
+let rec ml_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.sort String.compare
+  |> List.concat_map (fun name ->
+         if String.equal name "_build" || (String.length name > 0 && name.[0] = '.')
+         then []
+         else
+           let p = Filename.concat dir name in
+           if Sys.is_directory p then ml_files p
+           else if Filename.check_suffix name ".ml" then [ p ]
+           else [])
+
+let default_dirs = [ "lib"; "bin"; "bench" ]
+
+(* "./lib/foo.ml" and "lib/foo.ml" must be the same file as far as the
+   baseline is concerned. *)
+let normalize p =
+  if String.length p > 2 && String.sub p 0 2 = "./" then
+    String.sub p 2 (String.length p - 2)
+  else p
+
+let collect_paths ~root paths =
+  let paths =
+    match paths with
+    | [] -> List.filter Sys.file_exists (List.map (Filename.concat root) default_dirs)
+    | ps -> ps
+  in
+  List.concat_map
+    (fun p -> if Sys.is_directory p then ml_files p else [ p ])
+    paths
+  |> List.map normalize
+
+let run ~rules ~root paths =
+  let files = collect_paths ~root paths in
+  let findings, suppressed, failures =
+    List.fold_left
+      (fun (fs, sup, fail) path ->
+        let f, s, e = lint_file ~rules path in
+        (f :: fs, sup + s, fail + e))
+      ([], 0, 0) files
+  in
+  {
+    findings = List.sort Finding.order (List.concat findings);
+    suppressed;
+    files = List.length files;
+    parse_failures = failures;
+  }

@@ -1,0 +1,552 @@
+(* The R1–R5 rule catalogue. Every rule is purely syntactic: it works on
+   the Parsetree of one file, with no type information. That makes the
+   rules approximations — each one documents its envelope — but the
+   failure signatures they target (PR 3's hoisting regression, PR 4's
+   cross-domain races and polymorphic sort) are all syntactically
+   recognizable, which is the point: catch the next one in review, not
+   after a flaky campaign. *)
+
+open Parsetree
+
+type ctx = { file : string }
+
+type t = {
+  name : string;
+  summary : string;
+  severity : Finding.severity;
+  check : ctx -> Parsetree.structure -> Finding.t list;
+}
+
+module StringSet = Set.Make (String)
+
+(* ------------------------------------------------------------------ *)
+(* Shared AST helpers                                                  *)
+
+let flatten_ident e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> (
+      match Longident.flatten txt with
+      | path -> Some path
+      | exception _ -> None)
+  | _ -> None
+
+let drop_stdlib = function "Stdlib" :: rest -> rest | path -> path
+
+let ident_path e = Option.map drop_stdlib (flatten_ident e)
+
+let last_component e =
+  match ident_path e with
+  | Some path -> (
+      match List.rev path with x :: _ -> Some x | [] -> None)
+  | None -> None
+
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false
+    else if String.sub hay i nn = needle then true
+    else go (i + 1)
+  in
+  go 0
+
+let rec pattern_vars acc p =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> StringSet.add txt acc
+  | Ppat_alias (p, { txt; _ }) -> pattern_vars (StringSet.add txt acc) p
+  | Ppat_tuple ps | Ppat_array ps -> List.fold_left pattern_vars acc ps
+  | Ppat_construct (_, Some (_, p))
+  | Ppat_variant (_, Some p)
+  | Ppat_constraint (p, _)
+  | Ppat_lazy p
+  | Ppat_exception p
+  | Ppat_open (_, p) ->
+      List.fold_left pattern_vars acc [ p ]
+  | Ppat_record (fields, _) ->
+      List.fold_left (fun acc (_, p) -> pattern_vars acc p) acc fields
+  | Ppat_or (a, b) -> pattern_vars (pattern_vars acc a) b
+  | _ -> acc
+
+let run_iterator make_expr structure =
+  let it =
+    { Ast_iterator.default_iterator with expr = make_expr }
+  in
+  it.Ast_iterator.structure it structure
+
+(* ------------------------------------------------------------------ *)
+(* R1 — domain-unsafe-capture                                          *)
+(* A mutable container defined outside a closure and mutated inside a
+   closure handed to the domain pool: the exact shape of PR 4's
+   [stderr_report] seen-counter and [Progress] count races. Arrays are
+   deliberately out of scope — disjoint-index writes into a
+   preallocated array are the pool's own result-collection idiom. *)
+
+let spawn_head e =
+  match ident_path e with
+  | Some [ "Pool"; ("run" | "submit") ]
+  | Some [ "Domain"; "spawn" ]
+  | Some [ "Thread"; "create" ] ->
+      true
+  | _ -> false
+
+let mutator_module m fn =
+  match m with
+  | "Hashtbl" ->
+      List.mem fn
+        [ "add"; "replace"; "remove"; "reset"; "clear"; "filter_map_inplace" ]
+  | "Buffer" ->
+      List.mem fn
+        [
+          "add_char"; "add_string"; "add_bytes"; "add_substring";
+          "add_subbytes"; "add_buffer"; "add_channel"; "clear"; "reset";
+          "truncate";
+        ]
+  | "Queue" ->
+      List.mem fn [ "add"; "push"; "pop"; "take"; "clear"; "transfer" ]
+  | "Stack" -> List.mem fn [ "push"; "pop"; "clear" ]
+  | _ -> false
+
+let r1_check ctx structure =
+  let findings = ref [] in
+  let add loc msg =
+    findings :=
+      Finding.of_location ~file:ctx.file ~rule:"domain-unsafe-capture"
+        ~severity:Finding.Error loc msg
+      :: !findings
+  in
+  let analyze_closure closure =
+    let bound = ref StringSet.empty in
+    let with_pats pats f =
+      let saved = !bound in
+      List.iter (fun p -> bound := pattern_vars !bound p) pats;
+      f ();
+      bound := saved
+    in
+    let free x = not (StringSet.mem x !bound) in
+    let first_arg args =
+      List.find_map
+        (function
+          | Asttypes.Nolabel, { pexp_desc = Pexp_ident { txt = Longident.Lident x; _ }; _ }
+            -> Some x
+          | _ -> None)
+        args
+    in
+    let check_mutation e f args =
+      let report x what =
+        if free x then
+          add e.pexp_loc
+            (Printf.sprintf
+               "%s mutates '%s', which is captured from outside a closure \
+                passed to the domain pool; use Atomic, a mutex, or \
+                domain-confined state"
+               what x)
+      in
+      match ident_path f with
+      | Some [ (":=" | "incr" | "decr") as op ] -> (
+          match first_arg args with
+          | Some x -> report x (if op = ":=" then "':='" else op)
+          | None -> ())
+      | Some [ m; fn ] when mutator_module m fn -> (
+          match first_arg args with
+          | Some x -> report x (m ^ "." ^ fn)
+          | None -> ())
+      | _ -> ()
+    in
+    let expr_hook iter e =
+      match e.pexp_desc with
+      | Pexp_fun (_, default, pat, body) ->
+          Option.iter (iter.Ast_iterator.expr iter) default;
+          with_pats [ pat ] (fun () -> iter.Ast_iterator.expr iter body)
+      | Pexp_let (_, vbs, body) ->
+          List.iter (fun vb -> iter.Ast_iterator.expr iter vb.pvb_expr) vbs;
+          with_pats
+            (List.map (fun vb -> vb.pvb_pat) vbs)
+            (fun () -> iter.Ast_iterator.expr iter body)
+      | Pexp_apply (f, args) ->
+          check_mutation e f args;
+          Ast_iterator.default_iterator.expr iter e
+      | Pexp_setfield
+          ({ pexp_desc = Pexp_ident { txt = Longident.Lident x; _ }; _ }, _, _)
+        ->
+          if free x then
+            add e.pexp_loc
+              (Printf.sprintf
+                 "field assignment on '%s', which is captured from outside a \
+                  closure passed to the domain pool; use Atomic, a mutex, or \
+                  domain-confined state"
+                 x);
+          Ast_iterator.default_iterator.expr iter e
+      | _ -> Ast_iterator.default_iterator.expr iter e
+    in
+    let case_hook iter c =
+      with_pats [ c.pc_lhs ]
+        (fun () ->
+          Option.iter (iter.Ast_iterator.expr iter) c.pc_guard;
+          iter.Ast_iterator.expr iter c.pc_rhs)
+    in
+    let it =
+      {
+        Ast_iterator.default_iterator with
+        expr = expr_hook;
+        case = case_hook;
+      }
+    in
+    it.Ast_iterator.expr it closure
+  in
+  let is_closure e =
+    match e.pexp_desc with
+    | Pexp_fun _ | Pexp_function _ -> true
+    | _ -> false
+  in
+  run_iterator
+    (fun it e ->
+      (match e.pexp_desc with
+      | Pexp_apply (f, args) when spawn_head f ->
+          List.iter
+            (fun (_, a) -> if is_closure a then analyze_closure a)
+            args
+      | _ -> ());
+      Ast_iterator.default_iterator.expr it e)
+    structure;
+  !findings
+
+(* ------------------------------------------------------------------ *)
+(* R2 — poly-compare                                                   *)
+(* The bare polymorphic [compare] (any use: applied, or passed to
+   List.sort / Array.sort / a Set functor), and [=]/[<>] against a
+   structural literal ([], a constructor, a tuple, a record, an array).
+   Both order unknown representations with [Stdlib.compare]'s raw
+   runtime walk — the pre-PR-4 [Progress.render] misordering — and both
+   have a monomorphic spelling ([Int.compare], [Float.compare], a pair
+   comparator, [List.is_empty], [Option.is_none], a pattern match). *)
+
+let structural_literal e =
+  match e.pexp_desc with
+  | Pexp_construct ({ txt = Longident.Lident ("[]" | "::" | "None" | "Some"); _ }, _)
+    ->
+      true
+  | Pexp_tuple _ | Pexp_record _ | Pexp_array _ | Pexp_variant _ -> true
+  | _ -> false
+
+let r2_check ctx structure =
+  let findings = ref [] in
+  let add loc msg =
+    findings :=
+      Finding.of_location ~file:ctx.file ~rule:"poly-compare"
+        ~severity:Finding.Error loc msg
+      :: !findings
+  in
+  run_iterator
+    (fun it e ->
+      (match ident_path e with
+      | Some [ "compare" ] ->
+          add e.pexp_loc
+            "bare polymorphic 'compare'; use a monomorphic comparator \
+             (Int.compare, Float.compare, String.compare, or an explicit \
+             tuple comparator)"
+      | _ -> (
+          match e.pexp_desc with
+          | Pexp_apply (f, args) -> (
+              match ident_path f with
+              | Some [ ("=" | "<>") as op ]
+                when List.exists (fun (_, a) -> structural_literal a) args ->
+                  add e.pexp_loc
+                    (Printf.sprintf
+                       "polymorphic '%s' against a structural value; prefer a \
+                        pattern match, List.is_empty, or Option.is_none/is_some"
+                       op)
+              | _ -> ())
+          | _ -> ()));
+      Ast_iterator.default_iterator.expr it e)
+    structure;
+  !findings
+
+(* ------------------------------------------------------------------ *)
+(* R3 — float-discipline                                               *)
+(* Equality, [compare], or bare [min]/[max] where an operand is
+   syntactically a float (a float literal, float arithmetic, or an
+   int→float conversion): float equality is representation-sensitive
+   and polymorphic min/max/compare mishandle NaN — the class of bug
+   fixed in [Metrics.median] (PR 3). Ordering comparisons ([<], [>])
+   are left alone: they are well-defined on non-NaN floats and flagging
+   them would bury the signal. *)
+
+let rec floatish e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_apply (f, args) -> (
+      match ident_path f with
+      | Some [ ("+." | "-." | "*." | "/." | "**" | "float_of_int" | "~-.") ] ->
+          true
+      | Some [ "Float"; "of_int" ] -> true
+      | Some [ ("fst" | "snd" | "ignore") ] ->
+          List.exists (fun (_, a) -> floatish a) args
+      | _ -> false)
+  | Pexp_constraint (e, _) -> floatish e
+  | _ -> false
+
+let r3_check ctx structure =
+  let findings = ref [] in
+  let add loc msg =
+    findings :=
+      Finding.of_location ~file:ctx.file ~rule:"float-discipline"
+        ~severity:Finding.Error loc msg
+      :: !findings
+  in
+  run_iterator
+    (fun it e ->
+      (match e.pexp_desc with
+      | Pexp_apply (f, args) -> (
+          match ident_path f with
+          | Some [ (("=" | "<>" | "==" | "!=" | "min" | "max" | "compare") as op) ]
+            when List.exists (fun (_, a) -> floatish a) args ->
+              add e.pexp_loc
+                (Printf.sprintf
+                   "'%s' on a float operand; use Float.compare / Float.equal \
+                    / Float.min / Float.max (NaN-aware) or compare against an \
+                    epsilon"
+                   op)
+          | _ -> ())
+      | _ -> ());
+      Ast_iterator.default_iterator.expr it e)
+    structure;
+  !findings
+
+(* ------------------------------------------------------------------ *)
+(* R4 — nondet-source                                                  *)
+(* Wall-clock reads and unordered hash-table traversal: both are
+   invisible nondeterminism that breaks checkpoint/golden exactness the
+   moment their result reaches an output. [Hashtbl.fold]/[iter] escape
+   the flag when the traversal feeds directly into a sort (including
+   through a [|>]/[@@ ] pipeline) — the one shape whose output order is
+   independent of table internals. Anything else is flagged: wall-clock
+   timing metrics are legitimate but must say so with a suppression. *)
+
+let sortish_name = function
+  | Some name -> contains_sub name "sort"
+  | None -> false
+
+let sort_head e = sortish_name (last_component e)
+
+let sortish_rhs e =
+  match e.pexp_desc with
+  | Pexp_ident _ -> sort_head e
+  | Pexp_apply (f, _) -> sort_head f
+  | _ -> false
+
+let r4_check ctx structure =
+  let findings = ref [] in
+  let add loc msg =
+    findings :=
+      Finding.of_location ~file:ctx.file ~rule:"nondet-source"
+        ~severity:Finding.Error loc msg
+      :: !findings
+  in
+  let sorted = ref false in
+  let with_sorted f =
+    let saved = !sorted in
+    sorted := true;
+    f ();
+    sorted := saved
+  in
+  let rec expr_hook it e =
+    (match ident_path e with
+    | Some [ "Random"; "self_init" ] ->
+        add e.pexp_loc
+          "Random.self_init seeds from the environment; thread an explicit \
+           seeded Rng.t instead"
+    | Some [ "Sys"; "time" ] | Some [ "Unix"; ("gettimeofday" | "time") ] ->
+        add e.pexp_loc
+          "wall-clock read; results derived from it are not reproducible \
+           (suppress when this is a timing metric that never reaches routed \
+           output)"
+    | Some [ "Hashtbl"; (("fold" | "iter") as fn) ] when not !sorted ->
+        add e.pexp_loc
+          (Printf.sprintf
+             "Hashtbl.%s traverses in hash order; sort the result before it \
+              reaches an output, or suppress with the reason the order \
+              cannot matter"
+             fn)
+    | _ -> ());
+    match e.pexp_desc with
+    | Pexp_apply (f, args) when sort_head f ->
+        expr_hook it f;
+        List.iter (fun (_, a) -> with_sorted (fun () -> expr_hook it a)) args
+    | Pexp_apply
+        ( ({ pexp_desc = Pexp_ident { txt = Longident.Lident "|>"; _ }; _ } as f),
+          [ (_, lhs); (_, rhs) ] )
+      when sortish_rhs rhs ->
+        expr_hook it f;
+        with_sorted (fun () -> expr_hook it lhs);
+        expr_hook it rhs
+    | Pexp_apply
+        ( ({ pexp_desc = Pexp_ident { txt = Longident.Lident "@@"; _ }; _ } as f),
+          [ (_, lhs); (_, rhs) ] )
+      when sortish_rhs lhs ->
+        expr_hook it f;
+        expr_hook it lhs;
+        with_sorted (fun () -> expr_hook it rhs)
+    | _ -> Ast_iterator.default_iterator.expr it e
+  in
+  run_iterator expr_hook structure;
+  !findings
+
+(* ------------------------------------------------------------------ *)
+(* R5 — obs-discipline                                                 *)
+(* Protects the Qls_obs allocation-free-when-disabled contract
+   (DESIGN.md §10): [Qls_obs.stop ~attrs:[...]] with an eager literal
+   attribute list must sit in a branch guarded by the once-per-pass
+   [traced]/[enabled] read, and [Qls_obs.enabled]/[Qls_obs.counter]
+   must not be re-read inside a loop or per-element closure. *)
+
+let iteration_fn e =
+  match ident_path e with
+  | Some [ m; fn ] ->
+      List.mem m [ "List"; "Array"; "Seq"; "Queue"; "Hashtbl" ]
+      && List.mem fn
+           [
+             "iter"; "iteri"; "map"; "mapi"; "fold_left"; "fold_right"; "fold";
+             "filter"; "filter_map"; "concat_map"; "for_all"; "exists";
+           ]
+  | _ -> false
+
+let mentions_enabled cond =
+  let found = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match last_component e with
+          | Some name
+            when contains_sub name "enabled" || contains_sub name "traced"
+                 || contains_sub name "trace" ->
+              found := true
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.Ast_iterator.expr it cond;
+  !found
+
+let literal_attrs args =
+  List.exists
+    (function
+      | ( Asttypes.Labelled "attrs",
+          { pexp_desc = Pexp_construct ({ txt = Longident.Lident "::"; _ }, _); _ }
+        ) ->
+          true
+      | _ -> false)
+    args
+
+let r5_check ctx structure =
+  let findings = ref [] in
+  let add loc msg =
+    findings :=
+      Finding.of_location ~file:ctx.file ~rule:"obs-discipline"
+        ~severity:Finding.Warning loc msg
+      :: !findings
+  in
+  let loop = ref 0 and guarded = ref false in
+  let in_loop f =
+    incr loop;
+    f ();
+    decr loop
+  in
+  let with_guard f =
+    let saved = !guarded in
+    guarded := true;
+    f ();
+    guarded := saved
+  in
+  let is_closure e =
+    match e.pexp_desc with
+    | Pexp_fun _ | Pexp_function _ -> true
+    | _ -> false
+  in
+  let rec expr_hook it e =
+    match e.pexp_desc with
+    | Pexp_while (cond, body) ->
+        in_loop (fun () ->
+            expr_hook it cond;
+            expr_hook it body)
+    | Pexp_for (_, lo, hi, _, body) ->
+        expr_hook it lo;
+        expr_hook it hi;
+        in_loop (fun () -> expr_hook it body)
+    | Pexp_ifthenelse (cond, then_, else_) when mentions_enabled cond ->
+        expr_hook it cond;
+        with_guard (fun () -> expr_hook it then_);
+        Option.iter (expr_hook it) else_
+    | Pexp_apply (f, args) ->
+        (match ident_path f with
+        | Some [ "Qls_obs"; "enabled" ] when !loop > 0 ->
+            add e.pexp_loc
+              "Qls_obs.enabled read inside a loop; read it once per pass \
+               into a local and branch on that"
+        | Some [ "Qls_obs"; "counter" ] when !loop > 0 ->
+            add e.pexp_loc
+              "Qls_obs.counter looked up inside a loop; hoist it to a \
+               module-level lazy"
+        | Some [ "Qls_obs"; "stop" ]
+          when literal_attrs args && not !guarded ->
+            add e.pexp_loc
+              "Qls_obs.stop with an eager ~attrs list outside an \
+               if-enabled/traced guard; the list allocates even with \
+               tracing disabled"
+        | _ -> ());
+        if iteration_fn f then (
+          expr_hook it f;
+          List.iter
+            (fun (_, a) ->
+              if is_closure a then in_loop (fun () -> expr_hook it a)
+              else expr_hook it a)
+            args)
+        else Ast_iterator.default_iterator.expr it e
+    | _ -> Ast_iterator.default_iterator.expr it e
+  in
+  run_iterator expr_hook structure;
+  !findings
+
+(* ------------------------------------------------------------------ *)
+
+let all =
+  [
+    {
+      name = "domain-unsafe-capture";
+      summary =
+        "mutable container captured and mutated inside a closure passed to \
+         the domain pool";
+      severity = Finding.Error;
+      check = r1_check;
+    };
+    {
+      name = "poly-compare";
+      summary =
+        "bare polymorphic compare, or =/<> against a structural value";
+      severity = Finding.Error;
+      check = r2_check;
+    };
+    {
+      name = "float-discipline";
+      summary = "float equality / polymorphic min-max-compare on floats";
+      severity = Finding.Error;
+      check = r3_check;
+    };
+    {
+      name = "nondet-source";
+      summary =
+        "wall-clock reads and unsorted hash-order traversal reaching results";
+      severity = Finding.Error;
+      check = r4_check;
+    };
+    {
+      name = "obs-discipline";
+      summary =
+        "Qls_obs usage that breaks the allocation-free-when-disabled \
+         contract";
+      severity = Finding.Warning;
+      check = r5_check;
+    };
+  ]
+
+let by_name name = List.find_opt (fun r -> String.equal r.name name) all

@@ -135,6 +135,7 @@ let attrs_json attrs =
 
 let start ?(site = "app") name =
   if not (enabled ()) then No_span
+    (* lint: nondet-source — span timestamps are observability data *)
   else Span { name; site; t0 = Unix.gettimeofday (); tid = tid () }
 
 let emit ~name ~site ~t0 ~tid ~dur attrs =
@@ -180,6 +181,7 @@ let emit ~name ~site ~t0 ~tid ~dur attrs =
 let stop ?(attrs = []) = function
   | No_span -> ()
   | Span { name; site; t0; tid } ->
+      (* lint: nondet-source — span durations are observability data *)
       let dur = Unix.gettimeofday () -. t0 in
       emit ~name ~site ~t0 ~tid ~dur attrs
 
@@ -273,7 +275,7 @@ let approx_quantile h q =
     let cum = ref 0 and found = ref None in
     Array.iteri
       (fun i c ->
-        if !found = None then begin
+        if Option.is_none !found then begin
           cum := !cum + Atomic.get c;
           if Float.of_int !cum >= target then
             found :=
@@ -287,7 +289,9 @@ let approx_quantile h q =
 
 let reset_metrics () =
   Mutex.protect registry_mutex (fun () ->
+      (* lint: nondet-source — zeroing every cell commutes *)
       Hashtbl.iter (fun _ c -> Atomic.set c.c_cell 0) counter_registry;
+      (* lint: nondet-source — zeroing every cell commutes *)
       Hashtbl.iter
         (fun _ h -> Array.iter (fun c -> Atomic.set c 0) h.h_counts)
         histogram_registry)
@@ -316,6 +320,7 @@ let tracing_to ?format path =
       s_mutex = Mutex.create ();
     }
   in
+  (* lint: nondet-source — trace epoch is observability data *)
   Atomic.set epoch (Unix.gettimeofday ());
   Atomic.set sink (Some s);
   Atomic.set enabled_flag true

@@ -62,7 +62,7 @@ let astar ~opts device mapping ~target_pairs ~lookahead_pairs =
         add (Mapping.phys m b))
       target_pairs;
     let ids = Array.sub edge_ids 0 !k in
-    Array.sort compare ids;
+    Array.sort Int.compare ids;
     Array.fold_right
       (fun e acc ->
         edge_mark.(e) <- false;

@@ -149,8 +149,10 @@ let search ~budget ~nodes ~dag ~k ~n_phys ~coupled ~couplers =
   let rec assign count =
     bump ();
     if count = n then begin
+      (* lint: nondet-source — max over keys is order-insensitive *)
       let max_q = Hashtbl.fold (fun q _ acc -> max acc q) placed (-1) in
       let placement = Array.make (max_q + 1) (-1) in
+      (* lint: nondet-source — each key writes its own slot exactly once *)
       Hashtbl.iter (fun q p -> placement.(q) <- p) placed;
       raise
         (Found

@@ -28,6 +28,13 @@ module Wgraph = struct
 
   let canon u v = if u < v then (u, v) else (v, u)
 
+  (* Weight entries in ascending canonical-pair order: hash order must
+     never leak into placement decisions. *)
+  let sorted_entries weights =
+    Hashtbl.fold (fun k w acc -> (k, w) :: acc) weights []
+    |> List.sort (fun ((a, b), _) ((c, d), _) ->
+           match Int.compare a c with 0 -> Int.compare b d | n -> n)
+
   let of_pairs n pairs =
     let weights = Hashtbl.create 64 in
     List.iter
@@ -40,11 +47,11 @@ module Wgraph = struct
     let add v nbr w =
       Hashtbl.replace adj v ((nbr, w) :: Option.value ~default:[] (Hashtbl.find_opt adj v))
     in
-    Hashtbl.iter
-      (fun (u, v) w ->
+    List.iter
+      (fun ((u, v), w) ->
         add u v w;
         add v u w)
-      weights;
+      (sorted_entries weights);
     { n; weights; adj }
 
   let neighbors g v = Option.value ~default:[] (Hashtbl.find_opt g.adj v)
@@ -109,23 +116,25 @@ let coarsen_once rng (g : Wgraph.t) =
   done;
   let n_coarse = !next_id in
   let children = Array.make n_coarse [] in
+  (* lint: nondet-source — each coarse id writes its own slot exactly once *)
   Hashtbl.iter (fun c vs -> children.(c) <- vs) children_tbl;
   (* Project the weighted edges. *)
   let coarse_pairs = ref [] in
-  Hashtbl.iter
-    (fun (u, v) w ->
+  List.iter
+    (fun ((u, v), w) ->
       let cu = parent.(u) and cv = parent.(v) in
       if cu <> cv then
         for _ = 1 to w do
           coarse_pairs := (cu, cv) :: !coarse_pairs
         done)
-    g.Wgraph.weights;
+    (Wgraph.sorted_entries g.Wgraph.weights);
   (Wgraph.of_pairs n_coarse !coarse_pairs, { parent; children })
 
 let weighted_cost device circuit mapping =
   let g =
     Wgraph.of_pairs (Circuit.n_qubits circuit) (Circuit.two_qubit_pairs circuit)
   in
+  (* lint: nondet-source — integer sum; commutative, order-insensitive *)
   Hashtbl.fold
     (fun (u, v) w acc ->
       acc + (w * Device.distance device (Mapping.phys mapping u) (Mapping.phys mapping v)))
@@ -139,7 +148,7 @@ let greedy_place rng device (g : Wgraph.t) =
   let taken = Array.make n_phys false in
   let order =
     List.sort
-      (fun a b -> compare (Wgraph.weighted_degree g b) (Wgraph.weighted_degree g a))
+      (fun a b -> Int.compare (Wgraph.weighted_degree g b) (Wgraph.weighted_degree g a))
       (List.init n Fun.id)
   in
   List.iter

@@ -32,7 +32,7 @@ let degree_greedy rng device circuit =
     invalid_arg "Placement.degree_greedy: circuit larger than device";
   let order =
     List.sort
-      (fun q q' -> compare (Graph.degree inter q') (Graph.degree inter q))
+      (fun q q' -> Int.compare (Graph.degree inter q') (Graph.degree inter q))
       (List.init n_prog Fun.id)
   in
   let assignment = Array.make n_prog (-1) in

@@ -159,9 +159,9 @@ let advance t =
   while !progress do
     progress := false;
     let exec, blocked = List.partition (fun v -> executable t v) t.front in
-    if exec <> [] then begin
+    if not (List.is_empty exec) then begin
       (* Keep deterministic order: lower DAG index first. *)
-      let exec = List.sort compare exec in
+      let exec = List.sort Int.compare exec in
       List.iter (fun v -> bump_front t v (-1)) exec;
       t.front <- blocked;
       List.iter (fun v -> emit_gate t v) exec;
@@ -187,7 +187,7 @@ let apply_swap t p p' =
 let swap_count t = t.n_swaps
 
 let force_route_first t =
-  match List.sort compare t.front with
+  match List.sort Int.compare t.front with
   | [] -> ()
   | v :: _ -> (
       let a, b = Dag.pair t.dag v in
@@ -224,7 +224,7 @@ let swap_candidates t =
           (Device.incident_edges t.device p))
     t.phys_front;
   let ids = Array.sub t.edge_ids 0 !k in
-  Array.sort compare ids;
+  Array.sort Int.compare ids;
   Array.fold_right
     (fun e acc ->
       t.edge_mark.(e) <- false;
@@ -242,7 +242,7 @@ let extended_set t ~size =
   Queue.clear t.es_queue;
   let out = ref [] in
   let count = ref 0 in
-  List.iter (fun v -> Queue.add v t.es_queue) (List.sort compare t.front);
+  List.iter (fun v -> Queue.add v t.es_queue) (List.sort Int.compare t.front);
   while !count < size && not (Queue.is_empty t.es_queue) do
     let v = Queue.pop t.es_queue in
     List.iter
@@ -269,9 +269,9 @@ let remaining_layers t ~max_layers =
   t.epoch <- t.epoch + 1;
   let ep = t.epoch in
   let layers = ref [] in
-  let current = ref (List.sort compare t.front) in
+  let current = ref (List.sort Int.compare t.front) in
   let n_layers = ref 0 in
-  while !current <> [] && !n_layers < max_layers do
+  while not (List.is_empty !current) && !n_layers < max_layers do
     layers := !current :: !layers;
     incr n_layers;
     let next = ref [] in
@@ -287,7 +287,7 @@ let remaining_layers t ~max_layers =
             if t.indeg_scratch.(w) = 0 then next := w :: !next)
           (Dag.successors t.dag v))
       !current;
-    current := List.sort compare !next
+    current := List.sort Int.compare !next
   done;
   List.rev !layers
 

@@ -155,10 +155,10 @@ let routing_pass ~opts ~rng ~trace ~device ~initial circuit =
       if trace then begin
         let dag = Route_state.dag st in
         let front_gates =
-          List.map (fun v -> Dag.pair dag v) (List.sort compare (Route_state.front st))
+          List.map (fun v -> Dag.pair dag v) (List.sort Int.compare (Route_state.front st))
         in
         let sorted =
-          List.sort (fun (_, s) (_, s') -> compare s s') scored
+          List.sort (fun (_, s) (_, s') -> Float.compare s s') scored
         in
         decisions := { front_gates; candidates = sorted; chosen } :: !decisions
       end;
@@ -219,6 +219,7 @@ let route ?(options = default_options) ?initial device circuit =
   let opts = options in
   let n_trials = max 1 opts.trials in
   let best = ref None in
+  let traced = Qls_obs.enabled () in
   for trial = 0 to n_trials - 1 do
     let rng = Rng.create ((opts.seed * 1_000_003) + trial) in
     let start =
@@ -226,7 +227,6 @@ let route ?(options = default_options) ?initial device circuit =
       | Some m -> m
       | None -> Placement.random rng device circuit
     in
-    let traced = Qls_obs.enabled () in
     let sp =
       if traced then Qls_obs.start ~site:"router" "sabre.trial"
       else Qls_obs.none

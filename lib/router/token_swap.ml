@@ -167,7 +167,7 @@ let tree_sort device mapping ~target =
          empties are interchangeable *)
       let found = ref (-1) in
       for p = n - 1 downto 0 do
-        if (not eliminated.(p)) && Mapping.prog !m p = None then found := p
+        if (not eliminated.(p)) && Option.is_none (Mapping.prog !m p) then found := p
       done;
       if !found < 0 then invalid_arg "Token_swap: no free slot for empty content";
       !found
@@ -225,7 +225,7 @@ let optimal ?(max_swaps = 10) device ~current ~target =
   Hashtbl.add seen (key current) ();
   Queue.add (current, [], 0) queue;
   let result = ref None in
-  while !result = None && not (Queue.is_empty queue) do
+  while Option.is_none !result && not (Queue.is_empty queue) do
     let m, swaps_rev, depth = Queue.pop queue in
     if count_misplaced m ~target = 0 then result := Some (List.rev swaps_rev)
     else if depth < max_swaps then

@@ -18,7 +18,7 @@ let choose_targets rng device mapping front_pairs =
     List.sort
       (fun (a, b) (a', b') ->
         let d (x, y) = Device.distance device (Mapping.phys mapping x) (Mapping.phys mapping y) in
-        compare (d (a', b')) (d (a, b)))
+        Int.compare (d (a', b')) (d (a, b)))
       front_pairs
   in
   List.iter

@@ -94,7 +94,7 @@ let add_clause t lits =
       if l = 0 || v > t.nv then
         invalid_arg (Printf.sprintf "Solver.add_clause: bad literal %d" l))
     lits;
-  let lits = List.sort_uniq compare (List.map lit_of_dimacs lits) in
+  let lits = List.sort_uniq Int.compare (List.map lit_of_dimacs lits) in
   let tautology =
     List.exists (fun l -> List.mem (neg l) lits) lits
   in

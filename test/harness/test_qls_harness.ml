@@ -974,6 +974,43 @@ let concurrency_tests =
           (pos "tool0" < pos "tool1"
           && pos "tool1" < pos "tool2"
           && pos "tool2" < pos "tool3"));
+    test_case "tool_gaps snapshots exact sums under table-resize pressure"
+      (fun () ->
+        (* Unlike the hammering test above (4 fixed tools), every domain
+           keeps inserting FRESH tool names, so the table resizes while
+           other domains read it through [tool_gaps]. Without the mutex
+           around both sides, a reader walks a half-rehashed table:
+           entries vanish, sums tear, or the walk crashes. *)
+        let domains = 4 and tools_per = 100 and hits = 20 in
+        let p = Progress.create ~total:(domains * tools_per * hits) in
+        let worker d () =
+          for t = 0 to tools_per - 1 do
+            let tool = Printf.sprintf "d%d.tool%03d" d t in
+            for h = 1 to hits do
+              Progress.record ~ratio:(float_of_int h) ~tool ~outcome:`Ok p
+            done;
+            ignore (Progress.tool_gaps p)
+          done
+        in
+        let ds = List.init domains (fun d -> Domain.spawn (worker d)) in
+        List.iter Domain.join ds;
+        let gaps = Progress.tool_gaps p in
+        check_int "every tool surfaced" (domains * tools_per)
+          (List.length gaps);
+        (* Each tool saw ratios 1..hits exactly once: its mean is exact in
+           binary floating point, so equality is [Float.equal], not an
+           epsilon — any torn read-modify-write shows up. *)
+        let expect = float_of_int (hits + 1) /. 2.0 in
+        List.iter
+          (fun (tool, gap) ->
+            check_bool
+              (Printf.sprintf "exact mean for %s" tool)
+              true
+              (Float.equal gap expect))
+          gaps;
+        let names = List.map fst gaps in
+        check_bool "snapshot sorted by tool name" true
+          (List.equal String.equal names (List.sort String.compare names)));
     test_case "stderr_report meters exactly total/20 lines from N domains"
       (fun () ->
         let total = 200 and domains = 4 in

@@ -1,0 +1,26 @@
+(* R4 fixture: environment-seeded randomness, wall-clock reads, and
+   hash-order traversal that never reaches a sort.
+   Expected findings: 6. *)
+
+let bad_self_init () = Random.self_init ()
+
+let bad_walltime () = Unix.gettimeofday ()
+
+let bad_cpu () = Sys.time ()
+
+let bad_unix_time () = Unix.time ()
+
+let bad_fold tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+
+let bad_iter tbl = Hashtbl.iter (fun k v -> Printf.printf "%d %d\n" k v) tbl
+
+(* Fine: the traversal feeds directly into a sort, so hash order cannot
+   escape. *)
+let ok_pipe tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let ok_arg tbl =
+  List.sort
+    (fun (a, _) (b, _) -> Int.compare a b)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])

@@ -1,0 +1,16 @@
+(* Every violation in this file is silenced by a suppression comment;
+   the engine must keep zero findings and count five silenced ones. *)
+
+let same_line xs = List.sort compare xs (* lint: poly-compare — fixture: same-line form *)
+
+let line_above () =
+  (* lint: nondet-source — fixture: line-above form *)
+  Unix.gettimeofday ()
+
+let wildcard xs =
+  (* lint: all — fixture: wildcard form *)
+  if xs = [] then 1 else 0
+
+let multi x =
+  (* lint: poly-compare, float-discipline — fixture: rule-list form *)
+  compare x 1.0

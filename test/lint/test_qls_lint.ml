@@ -1,0 +1,224 @@
+(* Tests for the Qls_lint static-analysis pass: per-rule fixtures with
+   asserted violation counts, the suppression comment forms, baseline
+   round-tripping, and the self-check that lib/ itself is lint-clean. *)
+
+module Finding = Qls_lint.Finding
+module Rules = Qls_lint.Rules
+module Engine = Qls_lint.Engine
+module Suppress = Qls_lint.Suppress
+module Baseline = Qls_lint.Baseline
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let test_case name f = Alcotest.test_case name `Quick f
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let fixture name = read_file (Filename.concat "fixtures" name)
+
+let rule name =
+  match Rules.by_name name with
+  | Some r -> r
+  | None -> Alcotest.failf "rule %s not registered" name
+
+(* Lint [src] under the named rules; fail the test on parse errors so a
+   broken fixture cannot silently pass as "0 findings". *)
+let lint ~rules src =
+  let findings, suppressed, failures =
+    Engine.lint_source ~rules ~file:"fixture.ml" src
+  in
+  check_int "fixture parses" 0 failures;
+  (findings, suppressed)
+
+let expect_rule name file count =
+  test_case
+    (Printf.sprintf "%s fires %d time(s) on %s" name count file)
+    (fun () ->
+      let findings, _ = lint ~rules:[ rule name ] (fixture file) in
+      List.iter
+        (fun f -> check_string "rule tag" name f.Finding.rule)
+        findings;
+      check_int "finding count" count (List.length findings))
+
+(* ------------------------------------------------------------------ *)
+(* Rules                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let rule_tests =
+  [
+    expect_rule "domain-unsafe-capture" "r1_domain_capture.ml" 6;
+    expect_rule "poly-compare" "r2_poly_compare.ml" 5;
+    expect_rule "float-discipline" "r3_float_discipline.ml" 6;
+    expect_rule "nondet-source" "r4_nondet_source.ml" 6;
+    expect_rule "obs-discipline" "r5_obs_discipline.ml" 4;
+    test_case "clean fixture is clean under every rule" (fun () ->
+        let findings, suppressed = lint ~rules:Rules.all (fixture "clean.ml") in
+        check_int "no findings" 0 (List.length findings);
+        check_int "no suppressions" 0 suppressed);
+    test_case "findings carry file, 1-based line and severity" (fun () ->
+        let findings, _ =
+          lint ~rules:[ rule "poly-compare" ] "let f xs = List.sort compare xs\n"
+        in
+        match findings with
+        | [ f ] ->
+            check_string "file" "fixture.ml" f.Finding.file;
+            check_int "line" 1 f.Finding.line;
+            check_bool "severity" true (f.Finding.severity = Finding.Error)
+        | l -> Alcotest.failf "expected 1 finding, got %d" (List.length l));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Suppression                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let suppression_tests =
+  [
+    test_case "suppressed fixture keeps nothing, counts five" (fun () ->
+        let findings, suppressed =
+          lint ~rules:Rules.all (fixture "suppressed.ml")
+        in
+        List.iter
+          (fun f -> Printf.eprintf "unexpected: %s\n" (Finding.to_human f))
+          findings;
+        check_int "no findings survive" 0 (List.length findings);
+        check_int "five silenced" 5 suppressed);
+    test_case "scan recognizes the three comment forms" (fun () ->
+        let src =
+          "let x = compare (* lint: poly-compare — why *)\n\
+           (* lint: all — why *)\n\
+           let y = 2\n\
+           let z = 3 (* not a suppression *)\n"
+        in
+        let t = Suppress.scan src in
+        check_int "two suppressions" 2 (Suppress.count t);
+        check_bool "same line" true
+          (Suppress.suppressed t ~line:1 ~rule:"poly-compare");
+        check_bool "other rules stay" false
+          (Suppress.suppressed t ~line:1 ~rule:"nondet-source");
+        check_bool "wildcard covers the next line" true
+          (Suppress.suppressed t ~line:3 ~rule:"float-discipline");
+        check_bool "wildcard is standalone-only downward" false
+          (Suppress.suppressed t ~line:4 ~rule:"float-discipline"));
+    test_case "trailing comment does not bless the following line" (fun () ->
+        let src =
+          "let a = 1 (* lint: poly-compare — same line only *)\n\
+           let b = List.sort compare xs\n"
+        in
+        let t = Suppress.scan src in
+        check_bool "line 2 not covered" false
+          (Suppress.suppressed t ~line:2 ~rule:"poly-compare"));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Baseline                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let finding ~file ~line ~rule =
+  Finding.v ~file ~line ~col:0 ~rule ~severity:Finding.Error "msg"
+
+let baseline_tests =
+  [
+    test_case "of_findings -> render -> load -> apply round-trips" (fun () ->
+        let findings =
+          [
+            finding ~file:"bin/a.ml" ~line:3 ~rule:"nondet-source";
+            finding ~file:"bin/a.ml" ~line:9 ~rule:"nondet-source";
+            finding ~file:"bench/b.ml" ~line:1 ~rule:"poly-compare";
+          ]
+        in
+        let entries = Baseline.of_findings findings in
+        let tmp = Filename.temp_file "qls_lint" ".baseline" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove tmp)
+          (fun () ->
+            let oc = open_out tmp in
+            output_string oc (Baseline.render entries);
+            close_out oc;
+            match Baseline.load tmp with
+            | Error e -> Alcotest.fail e
+            | Ok loaded ->
+                let applied = Baseline.apply loaded findings in
+                check_int "everything waived" 0
+                  (List.length applied.Baseline.kept);
+                check_int "waived count" 3 applied.Baseline.waived;
+                check_int "nothing stale" 0
+                  (List.length applied.Baseline.stale)));
+    test_case "an exhausted allowance keeps the excess findings" (fun () ->
+        let entries =
+          [ { Baseline.file = "bin/a.ml"; rule = "nondet-source"; allowed = 1 } ]
+        in
+        let findings =
+          [
+            finding ~file:"bin/a.ml" ~line:3 ~rule:"nondet-source";
+            finding ~file:"bin/a.ml" ~line:9 ~rule:"nondet-source";
+          ]
+        in
+        let applied = Baseline.apply entries findings in
+        check_int "one kept" 1 (List.length applied.Baseline.kept);
+        check_int "one waived" 1 applied.Baseline.waived;
+        (match applied.Baseline.kept with
+        | [ f ] -> check_int "the later line survives" 9 f.Finding.line
+        | _ -> Alcotest.fail "expected exactly one kept finding"));
+    test_case "a paid-down allowance is reported stale" (fun () ->
+        let entries =
+          [ { Baseline.file = "bin/a.ml"; rule = "nondet-source"; allowed = 5 } ]
+        in
+        let applied =
+          Baseline.apply entries
+            [ finding ~file:"bin/a.ml" ~line:3 ~rule:"nondet-source" ]
+        in
+        check_int "nothing kept" 0 (List.length applied.Baseline.kept);
+        check_int "stale entry surfaced" 1 (List.length applied.Baseline.stale));
+    test_case "a missing baseline file loads as empty" (fun () ->
+        match Baseline.load "does/not/exist.baseline" with
+        | Ok [] -> ()
+        | Ok _ -> Alcotest.fail "expected no entries"
+        | Error e -> Alcotest.fail e);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Self-check: the library tree must stay lint-clean                   *)
+(* ------------------------------------------------------------------ *)
+
+let rec find_root dir =
+  if
+    Sys.file_exists (Filename.concat dir "dune-project")
+    && Sys.file_exists (Filename.concat dir "lib")
+    && Sys.is_directory (Filename.concat dir "lib")
+  then Some dir
+  else
+    let parent = Filename.dirname dir in
+    if String.equal parent dir then None else find_root parent
+
+let self_check_tests =
+  [
+    test_case "lib/ is lint-clean modulo in-source suppressions" (fun () ->
+        match find_root (Sys.getcwd ()) with
+        | None -> Alcotest.fail "repo root not found above the test cwd"
+        | Some root ->
+            let report =
+              Engine.run ~rules:Rules.all ~root [ Filename.concat root "lib" ]
+            in
+            check_bool "linted a non-trivial tree" true (report.Engine.files > 20);
+            check_int "every file parses" 0 report.Engine.parse_failures;
+            List.iter
+              (fun f -> Printf.eprintf "%s\n" (Finding.to_human f))
+              report.Engine.findings;
+            check_int "unsuppressed findings in lib/" 0
+              (List.length report.Engine.findings));
+  ]
+
+let () =
+  Alcotest.run "qls_lint"
+    [
+      ("rules", rule_tests);
+      ("suppression", suppression_tests);
+      ("baseline", baseline_tests);
+      ("self-check", self_check_tests);
+    ]
