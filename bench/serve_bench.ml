@@ -1,0 +1,565 @@
+(* Closed-loop load generator for the qubikos serve daemon.
+
+   Spawns a real daemon process (the same binary users run), drives it
+   over its Unix-domain socket from N concurrent client connections,
+   and reports:
+
+   - throughput (requests/second) and exact latency quantiles
+     (p50/p95/p99, computed from the full sorted sample set — no
+     histogram approximation on the client side);
+   - cache behaviour from the daemon's own stats verb. The workload
+     repeats a fixed set of distinct requests, and the daemon's caches
+     are single-flight, so the expected miss count equals the number of
+     distinct requests — the hit rate is deterministic, not a
+     best-effort observation;
+   - correctness: every response for the same request text must be
+     byte-identical (cache hits replay the cold response exactly), and
+     the daemon's swaps/depth must equal an offline run of the same
+     router on the same instance through the library.
+
+   [--out] writes BENCH_serve.json; [--check] compares a fresh run
+   against the committed baseline: deterministic fields (errors,
+   bit-identity, offline match, hit rate) gate exactly, p50 latency
+   gates on a geometric-mean ratio with a generous tolerance (client
+   and daemon share one machine; timing noise is real).
+
+   [--drain-test] runs the crash-consistency scenario instead: SIGTERM
+   mid-load, then asserts the daemon exits 0, every accepted client got
+   a whole-frame answer, and the sealed request log loads with zero
+   corrupt lines. *)
+
+module Protocol = Qls_serve.Protocol
+
+(* ------------------------------------------------------------------ *)
+(* Daemon process control                                              *)
+(* ------------------------------------------------------------------ *)
+
+let default_server () =
+  Filename.concat
+    (Filename.dirname Sys.executable_name)
+    (Filename.concat ".." (Filename.concat "bin" "qubikos_cli.exe"))
+
+type daemon = { pid : int; socket : string; log : string }
+
+let spawn_daemon ~server ~jobs ~queue =
+  let dir =
+    Filename.temp_file "qubikos_serve_bench" "" |> fun f ->
+    Sys.remove f;
+    Unix.mkdir f 0o700;
+    f
+  in
+  let socket = Filename.concat dir "serve.sock" in
+  let log = Filename.concat dir "requests.jsonl" in
+  let pid =
+    Unix.create_process server
+      [|
+        server; "serve"; "--socket"; socket; "--jobs"; string_of_int jobs;
+        "--queue"; string_of_int queue; "--request-log"; log;
+      |]
+      Unix.stdin Unix.stdout Unix.stderr
+  in
+  (* Wait for the listener: connect-retry, not sleep-and-hope. *)
+  let deadline = 100 in
+  let rec wait n =
+    if n > deadline then failwith "daemon did not come up";
+    let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+    match Unix.connect fd (ADDR_UNIX socket) with
+    | () -> Unix.close fd
+    | exception Unix.Unix_error _ ->
+        Unix.close fd;
+        Thread.delay 0.05;
+        wait (n + 1)
+  in
+  wait 0;
+  { pid; socket; log }
+
+let stop_daemon d =
+  (match Unix.kill d.pid Sys.sigterm with
+  | () -> ()
+  | exception Unix.Unix_error _ -> ());
+  let _, status = Unix.waitpid [] d.pid in
+  status
+
+(* ------------------------------------------------------------------ *)
+(* Client                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type client_conn = { ic : in_channel; oc : out_channel }
+
+let connect socket =
+  let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  Unix.connect fd (ADDR_UNIX socket);
+  { ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let disconnect c = close_in_noerr c.ic
+
+let rpc c payload =
+  Protocol.write_frame c.oc payload;
+  match Protocol.read_frame c.ic with
+  | Some resp -> resp
+  | None -> failwith "connection closed mid-request"
+
+(* ------------------------------------------------------------------ *)
+(* Workload: a fixed set of distinct requests, repeated                 *)
+(* ------------------------------------------------------------------ *)
+
+type job = { arch : string; swaps : int; gates : int; seed : int }
+
+let workload ~distinct =
+  List.init distinct (fun i ->
+      {
+        arch = (if i mod 2 = 0 then "grid3x3" else "aspen4");
+        swaps = 2 + (i mod 2);
+        gates = 24;
+        seed = 1 + (i / 2);
+      })
+
+let request_of_job j =
+  Printf.sprintf
+    {|{"verb":"route","arch":"%s","swaps":%d,"gates":%d,"seed":%d,"tool":"sabre","trials":1}|}
+    j.arch j.swaps j.gates j.seed
+
+(* Offline ground truth: the same route computed in-process through the
+   library, exactly as the CLI's route subcommand would. *)
+let offline_route j =
+  let device = Option.get (Qls_arch.Topologies.by_name j.arch) in
+  let config =
+    {
+      Qubikos.Generator.default_config with
+      n_swaps = j.swaps;
+      gate_budget = j.gates;
+      seed = j.seed;
+    }
+  in
+  let bench = Qubikos.Generator.generate ~config device in
+  let router =
+    Option.get (Qls_router.Registry.by_name ~sabre_trials:1 "sabre")
+  in
+  let _, report =
+    Qls_router.Router.run_verified router device
+      bench.Qubikos.Benchmark.circuit
+  in
+  ( report.Qls_layout.Verifier.swap_count,
+    report.Qls_layout.Verifier.depth,
+    bench.Qubikos.Benchmark.optimal_swaps )
+
+(* One client: closed loop over the workload, [rounds] times. Each
+   response is appended to this client's private slot — no shared
+   mutable state between client threads. *)
+type sample = { req : string; resp : string; seconds : float }
+
+let run_client ~socket ~rounds ~jobs_list ~slot ~slots =
+  let conn = connect socket in
+  let samples = ref [] in
+  for _ = 1 to rounds do
+    List.iter
+      (fun j ->
+        let req = request_of_job j in
+        (* lint: nondet-source — latency measurement *)
+        let t0 = Unix.gettimeofday () in
+        let resp = rpc conn req in
+        (* lint: nondet-source — latency measurement *)
+        let dt = Unix.gettimeofday () -. t0 in
+        samples := { req; resp; seconds = dt } :: !samples)
+      jobs_list
+  done;
+  disconnect conn;
+  slots.(slot) <- List.rev !samples
+
+(* ------------------------------------------------------------------ *)
+(* Result entry + JSON, mirroring router_bench's fixed-key format       *)
+(* ------------------------------------------------------------------ *)
+
+type entry = {
+  scenario : string;
+  clients : int;
+  rounds : int;
+  distinct : int;
+  requests : int;
+  errors : int;
+  bit_identical : bool;
+  offline_match : bool;
+  hit_rate : float;
+  throughput_rps : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+}
+
+let entry_to_json e =
+  Printf.sprintf
+    "{\"scenario\":%S,\"clients\":%d,\"rounds\":%d,\"distinct\":%d,\"requests\":%d,\"errors\":%d,\"bit_identical\":%b,\"offline_match\":%b,\"hit_rate\":%.4f,\"throughput_rps\":%.1f,\"p50_ms\":%.3f,\"p95_ms\":%.3f,\"p99_ms\":%.3f}"
+    e.scenario e.clients e.rounds e.distinct e.requests e.errors
+    e.bit_identical e.offline_match e.hit_rate e.throughput_rps e.p50_ms
+    e.p95_ms e.p99_ms
+
+let to_json ~mode entries =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"schema\": 1,\n  \"bench\": \"serve\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"mode\": %S,\n" mode);
+  Buffer.add_string buf "  \"entries\": [\n";
+  List.iteri
+    (fun i e ->
+      Buffer.add_string buf "    ";
+      Buffer.add_string buf (entry_to_json e);
+      if i < List.length entries - 1 then Buffer.add_char buf ',';
+      Buffer.add_char buf '\n')
+    entries;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
+let write_json ~path ~mode entries =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_json ~mode entries))
+
+let scan_field line key =
+  let pat = Printf.sprintf "\"%s\":" key in
+  let plen = String.length pat and n = String.length line in
+  let rec find i =
+    if i + plen > n then None
+    else if String.sub line i plen = pat then Some (i + plen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+      let stop = ref start in
+      while
+        !stop < n && (match line.[!stop] with ',' | '}' -> false | _ -> true)
+      do
+        incr stop
+      done;
+      Some (String.sub line start (!stop - start))
+
+let field_string line key =
+  match scan_field line key with
+  | Some s when String.length s >= 2 && s.[0] = '"' ->
+      Some (String.sub s 1 (String.length s - 2))
+  | _ -> None
+
+let field_float line key = Option.bind (scan_field line key) float_of_string_opt
+let field_int line key = Option.bind (scan_field line key) int_of_string_opt
+
+let field_bool line key =
+  Option.bind (scan_field line key) bool_of_string_opt
+
+let load_entries path =
+  let ic = open_in path in
+  let entries = ref [] in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      try
+        while true do
+          let line = input_line ic in
+          match (field_string line "scenario", field_int line "requests") with
+          | Some scenario, Some requests ->
+              let get_f key = Option.value ~default:0.0 (field_float line key) in
+              let get_i key = Option.value ~default:0 (field_int line key) in
+              let get_b key =
+                Option.value ~default:false (field_bool line key)
+              in
+              entries :=
+                {
+                  scenario;
+                  clients = get_i "clients";
+                  rounds = get_i "rounds";
+                  distinct = get_i "distinct";
+                  requests;
+                  errors = get_i "errors";
+                  bit_identical = get_b "bit_identical";
+                  offline_match = get_b "offline_match";
+                  hit_rate = get_f "hit_rate";
+                  throughput_rps = get_f "throughput_rps";
+                  p50_ms = get_f "p50_ms";
+                  p95_ms = get_f "p95_ms";
+                  p99_ms = get_f "p99_ms";
+                }
+                :: !entries
+          | _ -> ()
+        done
+      with End_of_file -> ());
+  List.rev !entries
+
+(* ------------------------------------------------------------------ *)
+(* The load scenario                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let exact_quantile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (q *. float_of_int n)))
+
+let run_load ~scenario ~server ~clients ~rounds ~distinct ~jobs ~queue =
+  let d = spawn_daemon ~server ~jobs ~queue in
+  let jobs_list = workload ~distinct in
+  let slots = Array.make clients [] in
+  (* lint: nondet-source — wall-clock throughput measurement *)
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    List.init clients (fun slot ->
+        Thread.create
+          (fun () -> run_client ~socket:d.socket ~rounds ~jobs_list ~slot ~slots)
+          ())
+  in
+  List.iter Thread.join threads;
+  (* lint: nondet-source — wall-clock throughput measurement *)
+  let elapsed = Unix.gettimeofday () -. t0 in
+  (* Cache stats from the daemon itself, then drain it. *)
+  let conn = connect d.socket in
+  let stats = rpc conn {|{"verb":"stats"}|} in
+  disconnect conn;
+  let status = stop_daemon d in
+  (match status with
+  | Unix.WEXITED 0 -> ()
+  | _ -> failwith "daemon did not exit cleanly after SIGTERM");
+  let samples = Array.to_list slots |> List.concat in
+  let requests = List.length samples in
+  let is_ok resp =
+    match field_bool resp "ok" with Some true -> true | _ -> false
+  in
+  let errors =
+    List.length (List.filter (fun s -> not (is_ok s.resp)) samples)
+  in
+  (* Bit-identity: all responses to one request text are one byte string. *)
+  let by_req = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      match Hashtbl.find_opt by_req s.req with
+      | None -> Hashtbl.replace by_req s.req s.resp
+      | Some _ -> ())
+    samples;
+  let bit_identical =
+    List.for_all
+      (fun s -> String.equal (Hashtbl.find by_req s.req) s.resp)
+      samples
+  in
+  (* Offline ground truth per distinct job. *)
+  let int_is resp key v =
+    match field_int resp key with Some x -> x = v | None -> false
+  in
+  let offline_match =
+    List.for_all
+      (fun j ->
+        let swaps, depth, optimal = offline_route j in
+        match Hashtbl.find_opt by_req (request_of_job j) with
+        | None -> false
+        | Some resp ->
+            int_is resp "swaps" swaps && int_is resp "depth" depth
+            && int_is resp "optimal" optimal)
+      jobs_list
+  in
+  let hit_rate =
+    match (field_int stats "route_hits", field_int stats "route_misses") with
+    | Some h, Some m when h + m > 0 -> float_of_int h /. float_of_int (h + m)
+    | _ -> 0.0
+  in
+  let sorted =
+    samples |> List.map (fun s -> s.seconds *. 1000.) |> Array.of_list
+  in
+  Array.sort Float.compare sorted;
+  {
+    scenario;
+    clients;
+    rounds;
+    distinct;
+    requests;
+    errors;
+    bit_identical;
+    offline_match;
+    hit_rate;
+    throughput_rps = float_of_int requests /. Float.max elapsed 1e-9;
+    p50_ms = exact_quantile sorted 0.50;
+    p95_ms = exact_quantile sorted 0.95;
+    p99_ms = exact_quantile sorted 0.99;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Drain scenario: SIGTERM mid-load, then audit the pieces             *)
+(* ------------------------------------------------------------------ *)
+
+let run_drain_test ~server =
+  let d = spawn_daemon ~server ~jobs:2 ~queue:64 in
+  let jobs_list = workload ~distinct:4 in
+  let slots = Array.make 4 [] in
+  let stopped = Array.make 4 0 (* responses cut short, per client *) in
+  let drain_client slot =
+    match
+      let conn = connect d.socket in
+      let samples = ref [] in
+      (try
+         for _ = 1 to 10_000 do
+           List.iter
+             (fun j ->
+               let req = request_of_job j in
+               let resp = rpc conn req in
+               samples := { req; resp; seconds = 0.0 } :: !samples)
+             jobs_list
+         done
+       with Failure _ | Sys_error _ | End_of_file | Unix.Unix_error _ ->
+         (* the drain half-closed our read side — expected *)
+         stopped.(slot) <- 1);
+      disconnect conn;
+      slots.(slot) <- !samples
+    with
+    | () -> ()
+    | exception _ -> stopped.(slot) <- 1
+  in
+  let threads =
+    List.init 4 (fun slot -> Thread.create (fun () -> drain_client slot) ())
+  in
+  Thread.delay 0.5;
+  Unix.kill d.pid Sys.sigterm;
+  List.iter Thread.join threads;
+  let status = stop_daemon d in
+  let clean_exit =
+    match status with Unix.WEXITED 0 -> true | _ -> false
+  in
+  let answered = Array.fold_left (fun n l -> n + List.length l) 0 slots in
+  (* Every response the clients did receive must be a whole, valid frame
+     payload carrying an "ok" field — the daemon never tears a response.
+     ok:false with kind "draining" is a legitimate whole answer for a
+     request that landed after shutdown began (a torn frame never gets
+     this far: rpc raises mid-read and the sample is dropped). *)
+  let whole =
+    Array.for_all
+      (List.for_all (fun s ->
+           match field_bool s.resp "ok" with
+           | Some true -> true
+           | Some false -> (
+               match field_string s.resp "kind" with
+               | Some "draining" | Some "overloaded" -> true
+               | _ -> false)
+           | None -> false))
+      slots
+  in
+  (* The sealed request log must load with zero corrupt lines: the drain
+     flushed every line whole. *)
+  let lines, corrupt = Qls_sealed.Log.load ~strict:true d.log in
+  Printf.printf
+    "drain-test: exit_clean=%b responses=%d whole=%b log_lines=%d corrupt=%d\n"
+    clean_exit answered whole (List.length lines) (List.length corrupt);
+  List.iter
+    (fun (c : Qls_sealed.corrupt) ->
+      Printf.printf "  corrupt line %d: %s\n" c.line_no c.reason)
+    corrupt;
+  if clean_exit && whole && List.is_empty corrupt && answered > 0
+     && List.length lines > 0
+  then 0
+  else 1
+
+(* ------------------------------------------------------------------ *)
+(* Check gate                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let check ~baseline ~tolerance entries =
+  let base = load_entries baseline in
+  let problems = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let logs = ref [] in
+  List.iter
+    (fun e ->
+      if e.errors > 0 then note "%s: %d failed requests" e.scenario e.errors;
+      if not e.bit_identical then
+        note "%s: cache hits were not byte-identical to cold responses"
+          e.scenario;
+      if not e.offline_match then
+        note "%s: served results diverged from the offline library route"
+          e.scenario;
+      (* Gate only against a baseline entry of the same workload shape;
+         an unmatched entry (e.g. a --quick run against the default
+         baseline) still gets the absolute checks above. *)
+      match
+        List.find_opt
+          (fun b ->
+            String.equal b.scenario e.scenario
+            && b.clients = e.clients && b.rounds = e.rounds
+            && b.distinct = e.distinct)
+          base
+      with
+      | None -> ()
+      | Some b ->
+          (* The hit rate is deterministic (single-flight caches, fixed
+             workload): any drop beyond the %.4f serialisation quantum
+             is a code change, not noise. *)
+          if e.hit_rate +. 1e-4 < b.hit_rate then
+            note "%s: hit rate %.4f fell below baseline %.4f" e.scenario
+              e.hit_rate b.hit_rate;
+          if b.p50_ms > 0.0 then logs := log (e.p50_ms /. b.p50_ms) :: !logs)
+    entries;
+  (match !logs with
+  | [] -> ()
+  | ls ->
+      let geomean =
+        exp (List.fold_left ( +. ) 0.0 ls /. float_of_int (List.length ls))
+      in
+      if geomean > 1.0 +. tolerance then
+        note
+          "p50 latency geomean ratio %.3f over %d scenarios exceeds baseline \
+           by more than %.0f%%"
+          geomean (List.length ls) (tolerance *. 100.0));
+  match List.rev !problems with [] -> Ok () | ps -> Error ps
+
+(* ------------------------------------------------------------------ *)
+(* CLI                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  (* A daemon draining mid-write must surface as an exception on the
+     client thread, not kill the whole bench. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let quick = ref false in
+  let clients = ref 4 in
+  let rounds = ref 40 in
+  let distinct = ref 8 in
+  let out = ref "" in
+  let check_path = ref "" in
+  let tolerance = ref 1.0 in
+  let server = ref (default_server ()) in
+  let drain = ref false in
+  let args =
+    [
+      ("--quick", Arg.Set quick, " Small workload (2 clients, 10 rounds)");
+      ("--clients", Arg.Set_int clients, "N Concurrent client connections");
+      ("--rounds", Arg.Set_int rounds, "N Workload repetitions per client");
+      ("--distinct", Arg.Set_int distinct, "N Distinct requests in the mix");
+      ("--out", Arg.Set_string out, "FILE Write BENCH_serve.json here");
+      ("--check", Arg.Set_string check_path, "FILE Compare against baseline");
+      ( "--tolerance",
+        Arg.Set_float tolerance,
+        "F p50 geomean slack for --check (default 1.0 = 2x)" );
+      ("--server", Arg.Set_string server, "PATH qubikos binary to spawn");
+      ("--drain-test", Arg.Set drain, " SIGTERM mid-load, audit the drain");
+    ]
+  in
+  Arg.parse (Arg.align args)
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "serve_bench [options]";
+  if !drain then exit (run_drain_test ~server:!server)
+  else begin
+    let clients, rounds = if !quick then (2, 10) else (!clients, !rounds) in
+    let mode = if !quick then "quick" else "default" in
+    let e =
+      run_load ~scenario:"mixed-route" ~server:!server ~clients ~rounds
+        ~distinct:!distinct ~jobs:2 ~queue:64
+    in
+    Printf.printf
+      "%s: %d req (%d clients x %d rounds, %d distinct) %.0f req/s  p50 %.3fms \
+       p95 %.3fms p99 %.3fms  hit_rate %.4f  errors %d  bit_identical %b  \
+       offline_match %b\n"
+      e.scenario e.requests e.clients e.rounds e.distinct e.throughput_rps
+      e.p50_ms e.p95_ms e.p99_ms e.hit_rate e.errors e.bit_identical
+      e.offline_match;
+    if not (String.equal !out "") then begin
+      write_json ~path:!out ~mode [ e ];
+      Printf.printf "wrote %s\n" !out
+    end;
+    if not (String.equal !check_path "") then
+      match check ~baseline:!check_path ~tolerance:!tolerance [ e ] with
+      | Ok () -> Printf.printf "check: OK (within tolerance of %s)\n" !check_path
+      | Error problems ->
+          List.iter (fun p -> Printf.printf "check FAILED: %s\n" p) problems;
+          exit 1
+  end

@@ -485,16 +485,15 @@ let campaign_cmd =
           | Error msg -> Error (Printf.sprintf "bad --inject spec: %s" msg))
     in
     let names =
+      (* One validator for every entry point: the same typed error the
+         library raises if a bad name slips through programmatically. *)
       match tools with
       | None -> Ok None
       | Some ns -> (
-          match List.filter (fun n -> Option.is_none (Registry.by_name n)) ns with
-          | [] -> Ok (Some ns)
-          | unknown ->
-              Error
-                (Printf.sprintf "unknown tool(s) %s; available: %s"
-                   (String.concat ", " unknown)
-                   (String.concat ", " Registry.names)))
+          match Evaluation.validate_tools ns with
+          | () -> Ok (Some ns)
+          | exception Qls_harness.Herror.Error e ->
+              Error e.Qls_harness.Herror.message)
     in
     match (store, injection, names) with
     | Error msg, _, _ | _, Error msg, _ | _, _, Error msg ->
@@ -652,6 +651,99 @@ let queko_cmd =
   Cmd.v (Cmd.info "queko" ~doc) Term.(const run $ arch $ depth $ seed $ out)
 
 (* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let socket =
+    Arg.(
+      value & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Listen on this Unix-domain socket (unlinked on drain).")
+  in
+  let tcp =
+    Arg.(
+      value & opt (some int) None
+      & info [ "tcp" ] ~docv:"PORT"
+          ~doc:"Also listen on loopback TCP ($(i,PORT) 0 lets the kernel \
+                pick; the bound port is printed on startup).")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt int (Qls_harness.Pool.recommended_jobs ())
+      & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Worker domains routing requests.")
+  in
+  let queue =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ] ~docv:"N"
+          ~doc:"Admission bound: requests queued beyond the workers; when \
+                full, new work is refused with a typed overloaded response.")
+  in
+  let cache_devices =
+    Arg.(
+      value & opt int 16
+      & info [ "cache-devices" ] ~docv:"N"
+          ~doc:"Retained devices with their APSP tables (LRU).")
+  in
+  let cache_instances =
+    Arg.(
+      value & opt int 128
+      & info [ "cache-instances" ] ~docv:"N"
+          ~doc:"Retained certified QUBIKOS instances (LRU).")
+  in
+  let cache_routes =
+    Arg.(
+      value & opt int 1024
+      & info [ "cache-routes" ] ~docv:"N"
+          ~doc:"Retained routed results (LRU).")
+  in
+  let request_log =
+    Arg.(
+      value & opt (some string) None
+      & info [ "request-log" ] ~docv:"FILE"
+          ~doc:"Append one CRC-sealed JSONL line per completed request.")
+  in
+  let run socket tcp jobs queue cache_devices cache_instances cache_routes
+      request_log trace =
+    if Option.is_none socket && Option.is_none tcp then begin
+      Format.eprintf "serve: pass --socket PATH and/or --tcp PORT@.";
+      2
+    end
+    else
+      with_tracing trace @@ fun () ->
+      let server =
+        Qls_serve.Server.create
+          {
+            socket_path = socket;
+            tcp_port = tcp;
+            jobs;
+            queue_capacity = queue;
+            device_cache = cache_devices;
+            instance_cache = cache_instances;
+            route_cache = cache_routes;
+            request_log;
+          }
+      in
+      Qls_serve.Server.install_signal_handlers server;
+      Option.iter (Format.printf "serve: listening on %s@.") socket;
+      Option.iter
+        (Format.printf "serve: listening on 127.0.0.1:%d@.")
+        (Qls_serve.Server.bound_tcp_port server);
+      Format.printf "serve: %d worker(s), queue %d; SIGTERM drains@." jobs
+        queue;
+      Qls_serve.Server.run server;
+      Format.printf "serve: drained@.";
+      0
+  in
+  let doc = "Run the routing-as-a-service daemon (see DESIGN.md \xc2\xa712)." in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ socket $ tcp $ jobs $ queue $ cache_devices
+      $ cache_instances $ cache_routes $ request_log $ trace_arg)
+
+(* ------------------------------------------------------------------ *)
 (* devices                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -678,5 +770,5 @@ let () =
        (Cmd.group info
           [
             generate_cmd; verify_cmd; route_cmd; evaluate_cmd; campaign_cmd;
-            study_cmd; queko_cmd; devices_cmd;
+            study_cmd; queko_cmd; serve_cmd; devices_cmd;
           ]))

@@ -1,5 +1,6 @@
 module Device = Qls_arch.Device
 module Router = Qls_router.Router
+module Registry = Qls_router.Registry
 module Verifier = Qls_layout.Verifier
 module Metrics = Qls_layout.Metrics
 
@@ -78,8 +79,26 @@ let tool_names ?names tools =
 module Task = Qls_harness.Task
 module Campaign = Qls_harness.Campaign
 
+(* Fail a campaign on an unknown tool name {e before} any domain spawns
+   or any store line is written: one typed Permanent error naming every
+   unknown tool beats a failwith out of some worker mid-run (which used
+   to cost the whole sweep and leave a half-written checkpoint). *)
+let validate_tools names =
+  match
+    List.filter (fun n -> Option.is_none (Registry.by_name n)) names
+  with
+  | [] -> ()
+  | unknown ->
+      raise
+        (Qls_harness.Herror.Error
+           (Qls_harness.Herror.permanent ~site:"campaign.tools"
+              (Printf.sprintf "unknown tool(s) %s; available: %s"
+                 (String.concat ", " unknown)
+                 (String.concat ", " Registry.names))))
+
 let campaign_tasks ?tools ?names ~config device =
   let names = tool_names ?names tools in
+  validate_tools names;
   List.concat_map
     (fun n_swaps ->
       List.concat_map
@@ -173,7 +192,14 @@ let resolve_tool ?tools (task : Task.t) =
   in
   match found with
   | Some tool -> tool
-  | None -> failwith (Printf.sprintf "unknown tool %S" task.Task.tool)
+  | None ->
+      (* Typed rather than failwith so a stray name in a resumed store
+         or a caller-supplied [tools] list fails one task with a
+         Permanent classification instead of an opaque Failure. *)
+      raise
+        (Qls_harness.Herror.Error
+           (Qls_harness.Herror.permanent ~site:"campaign.tools"
+              (Printf.sprintf "unknown tool %S" task.Task.tool)))
 
 let campaign_exec ?tools ~device (task : Task.t) =
   let bench = instance_for device task in

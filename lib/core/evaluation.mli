@@ -52,6 +52,14 @@ val paper_figure_config : Qls_arch.Device.t -> figure_config
 (** Full paper-scale parameters (10 circuits per point, 1000 SABRE
     trials). Expect hours of runtime. *)
 
+val validate_tools : string list -> unit
+(** Check every name against the tool registry.
+    @raise Qls_harness.Herror.Error (class [Permanent], site
+    ["campaign.tools"]) listing {e all} unknown names and the available
+    registry, so a typo fails the campaign up front — before any worker
+    domain spawns or store line is written — instead of as a mid-run
+    [failwith] out of some task. *)
+
 val campaign_tasks :
   ?tools:Qls_router.Router.t list ->
   ?names:string list ->
@@ -62,7 +70,8 @@ val campaign_tasks :
     campaign tasks, ordered point-major so siblings of an instance run
     close together and share its generation. [names] overrides the tool
     set with plain registry names (e.g. [\["sabre"; "olsq"\]]) without
-    constructing routers up front; it wins over [tools]. *)
+    constructing routers up front; it wins over [tools]. The effective
+    tool set is passed through {!validate_tools} first. *)
 
 val campaign_exec :
   ?tools:Qls_router.Router.t list ->

@@ -39,3 +39,130 @@ let run ~jobs ~f tasks =
         results
 
 let map ~jobs ~f tasks = run ~jobs ~f:(fun _ x -> f x) tasks
+
+(* ------------------------------------------------------------------ *)
+(* The long-lived pool: a fixed set of domains fed one job at a time   *)
+(* through a bounded queue, with per-job completion callbacks. This is *)
+(* the serving-path variant of [run]: jobs arrive continuously (one    *)
+(* per request) instead of as one batch, and admission is explicit —   *)
+(* a full queue refuses the job instead of growing without bound, so   *)
+(* the caller can shed load with a typed response while the workers    *)
+(* stay saturated.                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type submit_result = Submitted | Rejected_full | Rejected_closed
+
+type pool = {
+  jobs_queue : (unit -> unit) Queue.t;
+  capacity : int;
+  mutex : Mutex.t;
+  work_ready : Condition.t;  (* signalled per enqueue and at close *)
+  all_idle : Condition.t;  (* signalled when running + queued hits 0 *)
+  mutable running : int;  (* jobs currently executing on a worker *)
+  mutable closing : bool;  (* no further admissions; drain in progress *)
+  mutable domains : unit Domain.t list;
+  on_callback_error : exn -> unit;
+}
+
+let pool_worker p () =
+  let rec loop () =
+    Mutex.lock p.mutex;
+    while Queue.is_empty p.jobs_queue && not p.closing do
+      Condition.wait p.work_ready p.mutex
+    done;
+    match Queue.take_opt p.jobs_queue with
+    | None ->
+        (* closing and drained *)
+        Mutex.unlock p.mutex;
+        ()
+    | Some job ->
+        p.running <- p.running + 1;
+        Mutex.unlock p.mutex;
+        job ();
+        Mutex.lock p.mutex;
+        p.running <- p.running - 1;
+        if p.running = 0 && Queue.is_empty p.jobs_queue then
+          Condition.broadcast p.all_idle;
+        Mutex.unlock p.mutex;
+        loop ()
+  in
+  loop ()
+
+let default_callback_error e =
+  Printf.eprintf "pool: completion callback raised: %s\n%!"
+    (Printexc.to_string e)
+
+let start ?(capacity = max_int) ?(on_callback_error = default_callback_error)
+    ~jobs () =
+  if jobs < 1 then invalid_arg "Pool.start: jobs must be >= 1";
+  if capacity < 0 then invalid_arg "Pool.start: capacity must be >= 0";
+  let p =
+    {
+      jobs_queue = Queue.create ();
+      capacity;
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      all_idle = Condition.create ();
+      running = 0;
+      closing = false;
+      domains = [];
+      on_callback_error;
+    }
+  in
+  p.domains <- List.init jobs (fun _ -> Domain.spawn (pool_worker p));
+  p
+
+let submit p ~work ~complete =
+  (* The job owns its whole lifecycle: run the work, classify the
+     outcome, hand it to the callback. The callback runs on the worker
+     domain; an exception it raises is contained (reported through
+     [on_callback_error]) so it can never kill the worker. *)
+  let job () =
+    let result = try Ok (work ()) with e -> Error e in
+    try complete result with e -> p.on_callback_error e
+  in
+  Mutex.lock p.mutex;
+  if p.closing then begin
+    Mutex.unlock p.mutex;
+    Rejected_closed
+  end
+  else if Queue.length p.jobs_queue >= p.capacity then begin
+    Mutex.unlock p.mutex;
+    Rejected_full
+  end
+  else begin
+    Queue.add job p.jobs_queue;
+    Condition.signal p.work_ready;
+    Mutex.unlock p.mutex;
+    Submitted
+  end
+
+let queue_depth p = Mutex.protect p.mutex (fun () -> Queue.length p.jobs_queue)
+
+let in_flight p =
+  Mutex.protect p.mutex (fun () -> Queue.length p.jobs_queue + p.running)
+
+let closing p = Mutex.protect p.mutex (fun () -> p.closing)
+
+let drain p =
+  Mutex.lock p.mutex;
+  if p.closing then begin
+    (* Second drainer: just wait for quiescence. *)
+    while p.running > 0 || not (Queue.is_empty p.jobs_queue) do
+      Condition.wait p.all_idle p.mutex
+    done;
+    Mutex.unlock p.mutex
+  end
+  else begin
+    p.closing <- true;
+    (* Queued jobs still run to completion — drain means "finish what
+       was admitted", not "discard it"; only new admissions are
+       refused. Workers exit once the queue is empty. *)
+    Condition.broadcast p.work_ready;
+    Mutex.unlock p.mutex;
+    List.iter Domain.join p.domains;
+    Mutex.lock p.mutex;
+    if p.running = 0 && Queue.is_empty p.jobs_queue then
+      Condition.broadcast p.all_idle;
+    Mutex.unlock p.mutex
+  end

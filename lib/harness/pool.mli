@@ -27,3 +27,53 @@ val run : jobs:int -> f:(int -> 'a -> 'b) -> 'a array -> 'b array
 
 val map : jobs:int -> f:('a -> 'b) -> 'a array -> 'b array
 (** {!run} without the index. *)
+
+(** {1 Long-lived pool}
+
+    The serving-path variant of {!run}: a fixed set of domains started
+    once, fed individual jobs through a bounded queue, each job paired
+    with a completion callback. Admission is explicit — when the queue
+    is at capacity {!submit} refuses the job instead of queueing it, so
+    a server can shed load with a typed response while the workers stay
+    saturated. *)
+
+type pool
+(** A running pool of worker domains. *)
+
+type submit_result =
+  | Submitted  (** queued; [complete] will eventually run *)
+  | Rejected_full  (** queue at capacity; [work] was not enqueued *)
+  | Rejected_closed  (** {!drain} already started; no new admissions *)
+
+val start :
+  ?capacity:int -> ?on_callback_error:(exn -> unit) -> jobs:int -> unit -> pool
+(** [start ~jobs ()] spawns [jobs] worker domains blocked on an empty
+    queue. [capacity] bounds the number of {e queued} (not yet running)
+    jobs; default unbounded. [on_callback_error] is invoked (on the
+    worker domain) if a completion callback itself raises — the default
+    prints to stderr; the worker survives either way. *)
+
+val submit :
+  pool ->
+  work:(unit -> 'a) ->
+  complete:(('a, exn) result -> unit) ->
+  submit_result
+(** [submit p ~work ~complete] enqueues [work] to run on some worker
+    domain; when it finishes, [complete (Ok v)] or [complete (Error e)]
+    runs on that same domain. Returns without blocking. [work] and
+    [complete] must be safe to run on another domain. *)
+
+val queue_depth : pool -> int
+(** Jobs admitted but not yet picked up by a worker. *)
+
+val in_flight : pool -> int
+(** Queued plus currently-executing jobs. *)
+
+val closing : pool -> bool
+(** True once {!drain} has started. *)
+
+val drain : pool -> unit
+(** Stop admitting ([submit] returns [Rejected_closed]), let every
+    already-admitted job run to completion, then join all worker
+    domains. Idempotent: concurrent callers all block until the pool is
+    quiescent. *)

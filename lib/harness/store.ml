@@ -1,198 +1,23 @@
 type entry = { task_id : string; status : Task.status }
-type corrupt = { line_no : int; reason : string; text : string }
+type corrupt = Qls_sealed.corrupt = { line_no : int; reason : string; text : string }
 type compact_stats = { kept : int; superseded : int; quarantined : int }
 
-type t = {
-  path : string;
-  oc : out_channel;
-  fsync : bool;
-  mutex : Mutex.t;
-}
+type t = { log : Qls_sealed.Log.t }
 
 let site_append = "store.append"
 let site_load = "store.load"
 
-(* ------------------------------------------------------------------ *)
-(* CRC32 (IEEE 802.3, the zlib polynomial) over the unsealed payload.  *)
-(* ------------------------------------------------------------------ *)
+(* The CRC framing, escape and flat-JSON codec all live in Qls_sealed
+   now — this module keeps only the entry codec and the store policy
+   (v1/v2/v3 compatibility, quarantine, compaction). *)
+let crc32 = Qls_sealed.crc32
+let seal = Qls_sealed.seal
+let escape = Qls_sealed.escape
 
-let crc_table =
-  lazy
-    (Array.init 256 (fun n ->
-         let c = ref (Int32.of_int n) in
-         for _ = 0 to 7 do
-           c :=
-             if Int32.logand !c 1l <> 0l then
-               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
-             else Int32.shift_right_logical !c 1
-         done;
-         !c))
-
-let crc32 s =
-  let table = Lazy.force crc_table in
-  let c = ref 0xFFFFFFFFl in
-  String.iter
-    (fun ch ->
-      c :=
-        Int32.logxor
-          (Int32.shift_right_logical !c 8)
-          table.(Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xffl)))
-    s;
-  Printf.sprintf "%08lx" (Int32.logxor !c 0xFFFFFFFFl)
-
-(* Seal a JSON object line by splicing a ["crc"] member (over the bytes
-   of the {e unsealed} object) in front of the closing brace; [unseal]
-   reverses it. Byte-level on purpose: the checksum must cover the exact
-   serialisation, not a re-encoding. *)
-let crc_marker = {|,"crc":"|}
-
-let seal payload =
-  Printf.sprintf "%s%s%s\"}"
-    (String.sub payload 0 (String.length payload - 1))
-    crc_marker (crc32 payload)
-
-type unsealed = No_crc | Crc_ok | Crc_mismatch
-
-let unseal line =
-  let n = String.length line and m = String.length crc_marker in
-  (* The crc member is always the one we spliced last: 8 hex digits and
-     a closing quote+brace at the very end of the line. *)
-  let tail_len = m + 8 + 2 in
-  if n >= tail_len && String.sub line (n - tail_len) m = crc_marker
-     && line.[n - 2] = '"' && line.[n - 1] = '}' then
-    let declared = String.sub line (n - 10) 8 in
-    let payload = String.sub line 0 (n - tail_len) ^ "}" in
-    if String.equal (crc32 payload) declared then (payload, Crc_ok)
-    else (payload, Crc_mismatch)
-  else (line, No_crc)
-
-(* ------------------------------------------------------------------ *)
-(* A minimal flat-JSON codec. Lines are objects of string and number   *)
-(* fields only, which is all the store ever writes; hand-rolling it    *)
-(* keeps the harness dependency-free.                                  *)
-(* ------------------------------------------------------------------ *)
-
-let escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\r' -> Buffer.add_string b "\\r"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-exception Malformed of string
+exception Malformed = Qls_sealed.Malformed
 
 let malformed fmt = Printf.ksprintf (fun m -> raise (Malformed m)) fmt
-
-(* Parse one flat JSON object into an association list; string values are
-   unescaped, numbers returned as raw text. Raises [Malformed] on
-   anything else — {!load_verified} quarantines such lines. *)
-let fields_of_line line =
-  let n = String.length line in
-  let pos = ref 0 in
-  let peek () = if !pos < n then Some line.[!pos] else None in
-  let skip_ws () =
-    while !pos < n && (line.[!pos] = ' ' || line.[!pos] = '\t') do incr pos done
-  in
-  let expect c =
-    skip_ws ();
-    match peek () with
-    | Some d when Char.equal d c -> incr pos
-    | Some _ | None -> malformed "expected %C at byte %d" c !pos
-  in
-  let hex_digit c =
-    match c with
-    | '0' .. '9' -> Char.code c - Char.code '0'
-    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
-    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
-    | _ -> malformed "bad hex digit %C in \\u escape" c
-  in
-  let parse_string () =
-    expect '"';
-    let b = Buffer.create 16 in
-    let rec go () =
-      if !pos >= n then malformed "unterminated string";
-      match line.[!pos] with
-      | '"' -> incr pos
-      | '\\' ->
-          if !pos + 1 >= n then malformed "dangling backslash";
-          (match line.[!pos + 1] with
-          | '"' -> Buffer.add_char b '"'
-          | '\\' -> Buffer.add_char b '\\'
-          | 'n' -> Buffer.add_char b '\n'
-          | 'r' -> Buffer.add_char b '\r'
-          | 't' -> Buffer.add_char b '\t'
-          | 'u' ->
-              (* Strict: exactly four hex digits, no signs/underscores,
-                 no surrogate halves; the code point is emitted as
-                 UTF-8, not truncated to its low byte. *)
-              if !pos + 5 >= n then malformed "truncated \\u escape";
-              let code =
-                (hex_digit line.[!pos + 2] lsl 12)
-                lor (hex_digit line.[!pos + 3] lsl 8)
-                lor (hex_digit line.[!pos + 4] lsl 4)
-                lor hex_digit line.[!pos + 5]
-              in
-              if code >= 0xD800 && code <= 0xDFFF then
-                malformed "surrogate code point \\u%04x" code;
-              Buffer.add_utf_8_uchar b (Uchar.of_int code);
-              pos := !pos + 4
-          | c -> malformed "unknown escape \\%C" c);
-          pos := !pos + 2;
-          go ()
-      | c ->
-          Buffer.add_char b c;
-          incr pos;
-          go ()
-    in
-    go ();
-    Buffer.contents b
-  in
-  let parse_number () =
-    let start = !pos in
-    while
-      !pos < n
-      && (match line.[!pos] with
-         | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-         | _ -> false)
-    do
-      incr pos
-    done;
-    if !pos = start then malformed "expected a value at byte %d" !pos;
-    String.sub line start (!pos - start)
-  in
-  expect '{';
-  let rec members acc =
-    skip_ws ();
-    match peek () with
-    | Some '}' ->
-        incr pos;
-        skip_ws ();
-        if !pos <> n then malformed "trailing bytes after object";
-        List.rev acc
-    | _ ->
-        let key = parse_string () in
-        expect ':';
-        skip_ws ();
-        let value =
-          match peek () with
-          | Some '"' -> parse_string ()
-          | Some _ -> parse_number ()
-          | None -> malformed "truncated object"
-        in
-        skip_ws ();
-        (match peek () with Some ',' -> incr pos | Some _ | None -> ());
-        members ((key, value) :: acc)
-  in
-  members []
+let fields_of_line = Qls_sealed.fields_of_line
 
 (* ------------------------------------------------------------------ *)
 (* Entry codec (format v2: status ok | degraded | failed, crc-sealed)  *)
@@ -265,8 +90,8 @@ let outcome_of_fields ~attempts_key fields =
   | _ -> malformed "missing outcome fields"
 
 let entry_of_line line =
-  let payload, sealing = unseal line in
-  if sealing = Crc_mismatch then Error "crc mismatch"
+  let payload, sealing = Qls_sealed.unseal line in
+  if sealing = Qls_sealed.Crc_mismatch then Error "crc mismatch"
   else
     match fields_of_line payload with
     | exception Malformed m -> Error m
@@ -330,38 +155,25 @@ let completed entries =
   tbl
 
 let open_append ?(fsync = false) path =
-  let oc =
-    open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
-  in
-  { path; oc; fsync; mutex = Mutex.create () }
+  (* The write-side contract (one flushed line per append under a mutex;
+     the fault hook sees the sealed bytes, newline included, so an
+     injected torn write really does splice into the next line) is
+     enforced by the shared sealed log. *)
+  {
+    log =
+      Qls_sealed.Log.open_append ~fsync
+        ~mangle:(fun ~key s -> Qls_faults.mangle ~site:site_append ~key s)
+        path;
+  }
 
 let append t entry =
-  (* One buffered write of the whole line then a flush, under the mutex:
-     concurrent workers never interleave within a line, and a kill can
-     only ever truncate the final line (which loading quarantines). The
-     fault hook mangles the sealed bytes, newline included, so an
-     injected torn write really does splice into the next line. *)
-  Mutex.protect t.mutex (fun () ->
-      output_string t.oc
-        (Qls_faults.mangle ~site:site_append ~key:entry.task_id
-           (line_of_entry entry ^ "\n"));
-      flush t.oc;
-      if t.fsync then Unix.fsync (Unix.descr_of_out_channel t.oc))
+  Qls_sealed.Log.append_sealed t.log ~key:entry.task_id (line_of_entry entry)
 
 let compact ?(fsync = false) path =
   let entries, bad = load_verified path in
   (* Quarantine damaged lines before they are dropped from the rewrite:
      the bytes survive for forensics, the store stops re-reading them. *)
-  if not (List.is_empty bad) then begin
-    let qc =
-      open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644
-        (path ^ ".quarantine")
-    in
-    List.iter
-      (fun c -> Printf.fprintf qc "# line %d: %s\n%s\n" c.line_no c.reason c.text)
-      bad;
-    close_out qc
-  end;
+  Qls_sealed.quarantine_append ~path:(path ^ ".quarantine") bad;
   let last = completed entries in
   (* Keep the winning status per task, in first-appearance order. *)
   let seen = Hashtbl.create (List.length entries) in
@@ -390,5 +202,5 @@ let compact ?(fsync = false) path =
     quarantined = List.length bad;
   }
 
-let close t = close_out t.oc
-let path t = t.path
+let close t = Qls_sealed.Log.close t.log
+let path t = Qls_sealed.Log.path t.log

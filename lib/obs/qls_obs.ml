@@ -48,77 +48,15 @@ let none = No_span
 let tid () = (Domain.self () :> int)
 
 (* ------------------------------------------------------------------ *)
-(* CRC32 seal — same IEEE polynomial and framing as the result store,  *)
-(* so a trace reader can apply the identical torn-line quarantine.     *)
+(* CRC seal and JSON helpers: the framing is the shared Qls_sealed     *)
+(* implementation (same polynomial and splice as the result store), so *)
+(* a trace reader can apply the identical torn-line quarantine.        *)
 (* ------------------------------------------------------------------ *)
 
-let crc_table =
-  lazy
-    (Array.init 256 (fun n ->
-         let c = ref (Int32.of_int n) in
-         for _ = 0 to 7 do
-           c :=
-             if Int32.logand !c 1l <> 0l then
-               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
-             else Int32.shift_right_logical !c 1
-         done;
-         !c))
-
-let crc32 s =
-  let table = Lazy.force crc_table in
-  let c = ref 0xFFFFFFFFl in
-  String.iter
-    (fun ch ->
-      c :=
-        Int32.logxor
-          (Int32.shift_right_logical !c 8)
-          table.(Int32.to_int
-                   (Int32.logand
-                      (Int32.logxor !c (Int32.of_int (Char.code ch)))
-                      0xffl)))
-    s;
-  Printf.sprintf "%08lx" (Int32.logxor !c 0xFFFFFFFFl)
-
-let crc_marker = {|,"crc":"|}
-
-let seal payload =
-  Printf.sprintf "%s%s%s\"}"
-    (String.sub payload 0 (String.length payload - 1))
-    crc_marker (crc32 payload)
-
-let unseal line =
-  let n = String.length line and m = String.length crc_marker in
-  let tail_len = m + 8 + 2 in
-  if
-    n >= tail_len
-    && String.sub line (n - tail_len) m = crc_marker
-    && line.[n - 2] = '"'
-    && line.[n - 1] = '}'
-  then
-    let declared = String.sub line (n - 10) 8 in
-    let payload = String.sub line 0 (n - tail_len) ^ "}" in
-    if String.equal (crc32 payload) declared then Some payload else None
-  else None
-
-(* ------------------------------------------------------------------ *)
-(* JSON helpers                                                        *)
-(* ------------------------------------------------------------------ *)
-
-let escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\r' -> Buffer.add_string b "\\r"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+let crc32 = Qls_sealed.crc32
+let seal = Qls_sealed.seal
+let unseal = Qls_sealed.unseal_ok
+let escape = Qls_sealed.escape
 
 let value_json = function
   | Int i -> string_of_int i

@@ -1,0 +1,125 @@
+type stats = {
+  name : string;
+  hits : int;
+  misses : int;
+  evictions : int;
+  size : int;
+  capacity : int;
+}
+
+type 'a cell =
+  | Ready of { value : 'a; mutable stamp : int }
+  | Pending  (** someone is computing; wait on [cond] *)
+
+type 'a t = {
+  cname : string;
+  capacity : int;
+  table : (string, 'a cell) Hashtbl.t;
+  mutex : Mutex.t;
+  cond : Condition.t;  (** broadcast when a Pending resolves or aborts *)
+  mutable clock : int;  (** LRU stamp source, under [mutex] *)
+  mutable ready : int;  (** Ready entries, under [mutex] *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ?(capacity = 256) cname =
+  if capacity < 0 then invalid_arg "Cache.create: capacity must be >= 0";
+  {
+    cname;
+    capacity;
+    table = Hashtbl.create 64;
+    mutex = Mutex.create ();
+    cond = Condition.create ();
+    clock = 0;
+    ready = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let touch t cell =
+  t.clock <- t.clock + 1;
+  match cell with Ready r -> r.stamp <- t.clock | Pending -> ()
+
+(* Evict the least-recently-used ready entry. A linear scan: capacities
+   are small (hundreds) and eviction is off the hit path. *)
+let evict_one t =
+  let victim =
+    (* lint: nondet-source — min over stamps is traversal-order independent *)
+    Hashtbl.fold
+      (fun key cell acc ->
+        match (cell, acc) with
+        | Pending, _ -> acc
+        | Ready r, Some (_, best) when best <= r.stamp -> acc
+        | Ready r, _ -> Some (key, r.stamp))
+      t.table None
+  in
+  match victim with
+  | None -> ()
+  | Some (key, _) ->
+      Hashtbl.remove t.table key;
+      t.ready <- t.ready - 1;
+      t.evictions <- t.evictions + 1
+
+let find_or_compute t ~key f =
+  if t.capacity = 0 then begin
+    (* Retention disabled: always compute, never coordinate. *)
+    Mutex.protect t.mutex (fun () -> t.misses <- t.misses + 1);
+    (f (), false)
+  end
+  else begin
+    Mutex.lock t.mutex;
+    let rec claim () =
+      match Hashtbl.find_opt t.table key with
+      | Some (Ready r as cell) ->
+          touch t cell;
+          t.hits <- t.hits + 1;
+          Mutex.unlock t.mutex;
+          `Hit r.value
+      | Some Pending ->
+          (* Single-flight: wait for the computing request. Waking finds
+             either a Ready value (a hit — we did not compute) or an
+             empty slot (the computation failed; take over). *)
+          Condition.wait t.cond t.mutex;
+          claim ()
+      | None ->
+          Hashtbl.add t.table key Pending;
+          t.misses <- t.misses + 1;
+          Mutex.unlock t.mutex;
+          `Claimed
+    in
+    match claim () with
+    | `Hit v -> (v, true)
+    | `Claimed -> (
+        match f () with
+        | value ->
+            Mutex.lock t.mutex;
+            t.clock <- t.clock + 1;
+            Hashtbl.replace t.table key (Ready { value; stamp = t.clock });
+            t.ready <- t.ready + 1;
+            if t.ready > t.capacity then evict_one t;
+            Condition.broadcast t.cond;
+            Mutex.unlock t.mutex;
+            (value, false)
+        | exception e ->
+            (* Release the claim so waiters can retry; the failure is
+               the computing caller's to report. *)
+            Mutex.lock t.mutex;
+            Hashtbl.remove t.table key;
+            Condition.broadcast t.cond;
+            Mutex.unlock t.mutex;
+            raise e)
+  end
+
+let stats t =
+  Mutex.protect t.mutex (fun () ->
+      {
+        name = t.cname;
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        size = t.ready;
+        capacity = t.capacity;
+      })

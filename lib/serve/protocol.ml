@@ -1,0 +1,159 @@
+type gen_params = {
+  arch : string;
+  n_swaps : int;
+  gates : int option;
+  seed : int;
+}
+
+type route_params = {
+  gen : gen_params;
+  tool : string;
+  trials : int;
+  qasm : string option;
+}
+
+type request =
+  | Route of route_params
+  | Evaluate of route_params
+  | Certify of gen_params
+  | Stats
+
+exception Bad_request of string
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Bad_request m)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let max_frame = 16 * 1024 * 1024
+
+let read_frame ic =
+  match input_line ic with
+  | exception End_of_file -> None
+  | header -> (
+      (* Strict decimal only: a stray HTTP request or random bytes on
+         the socket become one clean Bad_request, not a huge alloc. *)
+      let header =
+        (* tolerate a CRLF client *)
+        if String.length header > 0 && header.[String.length header - 1] = '\r'
+        then String.sub header 0 (String.length header - 1)
+        else header
+      in
+      if header = "" then bad "empty frame header";
+      String.iter
+        (fun c -> if c < '0' || c > '9' then bad "bad frame length %S" header)
+        header;
+      match int_of_string_opt header with
+      | None -> bad "bad frame length %S" header
+      | Some len ->
+          if len > max_frame then bad "frame of %d bytes exceeds limit" len;
+          let payload = really_input_string ic len in
+          (match input_char ic with
+          | '\n' -> ()
+          | _ -> bad "missing frame terminator"
+          | exception End_of_file -> bad "truncated frame");
+          Some payload)
+
+let write_frame oc payload =
+  (* One buffered write then a flush, mirroring the sealed-log contract:
+     the peer never sees a frame split across flush boundaries. *)
+  output_string oc (Printf.sprintf "%d\n%s\n" (String.length payload) payload);
+  flush oc
+
+(* ------------------------------------------------------------------ *)
+(* Request payloads                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let fields_of_payload payload =
+  match Qls_sealed.fields_of_line payload with
+  | fields -> fields
+  | exception Qls_sealed.Malformed m -> bad "malformed request: %s" m
+
+let str_field fields key default =
+  Option.value ~default (List.assoc_opt key fields)
+
+let int_field fields key default =
+  match List.assoc_opt key fields with
+  | None -> default
+  | Some raw -> (
+      match int_of_string_opt raw with
+      | Some n -> n
+      | None -> bad "field %S is not an integer: %S" key raw)
+
+let gen_of_fields fields =
+  {
+    arch = str_field fields "arch" "aspen4";
+    n_swaps = int_field fields "swaps" 5;
+    gates =
+      (match List.assoc_opt "gates" fields with
+      | None -> None
+      | Some raw -> (
+          match int_of_string_opt raw with
+          | Some n -> Some n
+          | None -> bad "field \"gates\" is not an integer: %S" raw));
+    seed = int_field fields "seed" 0;
+  }
+
+let route_of_fields fields =
+  {
+    gen = gen_of_fields fields;
+    tool = str_field fields "tool" "sabre";
+    trials = int_field fields "trials" 20;
+    qasm = List.assoc_opt "qasm" fields;
+  }
+
+let request_of_payload payload =
+  let fields = fields_of_payload payload in
+  match List.assoc_opt "verb" fields with
+  | None -> bad "request without a \"verb\""
+  | Some "route" -> Route (route_of_fields fields)
+  | Some "evaluate" ->
+      let p = route_of_fields fields in
+      if Option.is_some p.qasm then
+        bad "evaluate compares against a certified optimum; inline \"qasm\" \
+             has none (use \"route\")";
+      Evaluate p
+  | Some "certify" -> Certify (gen_of_fields fields)
+  | Some "stats" -> Stats
+  | Some verb -> bad "unknown verb %S" verb
+
+let request_id payload =
+  match Qls_sealed.fields_of_line payload with
+  | fields -> List.assoc_opt "id" fields
+  | exception Qls_sealed.Malformed _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Cache keys                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* FNV-1a, 64-bit. Content addressing only — collision resistance in
+   the cryptographic sense is not required (a collision serves a wrong
+   cached answer to a request hand-crafted to collide with another; the
+   daemon trusts its clients). *)
+let circuit_hash text =
+  let h = ref (-3750763034362895579L) (* 0xcbf29ce484222325 *) in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c)))
+             1099511628211L)
+    text;
+  Printf.sprintf "%016Lx" !h
+
+(* Length-prefix every component so the key is injective whatever bytes
+   the components contain — the property the QCheck suite pins down. *)
+let joined parts =
+  String.concat "|"
+    (List.map (fun s -> Printf.sprintf "%d:%s" (String.length s) s) parts)
+
+let gen_key g =
+  joined
+    [
+      g.arch;
+      string_of_int g.n_swaps;
+      (match g.gates with None -> "paper" | Some n -> string_of_int n);
+      string_of_int g.seed;
+    ]
+
+let route_key ~device ~circuit ~tool ~trials ~seed =
+  joined [ device; circuit; tool; string_of_int trials; string_of_int seed ]

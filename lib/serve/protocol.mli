@@ -1,0 +1,93 @@
+(** Wire protocol of the [qubikos serve] daemon.
+
+    {b Framing.} Every message — request or response — is one frame:
+
+    {v <decimal-length>\n<payload>\n v}
+
+    where [<decimal-length>] is the byte length of [<payload>] (the
+    trailing newline excluded). Length-prefixing keeps the reader
+    allocation-bounded and lets a payload contain anything; the trailing
+    newline keeps the stream greppable and a hand-rolled client one
+    [printf] away (see the README quickstart).
+
+    {b Payloads} are flat JSON objects — the same single-level codec as
+    the sealed stores ({!Qls_sealed.fields_of_line}), so one parser
+    serves both sides. A request names its verb; every other field has a
+    default, so [{"verb":"stats"}] is a complete request. Responses echo
+    the request's optional ["id"] and always carry ["ok"] — [true] with
+    the verb's payload fields, or [false] with a typed ["kind"]
+    (["bad_request"], ["overloaded"], ["draining"], ["internal"]) and a
+    human ["error"]. *)
+
+type gen_params = {
+  arch : string;  (** device name, as accepted by {!Qls_arch.Topologies.by_name} *)
+  n_swaps : int;  (** designed optimal SWAP count (default 5) *)
+  gates : int option;  (** two-qubit gate budget (default: paper budget) *)
+  seed : int;  (** generator seed (default 0) *)
+}
+(** Instance-generation parameters; also the certified-instance cache
+    key. Defaults mirror the offline CLI so the same request text means
+    the same instance in both. *)
+
+type route_params = {
+  gen : gen_params;
+  tool : string;  (** registry name (default ["sabre"]) *)
+  trials : int;  (** SABRE trials (default 20, like the CLI) *)
+  qasm : string option;
+      (** route this inline OpenQASM 2.0 text instead of a generated
+          instance; [gen.n_swaps]/[gen.seed] are ignored for generation
+          but still part of the result cache key *)
+}
+
+type request =
+  | Route of route_params  (** route + verify; report swaps/depth/seconds *)
+  | Evaluate of route_params
+      (** {!Route} on a generated instance, plus the ratio against its
+          certified optimum (inline [qasm] is rejected — no known
+          optimum to compare against) *)
+  | Certify of gen_params
+      (** generate and structurally certify an instance *)
+  | Stats  (** serving counters, latency quantiles, cache hit rates *)
+
+exception Bad_request of string
+(** A frame or payload the protocol rejects; the server answers with a
+    [kind:"bad_request"] response rather than dropping the link. *)
+
+val request_of_payload : string -> request
+(** Parse one request payload. @raise Bad_request on malformed JSON, an
+    unknown verb, or an ill-typed field. *)
+
+val request_id : string -> string option
+(** The optional ["id"] field of a payload, when it parses. *)
+
+(** {1 Framing} *)
+
+val read_frame : in_channel -> string option
+(** Read one frame; [None] at a clean EOF (connection closed between
+    frames). @raise Bad_request on a malformed or oversized length
+    line, a truncated payload, or a missing frame terminator. *)
+
+val write_frame : out_channel -> string -> unit
+(** Write one frame and flush. Callers serialise per-connection writes
+    themselves (the server holds a per-connection mutex). *)
+
+val max_frame : int
+(** Upper bound on accepted payload length (16 MiB) — an admission
+    guard, not a protocol constant. *)
+
+(** {1 Cache keys} *)
+
+val circuit_hash : string -> string
+(** FNV-1a 64-bit hash of a circuit's OpenQASM text, as 16 hex digits.
+    Content-addressed: the same circuit hashes the same however it was
+    obtained (generated or inline). *)
+
+val gen_key : gen_params -> string
+(** Injective key of the certified-instance cache. *)
+
+val route_key :
+  device:string -> circuit:string -> tool:string -> trials:int -> seed:int ->
+  string
+(** Injective key of the routed-result cache over the
+    [(device, circuit-hash, tool, params, seed)] tuple — every component
+    is length-prefixed, so no choice of field values can collide. *)

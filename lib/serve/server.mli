@@ -1,0 +1,60 @@
+(** The [qubikos serve] daemon: a long-lived routing service.
+
+    One process owns the expensive state — devices with their APSP
+    tables, certified QUBIKOS instances, routed results — in bounded
+    {!Cache}s shared across every connection, and schedules the actual
+    routing work on a {!Qls_harness.Pool} of worker domains. Clients
+    speak the {!Protocol} over a Unix-domain socket and/or a loopback
+    TCP port; each accepted connection gets a reader thread (I/O
+    threads multiplex on a domain; the CPU-bound work is on the pool).
+
+    {b Admission control.} The pool queue is bounded; when it is full a
+    request is answered immediately with the typed [overloaded]
+    response instead of being queued — latency stays bounded and the
+    client decides whether to retry.
+
+    {b Drain.} On SIGTERM (or {!initiate_shutdown}) the daemon stops
+    accepting connections and reads, lets every admitted request finish
+    and its response flush, then closes the request log and returns
+    from {!run}. Requests that arrive during the drain are answered
+    with [kind:"draining"]. The sealed request log is flushed per line
+    throughout, so even a later [SIGKILL] can tear at most the final
+    line — which loading quarantines. *)
+
+type config = {
+  socket_path : string option;  (** Unix-domain listener *)
+  tcp_port : int option;  (** loopback TCP listener *)
+  jobs : int;  (** worker domains on the routing pool *)
+  queue_capacity : int;  (** admitted-but-not-running bound *)
+  device_cache : int;  (** retained devices (APSP tables) *)
+  instance_cache : int;  (** retained certified instances *)
+  route_cache : int;  (** retained routed results *)
+  request_log : string option;  (** sealed JSONL request log *)
+}
+
+val default_config : config
+(** No listeners (callers must set at least one), [jobs = 2], queue
+    capacity 64, cache capacities 16 / 128 / 1024, no request log. *)
+
+type t
+
+val create : config -> t
+(** Allocate caches, start the pool, open the listeners and the request
+    log. @raise Invalid_argument if no listener is configured.
+    @raise Unix.Unix_error if a listener cannot bind. *)
+
+val run : t -> unit
+(** Serve until a shutdown is initiated, then drain and return. Call at
+    most once. *)
+
+val initiate_shutdown : t -> unit
+(** Begin the graceful drain; safe from a signal handler and from any
+    thread. Idempotent. *)
+
+val install_signal_handlers : t -> unit
+(** Route SIGTERM and SIGINT to {!initiate_shutdown} and ignore
+    SIGPIPE (a client gone mid-response must not kill the daemon). *)
+
+val bound_tcp_port : t -> int option
+(** The actual TCP port after binding ([tcp_port = Some 0] asks the
+    kernel to pick); [None] when no TCP listener is configured. *)

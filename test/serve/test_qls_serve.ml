@@ -1,0 +1,595 @@
+(* Tests for the serving subsystem: protocol framing and parsing, cache
+   key injectivity (QCheck), the bounded single-flight LRU cache, the
+   long-lived Pool.submit API, typed tool validation, and an end-to-end
+   daemon over a temporary Unix socket (cache hits byte-identical to
+   cold responses and to the offline library route). *)
+
+module Protocol = Qls_serve.Protocol
+module Cache = Qls_serve.Cache
+module Server = Qls_serve.Server
+module Pool = Qls_harness.Pool
+module Herror = Qls_harness.Herror
+module Evaluation = Qubikos.Evaluation
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+let test_case name f = Alcotest.test_case name `Quick f
+
+(* ------------------------------------------------------------------ *)
+(* Protocol framing                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Run the framing over a real pipe: the same channel machinery the
+   daemon uses on sockets. *)
+let roundtrip payloads =
+  let r, w = Unix.pipe () in
+  let oc = Unix.out_channel_of_descr w in
+  let ic = Unix.in_channel_of_descr r in
+  List.iter (Protocol.write_frame oc) payloads;
+  close_out oc;
+  let rec read acc =
+    match Protocol.read_frame ic with
+    | Some p -> read (p :: acc)
+    | None -> List.rev acc
+  in
+  let got = read [] in
+  close_in ic;
+  got
+
+let test_frame_roundtrip () =
+  let payloads =
+    [ {|{"verb":"stats"}|}; ""; "payload\nwith\nnewlines"; String.make 4096 'x' ]
+  in
+  let got = roundtrip payloads in
+  check_int "frame count" (List.length payloads) (List.length got);
+  List.iter2 (fun a b -> check_string "frame payload" a b) payloads got
+
+let read_of_string s =
+  let path = Filename.temp_file "qls_serve_frame" ".bin" in
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc;
+  let ic = open_in_bin path in
+  let result =
+    match Protocol.read_frame ic with
+    | exception Protocol.Bad_request m -> Error m
+    | exception End_of_file -> Error "truncated frame"
+    | Some p -> Ok (Some p)
+    | None -> Ok None
+  in
+  close_in ic;
+  Sys.remove path;
+  result
+
+let test_frame_malformed () =
+  (match read_of_string "" with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "clean EOF should be None");
+  (match read_of_string "nonsense\n{}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-decimal length must be rejected");
+  (match read_of_string "-3\nabc\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "negative length must be rejected");
+  (match read_of_string "10\nabc" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated payload must be rejected");
+  (match read_of_string "3\nabcX" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing terminator must be rejected");
+  (* CRLF header is tolerated for hand-typed clients *)
+  match read_of_string "2\r\nhi\n" with
+  | Ok (Some "hi") -> ()
+  | _ -> Alcotest.fail "CRLF header should be tolerated"
+
+let test_request_parse () =
+  (match Protocol.request_of_payload {|{"verb":"stats"}|} with
+  | Protocol.Stats -> ()
+  | _ -> Alcotest.fail "stats");
+  (match Protocol.request_of_payload {|{"verb":"route"}|} with
+  | Protocol.Route p ->
+      check_string "default arch" "aspen4" p.gen.arch;
+      check_int "default swaps" 5 p.gen.n_swaps;
+      check_bool "default gates" true (Option.is_none p.gen.gates);
+      check_string "default tool" "sabre" p.tool;
+      check_int "default trials" 20 p.trials
+  | _ -> Alcotest.fail "route");
+  (match
+     Protocol.request_of_payload
+       {|{"verb":"certify","arch":"grid3x3","swaps":2,"gates":30,"seed":7}|}
+   with
+  | Protocol.Certify g ->
+      check_string "arch" "grid3x3" g.arch;
+      check_int "swaps" 2 g.n_swaps;
+      check_bool "gates" true (match g.gates with Some 30 -> true | _ -> false);
+      check_int "seed" 7 g.seed
+  | _ -> Alcotest.fail "certify");
+  let rejects payload =
+    match Protocol.request_of_payload payload with
+    | exception Protocol.Bad_request _ -> ()
+    | _ -> Alcotest.fail ("should reject: " ^ payload)
+  in
+  rejects {|{"verb":"warp"}|};
+  rejects {|{"arch":"aspen4"}|};
+  rejects {|{"verb":"route","swaps":"many"}|};
+  rejects {|not json|};
+  (* evaluate has no optimum to compare an inline circuit against *)
+  rejects {|{"verb":"evaluate","qasm":"OPENQASM 2.0;"}|};
+  check_bool "id" true
+    (match Protocol.request_id {|{"id":"r1","verb":"stats"}|} with
+    | Some "r1" -> true
+    | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Cache keys: injectivity (QCheck)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let key_props =
+  let open QCheck in
+  let component = string_gen_of_size (Gen.int_range 0 12) Gen.printable in
+  let tuple =
+    quad component component component (pair small_signed_int small_signed_int)
+  in
+  [
+    Test.make ~name:"route_key injective over its 5-tuple" ~count:500
+      (pair tuple tuple)
+      (fun ((d1, c1, t1, (tr1, s1)), (d2, c2, t2, (tr2, s2))) ->
+        let k1 =
+          Protocol.route_key ~device:d1 ~circuit:c1 ~tool:t1 ~trials:tr1
+            ~seed:s1
+        and k2 =
+          Protocol.route_key ~device:d2 ~circuit:c2 ~tool:t2 ~trials:tr2
+            ~seed:s2
+        in
+        String.equal k1 k2
+        = (String.equal d1 d2 && String.equal c1 c2 && String.equal t1 t2
+           && tr1 = tr2 && s1 = s2));
+    Test.make ~name:"gen_key injective over generator params" ~count:500
+      (pair
+         (quad component small_signed_int (option small_nat) small_signed_int)
+         (quad component small_signed_int (option small_nat) small_signed_int))
+      (fun ((a1, n1, g1, s1), (a2, n2, g2, s2)) ->
+        let mk arch n_swaps gates seed =
+          Protocol.gen_key { Protocol.arch; n_swaps; gates; seed }
+        in
+        String.equal (mk a1 n1 g1 s1) (mk a2 n2 g2 s2)
+        = (String.equal a1 a2 && n1 = n2
+           && (match (g1, g2) with
+              | None, None -> true
+              | Some x, Some y -> x = y
+              | _ -> false)
+           && s1 = s2));
+  ]
+
+let test_circuit_hash () =
+  let h1 = Protocol.circuit_hash "OPENQASM 2.0;\ncx q[0],q[1];" in
+  let h2 = Protocol.circuit_hash "OPENQASM 2.0;\ncx q[0],q[1];" in
+  let h3 = Protocol.circuit_hash "OPENQASM 2.0;\ncx q[1],q[0];" in
+  check_string "deterministic" h1 h2;
+  check_bool "content-sensitive" false (String.equal h1 h3);
+  check_int "16 hex digits" 16 (String.length h1)
+
+(* ------------------------------------------------------------------ *)
+(* Cache: LRU, single-flight, stats                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_hit_miss () =
+  let c = Cache.create ~capacity:8 "t" in
+  let calls = ref 0 in
+  let compute () = incr calls; "v" in
+  let v1, hit1 = Cache.find_or_compute c ~key:"k" compute in
+  let v2, hit2 = Cache.find_or_compute c ~key:"k" compute in
+  check_string "value" "v" v1;
+  check_bool "cold is a miss" false hit1;
+  check_bool "second is a hit" true hit2;
+  check_bool "hit is the same result" true (String.equal v1 v2);
+  check_int "computed once" 1 !calls;
+  let s = Cache.stats c in
+  check_int "hits" 1 s.Cache.hits;
+  check_int "misses" 1 s.Cache.misses;
+  check_int "size" 1 s.Cache.size
+
+let test_cache_lru_eviction () =
+  let c = Cache.create ~capacity:2 "t" in
+  let get key = Cache.find_or_compute c ~key (fun () -> key) in
+  ignore (get "a");
+  ignore (get "b");
+  ignore (get "a");
+  (* a is now more recently used than b *)
+  ignore (get "c");
+  (* over capacity: b (LRU) must go, a must stay *)
+  let _, hit_a = get "a" in
+  check_bool "a survived" true hit_a;
+  let _, hit_b = get "b" in
+  check_bool "b was evicted" false hit_b;
+  check_int "one eviction before b came back"
+    2 (* b's eviction, then a's or c's when b was re-added over capacity *)
+    (Cache.stats c).Cache.evictions
+
+let test_cache_capacity_zero () =
+  let c = Cache.create ~capacity:0 "t" in
+  let calls = ref 0 in
+  let compute () = incr calls; !calls in
+  let _, h1 = Cache.find_or_compute c ~key:"k" compute in
+  let _, h2 = Cache.find_or_compute c ~key:"k" compute in
+  check_bool "never hits" false (h1 || h2);
+  check_int "always computes" 2 !calls
+
+let test_cache_single_flight () =
+  let c = Cache.create ~capacity:8 "t" in
+  let computes = Atomic.make 0 in
+  let compute () =
+    Atomic.incr computes;
+    Thread.delay 0.05;
+    "slow"
+  in
+  let results = Array.make 8 ("", false) in
+  let threads =
+    List.init 8 (fun i ->
+        Thread.create
+          (fun () -> results.(i) <- Cache.find_or_compute c ~key:"k" compute)
+          ())
+  in
+  List.iter Thread.join threads;
+  check_int "exactly one computation" 1 (Atomic.get computes);
+  Array.iter (fun (v, _) -> check_string "all see the value" "slow" v) results;
+  let hits = Array.to_list results |> List.filter snd |> List.length in
+  check_int "waiters count as hits" 7 hits;
+  let s = Cache.stats c in
+  check_int "stats misses" 1 s.Cache.misses;
+  check_int "stats hits" 7 s.Cache.hits
+
+let test_cache_failure_releases_slot () =
+  let c = Cache.create ~capacity:8 "t" in
+  (match Cache.find_or_compute c ~key:"k" (fun () -> failwith "boom") with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "exception must propagate");
+  let v, hit = Cache.find_or_compute c ~key:"k" (fun () -> "ok") in
+  check_string "slot released" "ok" v;
+  check_bool "recompute is a miss" false hit
+
+(* ------------------------------------------------------------------ *)
+(* Pool.submit / drain                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_submit_completes () =
+  let p = Pool.start ~jobs:2 () in
+  let acc = Atomic.make 0 in
+  let pending = Atomic.make 0 in
+  for i = 1 to 50 do
+    Atomic.incr pending;
+    match
+      Pool.submit p
+        ~work:(fun () -> i)
+        ~complete:(fun r ->
+          (match r with
+          | Ok v -> ignore (Atomic.fetch_and_add acc v)
+          | Error _ -> ());
+          Atomic.decr pending)
+    with
+    | Pool.Submitted -> ()
+    | _ -> Alcotest.fail "submit refused with an unbounded queue"
+  done;
+  Pool.drain p;
+  check_int "all completions ran" 0 (Atomic.get pending);
+  check_int "results delivered" (50 * 51 / 2) (Atomic.get acc)
+
+let test_pool_error_result () =
+  let p = Pool.start ~jobs:1 () in
+  let got = Atomic.make "" in
+  (match
+     Pool.submit p
+       ~work:(fun () -> failwith "task blew up")
+       ~complete:(fun r ->
+         match r with
+         | Error (Failure m) -> Atomic.set got m
+         | _ -> ())
+   with
+  | Pool.Submitted -> ()
+  | _ -> Alcotest.fail "submit refused");
+  Pool.drain p;
+  check_string "exception delivered as Error" "task blew up" (Atomic.get got)
+
+let test_pool_rejects_when_full () =
+  let p = Pool.start ~jobs:1 ~capacity:1 () in
+  let gate = Atomic.make true in
+  let started = Atomic.make false in
+  let submit_blocker () =
+    Pool.submit p
+      ~work:(fun () ->
+        Atomic.set started true;
+        while Atomic.get gate do
+          Thread.yield ()
+        done)
+      ~complete:(fun _ -> ())
+  in
+  check_bool "blocker admitted" true
+    (match submit_blocker () with Pool.Submitted -> true | _ -> false);
+  (* wait until the worker picked it up, so the queue is empty again *)
+  while not (Atomic.get started) do
+    Thread.yield ()
+  done;
+  let ok2 =
+    Pool.submit p ~work:(fun () -> ()) ~complete:(fun _ -> ())
+  in
+  check_bool "one queued job fits" true
+    (match ok2 with Pool.Submitted -> true | _ -> false);
+  let ok3 =
+    Pool.submit p ~work:(fun () -> ()) ~complete:(fun _ -> ())
+  in
+  check_bool "beyond capacity is refused" true
+    (match ok3 with Pool.Rejected_full -> true | _ -> false);
+  check_int "queue depth visible" 1 (Pool.queue_depth p);
+  Atomic.set gate false;
+  Pool.drain p;
+  check_bool "post-drain submits are refused" true
+    (match Pool.submit p ~work:(fun () -> ()) ~complete:(fun _ -> ()) with
+    | Pool.Rejected_closed -> true
+    | _ -> false)
+
+let test_pool_callback_error_contained () =
+  let seen = Atomic.make 0 in
+  let p =
+    Pool.start ~jobs:1 ~on_callback_error:(fun _ -> Atomic.incr seen) ()
+  in
+  let after = Atomic.make false in
+  ignore
+    (Pool.submit p ~work:(fun () -> ()) ~complete:(fun _ -> failwith "cb"));
+  ignore
+    (Pool.submit p
+       ~work:(fun () -> ())
+       ~complete:(fun _ -> Atomic.set after true));
+  Pool.drain p;
+  check_int "callback failure reported" 1 (Atomic.get seen);
+  check_bool "worker survived it" true (Atomic.get after)
+
+(* ------------------------------------------------------------------ *)
+(* Typed tool validation (campaign --tools)                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_validate_tools () =
+  Evaluation.validate_tools [ "sabre"; "tket" ];
+  (* all unknown names in one typed, Permanent, pre-spawn error *)
+  match Evaluation.validate_tools [ "sabre"; "nope"; "bogus" ] with
+  | exception Herror.Error e ->
+      check_bool "permanent" true
+        (match e.Herror.klass with Herror.Permanent -> true | _ -> false);
+      check_string "site" "campaign.tools" e.Herror.site;
+      let m = e.Herror.message in
+      let has needle =
+        let n = String.length needle and h = String.length m in
+        let rec go i =
+          i + n <= h && (String.equal (String.sub m i n) needle || go (i + 1))
+        in
+        go 0
+      in
+      check_bool "lists every unknown name and the registry" true
+        (has "nope" && has "bogus" && has "sabre")
+  | () -> Alcotest.fail "unknown tools must raise"
+
+let test_campaign_tasks_validates () =
+  let device = Qls_arch.Topologies.grid 3 3 in
+  let config =
+    {
+      (Evaluation.default_figure_config device) with
+      swap_counts = [ 2 ];
+      circuits_per_point = 1;
+    }
+  in
+  match Evaluation.campaign_tasks ~names:[ "warp-drive" ] ~config device with
+  | exception Herror.Error e -> check_string "site" "campaign.tools" e.Herror.site
+  | _ -> Alcotest.fail "campaign_tasks must validate tool names up front"
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: daemon over a temporary Unix socket                     *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_socket () =
+  let path = Filename.temp_file "qls_serve_test" ".sock" in
+  Sys.remove path;
+  path
+
+let with_server config f =
+  let server = Server.create config in
+  let th = Thread.create (fun () -> Server.run server) () in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.initiate_shutdown server;
+      Thread.join th)
+    (fun () -> f server)
+
+let connect path =
+  let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  Unix.connect fd (ADDR_UNIX path);
+  (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+
+let rpc (_, ic, oc) payload =
+  Protocol.write_frame oc payload;
+  match Protocol.read_frame ic with
+  | Some r -> r
+  | None -> Alcotest.fail "connection closed before response"
+
+let field resp key =
+  match List.assoc_opt key (Qls_sealed.fields_of_line resp) with
+  | Some v -> v
+  | None -> Alcotest.fail (Printf.sprintf "response lacks %S: %s" key resp)
+
+let test_server_end_to_end () =
+  let socket = fresh_socket () in
+  with_server
+    { Server.default_config with socket_path = Some socket; jobs = 2 }
+    (fun _ ->
+      let c = connect socket in
+      let req =
+        {|{"verb":"route","arch":"grid3x3","swaps":2,"gates":24,"seed":3,"tool":"sabre","trials":1}|}
+      in
+      let cold = rpc c req in
+      let hot = rpc c req in
+      (* cache hits replay the cold response byte for byte *)
+      check_string "hit is bit-identical to cold" cold hot;
+      check_string "ok" "true" (field cold "ok");
+      (* and both match the offline library computation exactly *)
+      let device = Option.get (Qls_arch.Topologies.by_name "grid3x3") in
+      let config =
+        {
+          Qubikos.Generator.default_config with
+          n_swaps = 2;
+          gate_budget = 24;
+          seed = 3;
+        }
+      in
+      let bench = Qubikos.Generator.generate ~config device in
+      let router =
+        Option.get (Qls_router.Registry.by_name ~sabre_trials:1 "sabre")
+      in
+      let _, report =
+        Qls_router.Router.run_verified router device
+          bench.Qubikos.Benchmark.circuit
+      in
+      check_string "swaps match offline route"
+        (string_of_int report.Qls_layout.Verifier.swap_count)
+        (field cold "swaps");
+      check_string "depth matches offline route"
+        (string_of_int report.Qls_layout.Verifier.depth)
+        (field cold "depth");
+      check_string "optimal is the certified optimum"
+        (string_of_int bench.Qubikos.Benchmark.optimal_swaps)
+        (field cold "optimal");
+      (* evaluate reports the ratio against the optimum *)
+      let ev =
+        rpc c
+          {|{"verb":"evaluate","arch":"grid3x3","swaps":2,"gates":24,"seed":3,"tool":"sabre","trials":1}|}
+      in
+      check_string "evaluate ok" "true" (field ev "ok");
+      check_bool "evaluate has ratio" true
+        (Option.is_some
+           (List.assoc_opt "ratio" (Qls_sealed.fields_of_line ev)));
+      (* certify *)
+      let ce =
+        rpc c {|{"verb":"certify","arch":"grid3x3","swaps":2,"gates":24,"seed":3}|}
+      in
+      check_string "certified" "true" (field ce "certified");
+      check_string "certified optimum" "2" (field ce "optimal");
+      (* errors are typed, not dropped connections *)
+      let bad = rpc c {|{"verb":"route","arch":"atlantis"}|} in
+      check_string "bad arch is bad_request" "bad_request" (field bad "kind");
+      let badv = rpc c {|{"verb":"warp"}|} in
+      check_string "unknown verb is bad_request" "bad_request"
+        (field badv "kind");
+      (* stats shows the cache working *)
+      let st = rpc c {|{"verb":"stats"}|} in
+      check_string "stats ok" "true" (field st "ok");
+      check_bool "route cache saw a hit" true
+        (int_of_string (field st "route_hits") >= 1);
+      check_bool "route cache saw exactly one miss for the repeated key" true
+        (int_of_string (field st "route_misses") >= 1);
+      let fd, ic, _ = c in
+      close_in_noerr ic;
+      ignore fd);
+  check_bool "socket unlinked after drain" false (Sys.file_exists socket)
+
+let test_server_overload () =
+  let socket = fresh_socket () in
+  with_server
+    {
+      Server.default_config with
+      socket_path = Some socket;
+      jobs = 1;
+      queue_capacity = 0;
+    }
+    (fun _ ->
+      let c = connect socket in
+      (* capacity 0: every poolable request is shed with the typed
+         overloaded response; stats still answers inline *)
+      let r = rpc c {|{"verb":"route","arch":"grid3x3","swaps":2}|} in
+      check_string "typed overload" "overloaded" (field r "kind");
+      check_string "not ok" "false" (field r "ok");
+      check_bool "reports capacity" true
+        (Option.is_some
+           (List.assoc_opt "queue_capacity" (Qls_sealed.fields_of_line r)));
+      let st = rpc c {|{"verb":"stats"}|} in
+      check_string "stats still served" "true" (field st "ok");
+      check_bool "overload counted" true
+        (int_of_string (field st "overloaded") >= 1);
+      let _, ic, _ = c in
+      close_in_noerr ic)
+
+let test_server_request_log () =
+  let socket = fresh_socket () in
+  let log = Filename.temp_file "qls_serve_test" ".jsonl" in
+  Sys.remove log;
+  with_server
+    {
+      Server.default_config with
+      socket_path = Some socket;
+      jobs = 1;
+      request_log = Some log;
+    }
+    (fun _ ->
+      let c = connect socket in
+      ignore (rpc c {|{"verb":"route","arch":"grid3x3","swaps":2,"trials":1}|});
+      ignore (rpc c {|{"verb":"route","arch":"grid3x3","swaps":2,"trials":1}|});
+      ignore (rpc c {|{"verb":"warp"}|});
+      let _, ic, _ = c in
+      close_in_noerr ic);
+  (* after the drain the sealed log is whole and complete *)
+  let lines, corrupt = Qls_sealed.Log.load ~strict:true log in
+  check_int "no corrupt lines" 0 (List.length corrupt);
+  check_int "every request logged" 3 (List.length lines);
+  let statuses =
+    List.map
+      (fun (_, payload) ->
+        match List.assoc_opt "status" (Qls_sealed.fields_of_line payload) with
+        | Some s -> s
+        | None -> "?")
+      lines
+  in
+  check_int "two ok lines" 2
+    (List.length (List.filter (String.equal "ok") statuses));
+  check_int "one bad_request line" 1
+    (List.length (List.filter (String.equal "bad_request") statuses));
+  Sys.remove log
+
+let () =
+  Alcotest.run "qls_serve"
+    [
+      ( "protocol",
+        [
+          test_case "frame roundtrip" test_frame_roundtrip;
+          test_case "malformed frames" test_frame_malformed;
+          test_case "request parsing" test_request_parse;
+          test_case "circuit hash" test_circuit_hash;
+        ] );
+      ("cache-keys", List.map QCheck_alcotest.to_alcotest key_props);
+      ( "cache",
+        [
+          test_case "hit/miss accounting" test_cache_hit_miss;
+          test_case "LRU eviction" test_cache_lru_eviction;
+          test_case "capacity zero disables retention" test_cache_capacity_zero;
+          test_case "single-flight" test_cache_single_flight;
+          test_case "failed compute releases the slot"
+            test_cache_failure_releases_slot;
+        ] );
+      ( "pool",
+        [
+          test_case "submit completes with results" test_pool_submit_completes;
+          test_case "work exceptions become Error" test_pool_error_result;
+          test_case "bounded queue refuses overflow" test_pool_rejects_when_full;
+          test_case "callback exceptions are contained"
+            test_pool_callback_error_contained;
+        ] );
+      ( "tool-validation",
+        [
+          test_case "validate_tools raises typed Herror" test_validate_tools;
+          test_case "campaign_tasks validates up front"
+            test_campaign_tasks_validates;
+        ] );
+      ( "server",
+        [
+          test_case "end-to-end route/evaluate/certify/stats"
+            test_server_end_to_end;
+          test_case "typed overload under zero capacity" test_server_overload;
+          test_case "sealed request log survives drain" test_server_request_log;
+        ] );
+    ]
