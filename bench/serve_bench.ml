@@ -41,7 +41,7 @@ let default_server () =
 
 type daemon = { pid : int; socket : string; log : string }
 
-let spawn_daemon ~server ~jobs ~queue =
+let spawn_daemon ?(extra = []) ~server ~jobs ~queue () =
   let dir =
     Filename.temp_file "qubikos_serve_bench" "" |> fun f ->
     Sys.remove f;
@@ -52,10 +52,12 @@ let spawn_daemon ~server ~jobs ~queue =
   let log = Filename.concat dir "requests.jsonl" in
   let pid =
     Unix.create_process server
-      [|
-        server; "serve"; "--socket"; socket; "--jobs"; string_of_int jobs;
-        "--queue"; string_of_int queue; "--request-log"; log;
-      |]
+      (Array.of_list
+         ([
+            server; "serve"; "--socket"; socket; "--jobs"; string_of_int jobs;
+            "--queue"; string_of_int queue; "--request-log"; log;
+          ]
+         @ extra))
       Unix.stdin Unix.stdout Unix.stderr
   in
   (* Wait for the listener: connect-retry, not sleep-and-hope. *)
@@ -84,12 +86,15 @@ let stop_daemon d =
 (* Client                                                              *)
 (* ------------------------------------------------------------------ *)
 
-type client_conn = { ic : in_channel; oc : out_channel }
+type client_conn = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
 
-let connect socket =
+let connect ?recv_timeout socket =
   let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
   Unix.connect fd (ADDR_UNIX socket);
-  { ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+  Option.iter
+    (fun t -> Unix.setsockopt_float fd Unix.SO_RCVTIMEO t)
+    recv_timeout;
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
 
 let disconnect c = close_in_noerr c.ic
 
@@ -292,8 +297,22 @@ let exact_quantile sorted q =
   if n = 0 then 0.0
   else sorted.(min (n - 1) (int_of_float (q *. float_of_int n)))
 
+(* Daemon-side counters worth echoing in every report: they are the
+   server's own view of the run (satellite telemetry for the chaos
+   invariants, a smoke check for plain load runs). *)
+let print_daemon_stats stats =
+  let gi key = Option.value ~default:0 (field_int stats key) in
+  let gs key = Option.value ~default:"?" (scan_field stats key) in
+  Printf.printf
+    "daemon: uptime_s %s  requests %d  ok %s  bad_request %d  overloaded %d  \
+     deadline_exceeded %d  internal %d  log_dropped %d  live_workers %d  \
+     lost_workers %d\n"
+    (gs "uptime_s") (gi "requests") (gs "completed") (gi "bad_request")
+    (gi "overloaded") (gi "deadline_exceeded") (gi "internal")
+    (gi "log_dropped") (gi "live_workers") (gi "lost_workers")
+
 let run_load ~scenario ~server ~clients ~rounds ~distinct ~jobs ~queue =
-  let d = spawn_daemon ~server ~jobs ~queue in
+  let d = spawn_daemon ~server ~jobs ~queue () in
   let jobs_list = workload ~distinct in
   let slots = Array.make clients [] in
   (* lint: nondet-source — wall-clock throughput measurement *)
@@ -311,6 +330,7 @@ let run_load ~scenario ~server ~clients ~rounds ~distinct ~jobs ~queue =
   let conn = connect d.socket in
   let stats = rpc conn {|{"verb":"stats"}|} in
   disconnect conn;
+  print_daemon_stats stats;
   let status = stop_daemon d in
   (match status with
   | Unix.WEXITED 0 -> ()
@@ -381,7 +401,7 @@ let run_load ~scenario ~server ~clients ~rounds ~distinct ~jobs ~queue =
 (* ------------------------------------------------------------------ *)
 
 let run_drain_test ~server =
-  let d = spawn_daemon ~server ~jobs:2 ~queue:64 in
+  let d = spawn_daemon ~server ~jobs:2 ~queue:64 () in
   let jobs_list = workload ~distinct:4 in
   let slots = Array.make 4 [] in
   let stopped = Array.make 4 0 (* responses cut short, per client *) in
@@ -449,6 +469,154 @@ let run_drain_test ~server =
      && List.length lines > 0
   then 0
   else 1
+
+(* ------------------------------------------------------------------ *)
+(* Chaos scenario: hammer a daemon with every serve fault site armed    *)
+(* ------------------------------------------------------------------ *)
+
+(* Deterministic fault schedule for the chosen seed: torn socket reads,
+   request bodies that raise, request bodies that hang past the watchdog
+   threshold, and dropped request-log lines. Rates are tuned so a
+   standard run injects a handful of each without dominating the load. *)
+let chaos_inject_spec seed =
+  Printf.sprintf
+    "seed=%d;serve.frame.read:torn:0.10;serve.work.exn:transient:0.05;serve.work.hang:delay@0.8:0.01;serve.log.append:permanent:0.05"
+    seed
+
+(* Every chaos request carries a unique id, and the daemon echoes the id
+   in the response — so "each request got exactly one well-formed typed
+   answer" is checkable per request, not just in aggregate. *)
+let chaos_request ~slot ~n j =
+  Printf.sprintf
+    {|{"id":"c%d-%d","verb":"route","arch":"%s","swaps":%d,"gates":%d,"seed":%d,"tool":"sabre","trials":1}|}
+    slot n j.arch j.swaps j.gates j.seed
+
+let run_chaos ~server ~seed =
+  let clients = 4 and rounds = 15 and jobs = 2 in
+  let d =
+    spawn_daemon ~server ~jobs ~queue:64
+      ~extra:
+        [
+          "--inject"; chaos_inject_spec seed; "--hang-threshold"; "0.3";
+          "--io-timeout"; "5"; "--idle-timeout"; "60"; "--default-deadline";
+          "5000";
+        ]
+      ()
+  in
+  let jobs_list = workload ~distinct:8 in
+  let anomalies = Array.make clients [] in
+  let answered = Array.make clients 0 in
+  let hammer slot =
+    let conn = connect ~recv_timeout:15.0 d.socket in
+    let note fmt = Printf.ksprintf (fun s -> anomalies.(slot) <- s :: anomalies.(slot)) fmt in
+    let n = ref 0 in
+    for _ = 1 to rounds do
+      List.iter
+        (fun j ->
+          incr n;
+          let id = Printf.sprintf "c%d-%d" slot !n in
+          let req = chaos_request ~slot ~n:!n j in
+          match rpc conn req with
+          | resp -> (
+              answered.(slot) <- answered.(slot) + 1;
+              (match field_string resp "id" with
+              | Some rid when String.equal rid id -> ()
+              | Some rid -> note "%s: answered with foreign id %s" id rid
+              | None -> note "%s: response carries no id" id);
+              (* well-formed and typed: ok:true, or ok:false with a kind *)
+              match field_bool resp "ok" with
+              | Some true -> ()
+              | Some false -> (
+                  match field_string resp "kind" with
+                  | Some
+                      ( "bad_request" | "overloaded" | "draining"
+                      | "deadline_exceeded" | "internal" ) ->
+                      ()
+                  | Some k -> note "%s: unknown error kind %s" id k
+                  | None -> note "%s: error response without a kind" id)
+              | None -> note "%s: response lacks ok" id)
+          | exception e ->
+              note "%s: no response (%s)" id (Printexc.to_string e))
+        jobs_list
+    done;
+    disconnect conn
+  in
+  let threads =
+    List.init clients (fun slot -> Thread.create (fun () -> hammer slot) ())
+  in
+  List.iter Thread.join threads;
+  let problems = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  Array.iteri
+    (fun slot notes ->
+      List.iter (fun n -> fail "client %d: %s" slot n) (List.rev notes))
+    anomalies;
+  let sent = clients * rounds * List.length jobs_list in
+  let got = Array.fold_left ( + ) 0 answered in
+  if got <> sent then fail "sent %d requests but saw %d responses" sent got;
+  (* probe phase on a clean connection: identity, health, counters *)
+  let conn = connect ~recv_timeout:15.0 d.socket in
+  let probe_req =
+    {|{"verb":"route","arch":"grid3x3","swaps":2,"gates":24,"seed":1,"tool":"sabre","trials":1}|}
+  in
+  (* fault injection may answer any attempt with a typed error; collect
+     the ok responses and require the cache replay to be byte-stable *)
+  let oks = ref [] in
+  let attempts = ref 0 in
+  while List.length !oks < 2 && !attempts < 50 do
+    incr attempts;
+    match rpc conn probe_req with
+    | resp -> (
+        match field_bool resp "ok" with
+        | Some true -> oks := resp :: !oks
+        | _ -> ())
+    | exception _ -> ()
+  done;
+  (match !oks with
+  | a :: rest when List.for_all (String.equal a) rest && List.length rest >= 1
+    ->
+      ()
+  | _ :: _ :: _ -> fail "ok responses to one request text were not byte-identical"
+  | _ -> fail "could not obtain two ok responses for the identity probe");
+  let health = rpc conn {|{"verb":"health"}|} in
+  let stats = rpc conn {|{"verb":"stats"}|} in
+  disconnect conn;
+  print_daemon_stats stats;
+  let gi line key = Option.value ~default:(-1) (field_int line key) in
+  if not (match field_bool health "ready" with Some b -> b | None -> false)
+  then fail "daemon not ready after the chaos load";
+  let lost = gi stats "lost_workers" and internal = gi stats "internal" in
+  if lost < 0 then fail "stats lacks lost_workers";
+  if lost > internal then
+    fail "lost %d workers but only %d internal responses: a loss went unanswered"
+      lost internal;
+  if gi health "live_workers" <> jobs then
+    fail "live_workers %d after the run; every lost worker must be replaced"
+      (gi health "live_workers");
+  let status = stop_daemon d in
+  if not (match status with Unix.WEXITED 0 -> true | _ -> false) then
+    fail "daemon did not exit 0 on SIGTERM";
+  (* the request log stays well-sealed: injected log faults drop whole
+     lines (counted by the daemon), they never tear the file *)
+  let lines, corrupt = Qls_sealed.Log.load ~strict:true d.log in
+  if not (List.is_empty corrupt) then
+    fail "%d corrupt request-log lines after chaos" (List.length corrupt);
+  let dropped = gi stats "log_dropped" in
+  if List.length lines + max dropped 0 < sent then
+    fail "log has %d lines + %d dropped for %d requests: lines went missing"
+      (List.length lines) dropped sent;
+  Printf.printf
+    "chaos seed=%d: %d req, %d answered, lost_workers %d, internal %d, \
+     log_lines %d (+%d dropped), anomalies %d\n"
+    seed sent got lost internal (List.length lines) dropped
+    (List.length !problems);
+  match List.rev !problems with
+  | [] ->
+      Printf.printf "chaos: OK\n";
+      0
+  | ps ->
+      List.iter (fun p -> Printf.printf "chaos FAILED: %s\n" p) ps;
+      1
 
 (* ------------------------------------------------------------------ *)
 (* Check gate                                                          *)
@@ -519,6 +687,8 @@ let () =
   let tolerance = ref 1.0 in
   let server = ref (default_server ()) in
   let drain = ref false in
+  let chaos = ref (-1) in
+  let update = ref false in
   let args =
     [
       ("--quick", Arg.Set quick, " Small workload (2 clients, 10 rounds)");
@@ -532,12 +702,19 @@ let () =
         "F p50 geomean slack for --check (default 1.0 = 2x)" );
       ("--server", Arg.Set_string server, "PATH qubikos binary to spawn");
       ("--drain-test", Arg.Set drain, " SIGTERM mid-load, audit the drain");
+      ( "--chaos",
+        Arg.Set_int chaos,
+        "SEED Run the fault-injection scenario with this schedule seed" );
+      ( "--update",
+        Arg.Set update,
+        " Regenerate BENCH_serve.json in place from this run" );
     ]
   in
   Arg.parse (Arg.align args)
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "serve_bench [options]";
   if !drain then exit (run_drain_test ~server:!server)
+  else if !chaos >= 0 then exit (run_chaos ~server:!server ~seed:!chaos)
   else begin
     let clients, rounds = if !quick then (2, 10) else (!clients, !rounds) in
     let mode = if !quick then "quick" else "default" in
@@ -555,6 +732,10 @@ let () =
     if not (String.equal !out "") then begin
       write_json ~path:!out ~mode [ e ];
       Printf.printf "wrote %s\n" !out
+    end;
+    if !update then begin
+      write_json ~path:"BENCH_serve.json" ~mode [ e ];
+      Printf.printf "updated BENCH_serve.json\n"
     end;
     if not (String.equal !check_path "") then
       match check ~baseline:!check_path ~tolerance:!tolerance [ e ] with

@@ -705,43 +705,118 @@ let serve_cmd =
       & info [ "request-log" ] ~docv:"FILE"
           ~doc:"Append one CRC-sealed JSONL line per completed request.")
   in
+  let default_deadline =
+    Arg.(
+      value & opt int 0
+      & info [ "default-deadline" ] ~docv:"MS"
+          ~doc:
+            "Wall-clock budget applied to route/evaluate/certify requests \
+             that carry no deadline_ms of their own; expired requests get a \
+             typed deadline_exceeded response. 0 means no default.")
+  in
+  let io_timeout =
+    Arg.(
+      value & opt float 30.
+      & info [ "io-timeout" ] ~docv:"SECS"
+          ~doc:
+            "Per-frame socket budget: a request frame must arrive whole \
+             within this of its first byte (slow-loris reaping), and \
+             response writes use it as the send timeout. 0 disables.")
+  in
+  let idle_timeout =
+    Arg.(
+      value & opt float 300.
+      & info [ "idle-timeout" ] ~docv:"SECS"
+          ~doc:
+            "Reap a connection silent this long between frames. 0 keeps \
+             idle connections forever.")
+  in
+  let hang_threshold =
+    Arg.(
+      value & opt float 30.
+      & info [ "hang-threshold" ] ~docv:"SECS"
+          ~doc:
+            "Watchdog: a worker whose request heartbeat goes quiet this \
+             long is declared lost — the request is answered with a typed \
+             internal response and a replacement domain restores capacity. \
+             0 disables supervision.")
+  in
+  let inject =
+    Arg.(
+      value & opt (some string) None
+      & info [ "inject" ] ~docv:"SPEC"
+          ~doc:
+            (Printf.sprintf
+               "Arm the deterministic fault-injection plan SPEC for this \
+                daemon (chaos testing): %s. Serve sites: serve.frame.read, \
+                serve.work.hang, serve.work.exn, serve.log.append."
+               Qls_faults.spec_help))
+  in
   let run socket tcp jobs queue cache_devices cache_instances cache_routes
-      request_log trace =
+      request_log default_deadline io_timeout idle_timeout hang_threshold
+      inject trace =
     if Option.is_none socket && Option.is_none tcp then begin
       Format.eprintf "serve: pass --socket PATH and/or --tcp PORT@.";
       2
     end
-    else
-      with_tracing trace @@ fun () ->
-      let server =
-        Qls_serve.Server.create
-          {
-            socket_path = socket;
-            tcp_port = tcp;
-            jobs;
-            queue_capacity = queue;
-            device_cache = cache_devices;
-            instance_cache = cache_instances;
-            route_cache = cache_routes;
-            request_log;
-          }
+    else begin
+      let injection =
+        match inject with
+        | None -> Ok Qls_faults.none
+        | Some spec -> (
+            match Qls_faults.parse spec with
+            | Ok plan -> Ok plan
+            | Error msg -> Error (Printf.sprintf "bad --inject spec: %s" msg))
       in
-      Qls_serve.Server.install_signal_handlers server;
-      Option.iter (Format.printf "serve: listening on %s@.") socket;
-      Option.iter
-        (Format.printf "serve: listening on 127.0.0.1:%d@.")
-        (Qls_serve.Server.bound_tcp_port server);
-      Format.printf "serve: %d worker(s), queue %d; SIGTERM drains@." jobs
-        queue;
-      Qls_serve.Server.run server;
-      Format.printf "serve: drained@.";
-      0
+      match injection with
+      | Error msg ->
+          Format.eprintf "serve: %s@." msg;
+          2
+      | Ok plan ->
+          if not (Qls_faults.is_none plan) then begin
+            Qls_faults.install plan;
+            Format.eprintf "serve: fault injection armed: %s@."
+              (Qls_faults.to_string plan)
+          end;
+          with_tracing trace @@ fun () ->
+          let opt_pos v = if v > 0. then Some v else None in
+          let server =
+            Qls_serve.Server.create
+              {
+                socket_path = socket;
+                tcp_port = tcp;
+                jobs;
+                queue_capacity = queue;
+                device_cache = cache_devices;
+                instance_cache = cache_instances;
+                route_cache = cache_routes;
+                request_log;
+                default_deadline_ms =
+                  (if default_deadline > 0 then Some default_deadline
+                   else None);
+                io_timeout = opt_pos io_timeout;
+                idle_timeout = opt_pos idle_timeout;
+                hang_threshold = opt_pos hang_threshold;
+              }
+          in
+          Qls_serve.Server.install_signal_handlers server;
+          Option.iter (Format.printf "serve: listening on %s@.") socket;
+          Option.iter
+            (Format.printf "serve: listening on 127.0.0.1:%d@.")
+            (Qls_serve.Server.bound_tcp_port server);
+          Format.printf "serve: %d worker(s), queue %d; SIGTERM drains@." jobs
+            queue;
+          Qls_serve.Server.run server;
+          Format.printf "serve: drained@.";
+          0
+    end
   in
   let doc = "Run the routing-as-a-service daemon (see DESIGN.md \xc2\xa712)." in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ socket $ tcp $ jobs $ queue $ cache_devices
-      $ cache_instances $ cache_routes $ request_log $ trace_arg)
+      $ cache_instances $ cache_routes $ request_log $ default_deadline
+      $ io_timeout $ idle_timeout $ hang_threshold $ inject $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* devices                                                             *)

@@ -1,0 +1,71 @@
+(** Cooperative cancellation tokens with optional deadlines.
+
+    A {!token} travels with a unit of work (typically a pool job) and serves
+    two purposes:
+
+    - {b Deadline enforcement.} A token created with [?deadline_ms] carries an
+      absolute expiry. Work that calls {!poll} at its natural checkpoints
+      (router rounds, SAT restarts, generator phases) raises {!Expired} once
+      the budget is spent; the exception carries both the elapsed time and the
+      configured limit so callers can produce a typed response.
+    - {b Liveness heartbeat.} Every {!poll} stamps the token with the current
+      time. A supervisor (the pool watchdog) reads {!last_poll_ms} to tell a
+      slow-but-alive job from a genuinely stuck one.
+
+    Tokens are ambient: {!with_token} installs a token in domain-local storage
+    for the duration of a thunk, and {!poll} reads it back, so deep library
+    code (routers, the SAT solver, the generator) needs no plumbing — it just
+    calls [Qls_cancel.poll ()]. When no token is installed, {!poll} is a
+    cheap no-op, so instrumented code costs nothing on the batch/CLI paths.
+
+    Checkpoint granularity is deliberately coarse (one poll per router round /
+    SAT restart / generator phase): cancellation latency is bounded by the
+    longest inter-checkpoint stretch, which the pool watchdog backstops. *)
+
+type token
+
+(** Raised by {!poll} when the installed token's deadline has passed.
+    [elapsed_ms] is measured from token creation (so it includes any queue
+    wait), and is always [>= limit_ms]. *)
+exception Expired of { elapsed_ms : int; limit_ms : int }
+
+val make : ?deadline_ms:int -> unit -> token
+(** A fresh token. With [?deadline_ms] (must be [>= 1]), {!poll} raises
+    {!Expired} once that many milliseconds have elapsed since [make].
+    Without it the token never expires and only tracks heartbeats.
+
+    @raise Invalid_argument if [deadline_ms < 1]. *)
+
+val none : token
+(** A shared inert token: never expires, records no heartbeats. This is what
+    {!poll} sees when no token is installed. *)
+
+val with_token : token -> (unit -> 'a) -> 'a
+(** [with_token t f] installs [t] as the calling domain's ambient token,
+    runs [f ()], and restores the previous ambient token (also on raise).
+    Nesting is allowed; the innermost token wins. *)
+
+val poll : unit -> unit
+(** Checkpoint. Reads the ambient token; if it is {!none} this is a no-op.
+    Otherwise stamps the heartbeat and raises {!Expired} if the deadline
+    (when any) has passed. *)
+
+val expire_check : token -> unit
+(** Like {!poll} but on an explicit token — used by the pool to reject a job
+    whose deadline already passed while it sat in the queue. Also stamps the
+    heartbeat. *)
+
+val last_poll_ms : token -> int
+(** Wall-clock milliseconds (Unix epoch) of the most recent {!poll} /
+    {!expire_check} on this token; its creation time if never polled.
+    Returns [0] for {!none}. *)
+
+val created_ms : token -> int
+(** Wall-clock milliseconds (Unix epoch) at token creation. [0] for {!none}. *)
+
+val deadline_ms : token -> int option
+(** The deadline budget this token was created with, if any. *)
+
+val now_ms : unit -> int
+(** Current wall clock in whole milliseconds since the Unix epoch — the same
+    clock every token uses, exported so supervisors compare like with like. *)

@@ -319,6 +319,8 @@ let generate ?(config = default_config) device =
      shows where a pathological config spends its time. *)
   let traced = Qls_obs.enabled () in
   let phase name =
+    (* Deadline/heartbeat checkpoint: one per generator phase. *)
+    Qls_cancel.poll ();
     if traced then Qls_obs.start ~site:"gen" name else Qls_obs.none
   in
   (* Build the sections. *)

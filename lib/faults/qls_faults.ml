@@ -54,7 +54,17 @@ let kind_of_string s =
           | Some _ as k -> k
           | None -> tagged "torn" float_of_string_opt (fun v -> Torn v)))
 
-let known_sites = [ "runner.exec"; "store.append"; "store.load" ]
+let known_sites =
+  [
+    "runner.exec";
+    "store.append";
+    "store.load";
+    (* serving path (PR 7): connection reads, pooled work, request log *)
+    "serve.frame.read";
+    "serve.work.hang";
+    "serve.work.exn";
+    "serve.log.append";
+  ]
 
 let parse spec =
   let clauses =

@@ -11,6 +11,19 @@
     - ["store.append"] — on the serialised checkpoint line ({!mangle})
     - ["store.load"] — on each line read back at resume ({!mangle})
 
+    Sites wired into the serving path ([qubikos serve]):
+    - ["serve.frame.read"] — per socket read while framing a request:
+      {!exec} (delay = slow client, exn = connection torn down) and
+      {!mangle} [Torn] (short reads exercising frame reassembly)
+    - ["serve.work.hang"] — {!exec} at the start of each pooled request
+      body; arm with [delay@SECS] beyond the watchdog threshold to
+      simulate a stuck worker
+    - ["serve.work.exn"] — {!exec} at the same point; arm with
+      [transient]/[permanent] to make request bodies raise
+    - ["serve.log.append"] — {!exec} before each request-log line; a
+      fired exn drops that line (the daemon must survive and the log
+      must stay well-sealed)
+
     Every decision is a pure function of [(seed, site, key, occurrence)]
     — [key] is the task id or line number, [occurrence] a per-[(site,
     key)] visit counter — so a fault schedule is reproducible from its
@@ -40,6 +53,11 @@ val none : plan
 (** The empty plan: no rules, never fires. *)
 
 val is_none : plan -> bool
+
+val known_sites : string list
+(** Every site name {!parse} accepts. CI asserts each of these is
+    actually visited somewhere in the tree, so a site can't silently
+    rot into a no-op. *)
 
 val parse : string -> (plan, string) result
 (** Parse an [--inject] spec: [;]-separated clauses, one [seed=N] plus

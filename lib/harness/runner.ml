@@ -62,6 +62,7 @@ let run_once ~timeout ~site f =
       let rec wait () =
         match Atomic.get cell with
         | Some r ->
+            (* lint: unbounded-wait — the body already published its result; the join returns at once *)
             Thread.join thread;
             close_both ();
             r
@@ -74,6 +75,7 @@ let run_once ~timeout ~site f =
               ignore
                 (Thread.create
                    (fun () ->
+                     (* lint: unbounded-wait — blocking on the abandoned body is the reaper thread's whole job *)
                      Thread.join thread;
                      close_both ())
                    ());
@@ -131,6 +133,7 @@ let run_counted ?(site = site_exec) ?(key = "") ?(seed = 0) config f =
               Qls_obs.start ~site:"harness" "runner.backoff"
             else Qls_obs.none
           in
+          (* lint: unbounded-wait — finite retry backoff from the policy's pause schedule *)
           Thread.delay pause;
           Qls_obs.stop bsp
         end;

@@ -508,6 +508,58 @@ let r5_check ctx structure =
   !findings
 
 (* ------------------------------------------------------------------ *)
+(* R6 — unbounded-wait                                                 *)
+(* Scoped to the serving path (lib/serve, lib/harness): a raw sleep or
+   an unbounded [Thread.join] there is a liveness hazard — the daemon's
+   drain, watchdog, and reader threads must all make progress under a
+   deadline, so every blocking wait needs either a bound (select with a
+   timeout, a condition re-checked against a deadline) or a one-line
+   [(* lint: unbounded-wait — why this terminates *)] justification.
+   PR 7's watchdog exists precisely because a single quiet join can pin
+   the whole process. Elsewhere in the tree sleeps are fine (fault
+   injection's [Delay] is one on purpose), so the rule keys off the
+   file path. *)
+
+let r6_scope file =
+  contains_sub file "lib/serve" || contains_sub file "lib/harness"
+
+let r6_check ctx structure =
+  if not (r6_scope ctx.file) then []
+  else begin
+    let findings = ref [] in
+    let add loc msg =
+      findings :=
+        Finding.of_location ~file:ctx.file ~rule:"unbounded-wait"
+          ~severity:Finding.Error loc msg
+        :: !findings
+    in
+    run_iterator
+      (fun it e ->
+        (match ident_path e with
+        | Some [ "Unix"; (("sleep" | "sleepf") as fn) ] ->
+            add e.pexp_loc
+              (Printf.sprintf
+                 "Unix.%s in the serving path blocks a thread with no way to \
+                  cancel it; wait on a select/condition with a timeout, or \
+                  justify the bound with a suppression"
+                 fn)
+        | Some [ "Thread"; "delay" ] ->
+            add e.pexp_loc
+              "Thread.delay in the serving path blocks a thread with no way \
+               to cancel it; wait on a select/condition with a timeout, or \
+               justify the bound with a suppression"
+        | Some [ "Thread"; "join" ] ->
+            add e.pexp_loc
+              "Thread.join in the serving path is unbounded if the thread \
+               never exits; prove the thread's termination is bounded and \
+               justify it with a suppression, or wait under a deadline"
+        | _ -> ());
+        Ast_iterator.default_iterator.expr it e)
+      structure;
+    !findings
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [
@@ -546,6 +598,14 @@ let all =
          contract";
       severity = Finding.Warning;
       check = r5_check;
+    };
+    {
+      name = "unbounded-wait";
+      summary =
+        "raw sleeps and unbounded joins in the serving path (lib/serve, \
+         lib/harness)";
+      severity = Finding.Error;
+      check = r6_check;
     };
   ]
 

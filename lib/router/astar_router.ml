@@ -150,6 +150,8 @@ let route ?(options = default_options) ?initial device circuit =
   ignore (Route_state.advance st);
   while not (Route_state.finished st) do
     incr rounds;
+    (* Deadline/heartbeat checkpoint: one per routed layer. *)
+    Qls_cancel.poll ();
     let layer_sp =
       if traced then Qls_obs.start ~site:"router" "astar.layer"
       else Qls_obs.none

@@ -128,6 +128,8 @@ let routing_pass ~opts ~rng ~trace ~device ~initial circuit =
   ignore (Route_state.advance st);
   while not (Route_state.finished st) do
     incr rounds;
+    (* Deadline/heartbeat checkpoint: one per routing round. *)
+    Qls_cancel.poll ();
     let round_sp =
       if traced then Qls_obs.start ~site:"router" "sabre.round"
       else Qls_obs.none

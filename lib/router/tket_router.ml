@@ -83,6 +83,8 @@ let route ?(options = default_options) ?initial device circuit =
   ignore (Route_state.advance st);
   while not (Route_state.finished st) do
     incr rounds;
+    (* Deadline/heartbeat checkpoint: one per routing round. *)
+    Qls_cancel.poll ();
     let round_sp =
       if traced then Qls_obs.start ~site:"router" "tket.round" else Qls_obs.none
     in

@@ -298,6 +298,7 @@ let solve_raw ~conflict_budget t =
            if confl >= 0 then begin
              t.conflicts <- t.conflicts + 1;
              incr since_restart;
+             if t.conflicts land 4095 = 0 then Qls_cancel.poll ();
              if t.conflicts > conflict_budget then raise Exit;
              if current_level t = 0 then begin
                result := Unsat;
@@ -332,6 +333,10 @@ let solve_raw ~conflict_budget t =
              since_restart := 0;
              restart_limit := !restart_limit * 3 / 2;
              t.restarts <- t.restarts + 1;
+             (* Deadline/heartbeat checkpoint: once per restart. The
+                restart interval grows geometrically, so a fixed-stride
+                conflict checkpoint below keeps the tail bounded too. *)
+             Qls_cancel.poll ();
              backtrack t 0
            end
            else begin

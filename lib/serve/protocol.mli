@@ -16,8 +16,10 @@
     default, so [{"verb":"stats"}] is a complete request. Responses echo
     the request's optional ["id"] and always carry ["ok"] — [true] with
     the verb's payload fields, or [false] with a typed ["kind"]
-    (["bad_request"], ["overloaded"], ["draining"], ["internal"]) and a
-    human ["error"]. *)
+    (["bad_request"], ["overloaded"], ["draining"],
+    ["deadline_exceeded"], ["internal"]) and a human ["error"]. A
+    ["deadline_exceeded"] response additionally carries ["elapsed_ms"]
+    and ["limit_ms"]. *)
 
 type gen_params = {
   arch : string;  (** device name, as accepted by {!Qls_arch.Topologies.by_name} *)
@@ -37,6 +39,10 @@ type route_params = {
       (** route this inline OpenQASM 2.0 text instead of a generated
           instance; [gen.n_swaps]/[gen.seed] are ignored for generation
           but still part of the result cache key *)
+  deadline_ms : int option;
+      (** wall-clock budget for this request, queue wait included; must
+          be [>= 1] when present. Deliberately {e not} part of any cache
+          key: a deadline bounds time, it does not change the answer. *)
 }
 
 type request =
@@ -45,9 +51,13 @@ type request =
       (** {!Route} on a generated instance, plus the ratio against its
           certified optimum (inline [qasm] is rejected — no known
           optimum to compare against) *)
-  | Certify of gen_params
+  | Certify of { gen : gen_params; deadline_ms : int option }
       (** generate and structurally certify an instance *)
   | Stats  (** serving counters, latency quantiles, cache hit rates *)
+  | Health
+      (** liveness/readiness probe: answered inline (never queued), so
+          it works under full saturation — suitable for a container
+          healthcheck *)
 
 exception Bad_request of string
 (** A frame or payload the protocol rejects; the server answers with a
@@ -74,6 +84,45 @@ val write_frame : out_channel -> string -> unit
 val max_frame : int
 (** Upper bound on accepted payload length (16 MiB) — an admission
     guard, not a protocol constant. *)
+
+(** {1 Timeout-aware framing over a raw fd}
+
+    What the server's reader threads use instead of {!read_frame}: a
+    buffered [in_channel] blocks without recourse, so a slow-loris
+    client (one header byte, then silence) would pin a thread forever.
+    This reader owns its buffering over [Unix.read]/[Unix.select] and
+    applies two different clocks:
+
+    - [idle_timeout] — how long a connection may sit silent {e between}
+      frames before it is reaped (reported as {!Idle}; not an error);
+    - [io_timeout] — the absolute budget for one whole frame measured
+      from its first byte (raises {!Bad_request}; trickling bytes does
+      not reset it). *)
+
+type reader
+
+type frame =
+  | Frame of string  (** one complete payload *)
+  | Eof  (** clean close between frames *)
+  | Idle  (** [idle_timeout] elapsed between frames *)
+
+val reader :
+  ?idle_timeout:float ->
+  ?io_timeout:float ->
+  ?read_hook:(int -> int) ->
+  Unix.file_descr ->
+  reader
+(** Wrap a connection fd. Omitted timeouts mean "wait forever" (the
+    pre-PR-7 behaviour). [read_hook] is a fault-injection seam: called
+    with the intended read size before every [Unix.read], its return
+    value (clamped to [1..size]) caps the bytes requested — a short
+    return simulates a torn read; it may also raise or delay.
+    @raise Invalid_argument on a timeout [<= 0]. *)
+
+val read_frame_fd : reader -> frame
+(** Read one frame under the reader's timeout policy.
+    @raise Bad_request as {!read_frame}, plus on an [io_timeout]
+    overrun mid-frame. *)
 
 (** {1 Cache keys} *)
 

@@ -19,6 +19,10 @@ type config = {
   instance_cache : int;
   route_cache : int;
   request_log : string option;
+  default_deadline_ms : int option;
+  io_timeout : float option;
+  idle_timeout : float option;
+  hang_threshold : float option;
 }
 
 let default_config =
@@ -31,6 +35,10 @@ let default_config =
     instance_cache = 128;
     route_cache = 1024;
     request_log = None;
+    default_deadline_ms = None;
+    io_timeout = Some 30.;
+    idle_timeout = Some 300.;
+    hang_threshold = Some 30.;
   }
 
 (* Cached values. The routed result retains the cold run's measured
@@ -41,7 +49,7 @@ type routed = { swaps : int; depth : int; seconds : float; optimal : int option 
 
 type conn = {
   fd : Unix.file_descr;
-  ic : in_channel;
+  cid : int;  (** per-daemon connection sequence; fault-injection key *)
   oc : out_channel;
   wmutex : Mutex.t;  (** serialises response frames on this connection *)
   omutex : Mutex.t;  (** guards [outstanding] *)
@@ -65,12 +73,19 @@ type t = {
   conns_mutex : Mutex.t;
   mutable conns : conn list;
   mutable threads : Thread.t list;
+  started_ms : int;  (** daemon start; feeds [uptime_s] *)
+  conn_seq : int Atomic.t;
+  job_seq : int Atomic.t;  (** fault-injection key for pooled work *)
   (* always-on metrics, independent of the trace sink *)
   c_requests : Qls_obs.counter;
   c_ok : Qls_obs.counter;
-  c_errors : Qls_obs.counter;
+  c_errors : Qls_obs.counter;  (* every non-ok response, any kind *)
+  c_bad_request : Qls_obs.counter;
   c_overloaded : Qls_obs.counter;
   c_draining : Qls_obs.counter;
+  c_deadline : Qls_obs.counter;
+  c_internal : Qls_obs.counter;
+  c_log_dropped : Qls_obs.counter;
   latency : Qls_obs.histogram;
 }
 
@@ -112,9 +127,18 @@ let create cfg =
   let unix_l = Option.map listen_unix cfg.socket_path in
   let tcp = Option.map listen_tcp cfg.tcp_port in
   let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  let watchdog =
+    Option.map
+      (fun thr ->
+        let thr_ms = max 1 (int_of_float (thr *. 1000.)) in
+        (* Tick a few times per threshold so detection latency stays a
+           small multiple of the configured bound. *)
+        { Pool.hang_threshold_ms = thr_ms; tick_ms = max 10 (thr_ms / 4) })
+      cfg.hang_threshold
+  in
   {
     cfg;
-    pool = Pool.start ~jobs:cfg.jobs ~capacity:cfg.queue_capacity ();
+    pool = Pool.start ?watchdog ~jobs:cfg.jobs ~capacity:cfg.queue_capacity ();
     devices = Cache.create ~capacity:cfg.device_cache "device";
     instances = Cache.create ~capacity:cfg.instance_cache "instance";
     routes = Cache.create ~capacity:cfg.route_cache "route";
@@ -128,11 +152,18 @@ let create cfg =
     conns_mutex = Mutex.create ();
     conns = [];
     threads = [];
+    started_ms = Qls_cancel.now_ms ();
+    conn_seq = Atomic.make 0;
+    job_seq = Atomic.make 0;
     c_requests = Qls_obs.counter "serve.requests";
     c_ok = Qls_obs.counter "serve.ok";
     c_errors = Qls_obs.counter "serve.errors";
+    c_bad_request = Qls_obs.counter "serve.bad_request";
     c_overloaded = Qls_obs.counter "serve.overloaded";
     c_draining = Qls_obs.counter "serve.draining";
+    c_deadline = Qls_obs.counter "serve.deadline_exceeded";
+    c_internal = Qls_obs.counter "serve.internal";
+    c_log_dropped = Qls_obs.counter "serve.log.dropped";
     latency = Qls_obs.histogram ~bounds:latency_bounds "serve.request.seconds";
   }
 
@@ -269,6 +300,12 @@ let cache_stats_fields prefix (s : Cache.stats) =
     prefix s.Cache.hits prefix s.Cache.misses prefix s.Cache.evictions prefix
     s.Cache.size prefix s.Cache.capacity
 
+let uptime_s t = float_of_int (Qls_cancel.now_ms () - t.started_ms) /. 1000.
+
+(* -1 renders "unsupervised" distinguishably from a freshly-ticked 0. *)
+let watchdog_age_field t =
+  match Pool.watchdog_age_ms t.pool with Some ms -> ms | None -> -1
+
 let stats_payload t ~id =
   let q p =
     match Qls_obs.approx_quantile t.latency p with
@@ -277,18 +314,42 @@ let stats_payload t ~id =
   in
   with_id id
     (Printf.sprintf
-       {|"ok":true,"verb":"stats","requests":%d,"completed":%d,"errors":%d,"overloaded":%d,"draining":%d,"queue_depth":%d,"in_flight":%d,"jobs":%d,"latency_count":%d,"p50_ms":%.3f,"p95_ms":%.3f,"p99_ms":%.3f,%s,%s,%s|}
+       {|"ok":true,"verb":"stats","uptime_s":%.3f,"requests":%d,"completed":%d,"errors":%d,"bad_request":%d,"overloaded":%d,"draining":%d,"deadline_exceeded":%d,"internal":%d,"log_dropped":%d,"queue_depth":%d,"in_flight":%d,"jobs":%d,"live_workers":%d,"lost_workers":%d,"watchdog_age_ms":%d,"latency_count":%d,"p50_ms":%.3f,"p95_ms":%.3f,"p99_ms":%.3f,%s,%s,%s|}
+       (uptime_s t)
        (Qls_obs.counter_value t.c_requests)
        (Qls_obs.counter_value t.c_ok)
        (Qls_obs.counter_value t.c_errors)
+       (Qls_obs.counter_value t.c_bad_request)
        (Qls_obs.counter_value t.c_overloaded)
        (Qls_obs.counter_value t.c_draining)
+       (Qls_obs.counter_value t.c_deadline)
+       (Qls_obs.counter_value t.c_internal)
+       (Qls_obs.counter_value t.c_log_dropped)
        (Pool.queue_depth t.pool) (Pool.in_flight t.pool) t.cfg.jobs
+       (Pool.live_workers t.pool) (Pool.lost_workers t.pool)
+       (watchdog_age_field t)
        (Qls_obs.histogram_total t.latency)
        (q 0.50) (q 0.95) (q 0.99)
        (cache_stats_fields "device" (Cache.stats t.devices))
        (cache_stats_fields "instance" (Cache.stats t.instances))
        (cache_stats_fields "route" (Cache.stats t.routes)))
+
+(* Readiness, not history: everything a container healthcheck needs to
+   decide "is this daemon able to serve right now". Computed inline on
+   the reader thread — a saturated pool must not block the probe. *)
+let health_payload t ~id =
+  let draining = Atomic.get t.stop || Pool.closing t.pool in
+  let live = Pool.live_workers t.pool in
+  let ready = (not draining) && live > 0 in
+  with_id id
+    (Printf.sprintf
+       {|"ok":true,"verb":"health","ready":%b,"draining":%b,"listeners":%d,"jobs":%d,"live_workers":%d,"lost_workers":%d,"queue_depth":%d,"queue_capacity":%d,"watchdog_age_ms":%d,"uptime_s":%.3f|}
+       ready draining
+       (List.length t.listeners)
+       t.cfg.jobs live
+       (Pool.lost_workers t.pool)
+       (Pool.queue_depth t.pool)
+       t.cfg.queue_capacity (watchdog_age_field t) (uptime_s t))
 
 (* ------------------------------------------------------------------ *)
 (* Per-connection plumbing                                             *)
@@ -312,26 +373,42 @@ let conn_quiesce c =
 let log_request t ~verb ~status ~hit ~micros ~id =
   match t.log with
   | None -> ()
-  | Some log ->
+  | Some log -> (
       let id_field =
         match id with
         | None -> ""
         | Some id -> Printf.sprintf {|"id":"%s",|} (Qls_sealed.escape id)
       in
-      Qls_sealed.Log.append log ~key:verb
-        (Printf.sprintf {|{%s"verb":"%s","status":"%s","hit":%b,"micros":%d}|}
-           id_field verb status hit micros)
+      (* Fault site: an injected failure here drops this one line — the
+         daemon survives and the log stays well-sealed (no partial or
+         mangled bytes ever reach it), which the chaos gate asserts. *)
+      try
+        Qls_faults.exec ~site:"serve.log.append" ~key:verb;
+        Qls_sealed.Log.append log ~key:verb
+          (Printf.sprintf {|{%s"verb":"%s","status":"%s","hit":%b,"micros":%d}|}
+             id_field verb status hit micros)
+      with Qls_faults.Injected _ -> Qls_obs.incr t.c_log_dropped)
 
 (* Send one response: frame write under the connection's write mutex,
    then the always-on accounting (latency histogram, status counter,
    request-log line). Write failures mark the connection broken —
    accounting still happens, the daemon outlives any client. *)
 let respond t conn ~verb ~status ~hit ~t_recv ~id payload =
+  (* [c_errors] keeps its pre-deadline meaning — request-level failures
+     only; load-shedding (overloaded/draining) is accounted separately. *)
   (match status with
   | "ok" -> Qls_obs.incr t.c_ok
   | "overloaded" -> Qls_obs.incr t.c_overloaded
   | "draining" -> Qls_obs.incr t.c_draining
-  | _ -> Qls_obs.incr t.c_errors);
+  | "bad_request" ->
+      Qls_obs.incr t.c_errors;
+      Qls_obs.incr t.c_bad_request
+  | "deadline_exceeded" ->
+      Qls_obs.incr t.c_errors;
+      Qls_obs.incr t.c_deadline
+  | _ ->
+      Qls_obs.incr t.c_errors;
+      Qls_obs.incr t.c_internal);
   Mutex.protect conn.wmutex (fun () ->
       if not conn.broken then
         try Protocol.write_frame conn.oc payload
@@ -346,18 +423,29 @@ let verb_name = function
   | Protocol.Evaluate _ -> "evaluate"
   | Protocol.Certify _ -> "certify"
   | Protocol.Stats -> "stats"
+  | Protocol.Health -> "health"
 
 (* Run one parsed request body; returns (payload, hit). Called on a
    pool worker domain, inside the request span. *)
 let execute t ~id req =
   match req with
   | Protocol.Stats -> (stats_payload t ~id, false)
-  | Protocol.Certify g ->
+  | Protocol.Health -> (health_payload t ~id, false)
+  | Protocol.Certify { gen = g; _ } ->
       let inst, hit = instance_of t g in
       (certify_payload ~id g inst, hit)
   | Protocol.Route p | Protocol.Evaluate p ->
       let r, hit = routed_of t p in
       (route_payload ~id ~verb:(verb_name req) p r, hit)
+
+let request_deadline_ms t = function
+  | Protocol.Route p | Protocol.Evaluate p -> (
+      match p.Protocol.deadline_ms with
+      | Some _ as d -> d
+      | None -> t.cfg.default_deadline_ms)
+  | Protocol.Certify { deadline_ms = Some _ as d; _ } -> d
+  | Protocol.Certify { deadline_ms = None; _ } -> t.cfg.default_deadline_ms
+  | Protocol.Stats | Protocol.Health -> None
 
 let handle_payload t conn payload ~t_recv =
   Qls_obs.incr t.c_requests;
@@ -371,12 +459,25 @@ let handle_payload t conn payload ~t_recv =
          when the pool queue is saturated — that is when you need it. *)
       respond t conn ~verb:"stats" ~status:"ok" ~hit:false ~t_recv ~id
         (stats_payload t ~id)
+  | Protocol.Health ->
+      (* Same: a liveness probe that queued behind the very saturation
+         it should report would be useless. *)
+      respond t conn ~verb:"health" ~status:"ok" ~hit:false ~t_recv ~id
+        (health_payload t ~id)
   | req -> (
       let verb = verb_name req in
+      let token = Qls_cancel.make ?deadline_ms:(request_deadline_ms t req) () in
+      let job_key = string_of_int (Atomic.fetch_and_add t.job_seq 1) in
       conn_retain conn;
       let submitted =
-        Pool.submit t.pool
+        Pool.submit ~token t.pool
           ~work:(fun () ->
+            (* Fault sites: a [delay] on the hang site simulates a stuck
+               worker (no poll happens while sleeping, so the watchdog —
+               not the deadline — must recover); an exn on the exn site
+               exercises the typed-internal path. *)
+            Qls_faults.exec ~site:"serve.work.hang" ~key:job_key;
+            Qls_faults.exec ~site:"serve.work.exn" ~key:job_key;
             Qls_obs.with_span ~site:"serve" "serve.request"
               ~attrs:(fun () -> [ ("verb", Qls_obs.Str verb) ])
               (fun () -> execute t ~id req))
@@ -388,6 +489,19 @@ let handle_payload t conn payload ~t_recv =
                 respond t conn ~verb ~status:"bad_request" ~hit:false ~t_recv
                   ~id
                   (error_payload ~id ~kind:"bad_request" msg)
+            | Error (Qls_cancel.Expired { elapsed_ms; limit_ms }) ->
+                respond t conn ~verb ~status:"deadline_exceeded" ~hit:false
+                  ~t_recv ~id
+                  (with_id id
+                     (Printf.sprintf
+                        {|"ok":false,"kind":"deadline_exceeded","error":"deadline exceeded","elapsed_ms":%d,"limit_ms":%d|}
+                        elapsed_ms limit_ms))
+            | Error (Pool.Worker_lost { stalled_ms; _ }) ->
+                respond t conn ~verb ~status:"internal" ~hit:false ~t_recv ~id
+                  (error_payload ~id ~kind:"internal"
+                     (Printf.sprintf
+                        "worker lost: no heartbeat for %dms; request abandoned"
+                        stalled_ms))
             | Error e ->
                 respond t conn ~verb ~status:"internal" ~hit:false ~t_recv ~id
                   (error_payload ~id ~kind:"internal" (Printexc.to_string e)));
@@ -407,34 +521,60 @@ let handle_payload t conn payload ~t_recv =
           respond t conn ~verb ~status:"draining" ~hit:false ~t_recv ~id
             (error_payload ~id ~kind:"draining" "daemon is draining"))
 
+(* Per-read fault hook for ["serve.frame.read"]: [exec] may delay (slow
+   network) or raise (connection torn down mid-read); a [Torn] mangle
+   rule shortens the requested read size instead of discarding received
+   bytes — a short read, which the frame reassembly must absorb without
+   ever corrupting a payload. *)
+let frame_read_hook conn want =
+  if Qls_faults.is_none (Qls_faults.installed ()) then want
+  else begin
+    let key = string_of_int conn.cid in
+    Qls_faults.exec ~site:"serve.frame.read" ~key;
+    String.length
+      (Qls_faults.mangle ~site:"serve.frame.read" ~key (String.make want 'x'))
+  end
+
 let reader t conn =
+  let fr =
+    Protocol.reader ?idle_timeout:t.cfg.idle_timeout
+      ?io_timeout:t.cfg.io_timeout
+      ~read_hook:(frame_read_hook conn)
+      conn.fd
+  in
   let rec loop () =
-    match Protocol.read_frame conn.ic with
-    | None -> ()
+    match Protocol.read_frame_fd fr with
+    | Protocol.Eof -> ()
+    | Protocol.Idle ->
+        (* Idle sweep: a connection silent past the idle budget is
+           reaped quietly — it wasn't mid-request, nothing is owed. *)
+        ()
     | exception Protocol.Bad_request msg ->
         (* Framing is unrecoverable mid-stream (resynchronisation would
-           be guesswork): answer once, then hang up. *)
+           be guesswork): answer once, then hang up. Covers the
+           slow-loris case too — the mid-frame io_timeout surfaces
+           here. *)
         Qls_obs.incr t.c_requests;
         (* lint: nondet-source — request latency is telemetry *)
         let now = Unix.gettimeofday () in
         respond t conn ~verb:"?" ~status:"bad_request" ~hit:false ~t_recv:now
           ~id:None
           (error_payload ~id:None ~kind:"bad_request" msg)
-    | exception (Sys_error _ | Unix.Unix_error _) -> ()
-    | Some payload ->
+    | exception (Sys_error _ | Unix.Unix_error _ | Qls_faults.Injected _) -> ()
+    | Protocol.Frame payload ->
         (* lint: nondet-source — request latency is telemetry *)
         let t_recv = Unix.gettimeofday () in
         handle_payload t conn payload ~t_recv;
         loop ()
   in
   loop ();
-  (* The read side is done (EOF, error, or drain-shutdown). In-flight
-     responses for this connection still need the socket: wait them
-     out, then close once. *)
+  (* The read side is done (EOF, idle, error, or drain-shutdown).
+     In-flight responses for this connection still need the socket: wait
+     them out, then close once (closing [oc] closes the fd). *)
   conn_quiesce conn;
   Mutex.protect conn.wmutex (fun () ->
       conn.broken <- true;
-      try close_in_noerr conn.ic with _ -> ());
+      try close_out_noerr conn.oc with _ -> ());
   Mutex.protect t.conns_mutex (fun () ->
       t.conns <- List.filter (fun c -> not (c.fd == conn.fd)) t.conns)
 
@@ -448,10 +588,18 @@ let accept_conn t lfd =
     ->
       ()
   | fd, _ ->
+      (* Write-side hygiene: a peer that stops reading blocks our
+         buffered flush; SO_SNDTIMEO turns that into a Sys_error, which
+         [respond] already maps to "connection broken". *)
+      (match t.cfg.io_timeout with
+      | Some timeout -> (
+          try Unix.setsockopt_float fd SO_SNDTIMEO timeout
+          with Unix.Unix_error _ | Invalid_argument _ -> ())
+      | None -> ());
       let conn =
         {
           fd;
-          ic = Unix.in_channel_of_descr fd;
+          cid = Atomic.fetch_and_add t.conn_seq 1;
           oc = Unix.out_channel_of_descr fd;
           wmutex = Mutex.create ();
           omutex = Mutex.create ();
@@ -502,6 +650,7 @@ let run t =
     conns;
   Pool.drain t.pool;
   let threads = Mutex.protect t.conns_mutex (fun () -> t.threads) in
+  (* lint: unbounded-wait — readers exit on the half-close above; each join is bounded by its conn's in-flight responses, which the pool drain just flushed *)
   List.iter Thread.join threads;
   Option.iter Qls_sealed.Log.close t.log;
   (try Unix.close t.wake_r with Unix.Unix_error _ -> ());

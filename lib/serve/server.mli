@@ -13,6 +13,17 @@
     response instead of being queued — latency stays bounded and the
     client decides whether to retry.
 
+    {b Failure model} (DESIGN.md §12 has the full contract):
+    per-request deadlines ([deadline_ms] / [default_deadline_ms]) are
+    enforced cooperatively at router-round / SAT-restart /
+    generator-phase checkpoints and answered with the typed
+    [deadline_exceeded] response; a pool watchdog declares a worker
+    whose heartbeat goes quiet past [hang_threshold] lost, answers its
+    request with [kind:"internal"], and spawns a replacement domain;
+    socket reads are bounded by [io_timeout] (per frame) and
+    [idle_timeout] (between frames), writes by [SO_SNDTIMEO]; the
+    [health] verb reports readiness inline even under saturation.
+
     {b Drain.} On SIGTERM (or {!initiate_shutdown}) the daemon stops
     accepting connections and reads, lets every admitted request finish
     and its response flush, then closes the request log and returns
@@ -30,11 +41,26 @@ type config = {
   instance_cache : int;  (** retained certified instances *)
   route_cache : int;  (** retained routed results *)
   request_log : string option;  (** sealed JSONL request log *)
+  default_deadline_ms : int option;
+      (** applied to route/evaluate/certify requests that carry no
+          [deadline_ms] of their own *)
+  io_timeout : float option;
+      (** per-frame read budget (slow-loris reaping) and the socket
+          send timeout; [None] waits forever *)
+  idle_timeout : float option;
+      (** how long a connection may sit silent between frames before it
+          is reaped; [None] keeps idle connections forever *)
+  hang_threshold : float option;
+      (** pool watchdog: a worker whose job heartbeat goes quiet this
+          long is declared lost and replaced; [None] disables
+          supervision *)
 }
 
 val default_config : config
 (** No listeners (callers must set at least one), [jobs = 2], queue
-    capacity 64, cache capacities 16 / 128 / 1024, no request log. *)
+    capacity 64, cache capacities 16 / 128 / 1024, no request log, no
+    default deadline, 30 s frame-I/O budget, 300 s idle reap, 30 s
+    watchdog hang threshold. *)
 
 type t
 

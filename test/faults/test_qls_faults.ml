@@ -93,6 +93,19 @@ let spec_tests =
         Qls_faults.exec ~site:"runner.exec" ~key:"k";
         check_string "mangle is identity" "payload"
           (Qls_faults.mangle ~site:"store.append" ~key:"k" "payload"));
+    test_case "serve sites are registered and parseable" (fun () ->
+        List.iter
+          (fun site ->
+            check_bool site true (List.mem site Qls_faults.known_sites))
+          [
+            "runner.exec"; "store.append"; "store.load"; "serve.frame.read";
+            "serve.work.hang"; "serve.work.exn"; "serve.log.append";
+          ];
+        let p =
+          plan_of_spec
+            "seed=3;serve.work.hang:delay@0.5:1;serve.frame.read:torn:0.5;serve.work.exn:transient:0.2;serve.log.append:permanent:0.1"
+        in
+        check_int "all serve rules accepted" 4 (List.length p.Qls_faults.rules));
   ]
 
 (* ------------------------------------------------------------------ *)

@@ -1,0 +1,13 @@
+(* R6 fixture: raw sleeps and unbounded joins. Only meaningful when
+   linted under a lib/serve or lib/harness path — the rule is scoped to
+   the serving path and must stay silent elsewhere. *)
+
+let nap () = Unix.sleep 1
+let micro_nap () = Unix.sleepf 0.5
+let pause () = Thread.delay 0.25
+let reap t = Thread.join t
+
+(* a justified wait is fine *)
+let reap_bounded t =
+  (* lint: unbounded-wait — the worker exits on the closed pipe below *)
+  Thread.join t

@@ -57,6 +57,38 @@ let rule_tests =
     expect_rule "float-discipline" "r3_float_discipline.ml" 6;
     expect_rule "nondet-source" "r4_nondet_source.ml" 6;
     expect_rule "obs-discipline" "r5_obs_discipline.ml" 4;
+    test_case "unbounded-wait fires under a serving-path file name" (fun () ->
+        let findings, suppressed, failures =
+          Engine.lint_source
+            ~rules:[ rule "unbounded-wait" ]
+            ~file:"lib/serve/fixture.ml"
+            (fixture "r6_unbounded_wait.ml")
+        in
+        check_int "fixture parses" 0 failures;
+        List.iter
+          (fun f -> check_string "rule tag" "unbounded-wait" f.Finding.rule)
+          findings;
+        check_int "finding count" 4 (List.length findings);
+        check_int "justified wait suppressed" 1 suppressed);
+    test_case "unbounded-wait also covers lib/harness" (fun () ->
+        let findings, _, failures =
+          Engine.lint_source
+            ~rules:[ rule "unbounded-wait" ]
+            ~file:"lib/harness/fixture.ml"
+            (fixture "r6_unbounded_wait.ml")
+        in
+        check_int "fixture parses" 0 failures;
+        check_int "finding count" 4 (List.length findings));
+    test_case "unbounded-wait is silent outside the serving path" (fun () ->
+        let findings, _, failures =
+          Engine.lint_source
+            ~rules:[ rule "unbounded-wait" ]
+            ~file:"lib/faults/fixture.ml"
+            (fixture "r6_unbounded_wait.ml")
+        in
+        check_int "fixture parses" 0 failures;
+        check_int "deliberate sleeps elsewhere are fine" 0
+          (List.length findings));
     test_case "clean fixture is clean under every rule" (fun () ->
         let findings, suppressed = lint ~rules:Rules.all (fixture "clean.ml") in
         check_int "no findings" 0 (List.length findings);

@@ -99,7 +99,7 @@ let test_request_parse () =
      Protocol.request_of_payload
        {|{"verb":"certify","arch":"grid3x3","swaps":2,"gates":30,"seed":7}|}
    with
-  | Protocol.Certify g ->
+  | Protocol.Certify { gen = g; deadline_ms = None } ->
       check_string "arch" "grid3x3" g.arch;
       check_int "swaps" 2 g.n_swaps;
       check_bool "gates" true (match g.gates with Some 30 -> true | _ -> false);
@@ -120,6 +120,137 @@ let test_request_parse () =
     (match Protocol.request_id {|{"id":"r1","verb":"stats"}|} with
     | Some "r1" -> true
     | _ -> false)
+
+let test_request_parse_deadline () =
+  (match
+     Protocol.request_of_payload {|{"verb":"route","deadline_ms":250}|}
+   with
+  | Protocol.Route p ->
+      check_bool "route deadline" true
+        (match p.deadline_ms with Some 250 -> true | _ -> false)
+  | _ -> Alcotest.fail "route with deadline");
+  (match
+     Protocol.request_of_payload
+       {|{"verb":"certify","arch":"grid3x3","swaps":2,"deadline_ms":100}|}
+   with
+  | Protocol.Certify { deadline_ms = Some 100; _ } -> ()
+  | _ -> Alcotest.fail "certify with deadline");
+  (match Protocol.request_of_payload {|{"verb":"route"}|} with
+  | Protocol.Route { deadline_ms = None; _ } -> ()
+  | _ -> Alcotest.fail "absent deadline is None");
+  (match Protocol.request_of_payload {|{"verb":"health"}|} with
+  | Protocol.Health -> ()
+  | _ -> Alcotest.fail "health verb");
+  let rejects payload =
+    match Protocol.request_of_payload payload with
+    | exception Protocol.Bad_request _ -> ()
+    | _ -> Alcotest.fail ("should reject: " ^ payload)
+  in
+  rejects {|{"verb":"route","deadline_ms":0}|};
+  rejects {|{"verb":"route","deadline_ms":-5}|};
+  rejects {|{"verb":"route","deadline_ms":"fast"}|}
+
+(* ------------------------------------------------------------------ *)
+(* Timeout-aware fd framing: chunked reads, oversize, idle, io budget  *)
+(* ------------------------------------------------------------------ *)
+
+let encode_frames payloads =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun p ->
+      Buffer.add_string buf (string_of_int (String.length p));
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf p;
+      Buffer.add_char buf '\n')
+    payloads;
+  Buffer.contents buf
+
+(* Push [bytes] through a real pipe and read frames back with the fd
+   reader, optionally forcing pathological read sizes via the hook. *)
+let read_frames_fd ?read_hook bytes =
+  let r, w = Unix.pipe () in
+  let writer =
+    Thread.create
+      (fun () ->
+        let n = String.length bytes in
+        let pos = ref 0 in
+        while !pos < n do
+          pos := !pos + Unix.write_substring w bytes !pos (n - !pos)
+        done;
+        Unix.close w)
+      ()
+  in
+  let rd = Protocol.reader ?read_hook r in
+  let rec go acc =
+    match Protocol.read_frame_fd rd with
+    | Protocol.Frame p -> go (p :: acc)
+    | Protocol.Eof -> Ok (List.rev acc)
+    | Protocol.Idle -> Error "unexpected idle"
+    | exception Protocol.Bad_request m -> Error m
+  in
+  let out = go [] in
+  Thread.join writer;
+  Unix.close r;
+  out
+
+let test_fd_reader_one_byte_reads () =
+  let payloads =
+    [ {|{"verb":"stats"}|}; ""; "payload\nwith\nnewlines"; String.make 300 'q' ]
+  in
+  match read_frames_fd ~read_hook:(fun _ -> 1) (encode_frames payloads) with
+  | Ok got ->
+      check_int "frame count" (List.length payloads) (List.length got);
+      List.iter2 (fun a b -> check_string "reassembled" a b) payloads got
+  | Error m -> Alcotest.fail ("one-byte reads failed: " ^ m)
+
+let test_fd_reader_oversize_frame () =
+  (* an oversize declaration must yield one clean Bad_request before any
+     payload allocation, not a hang or a torn read *)
+  let header = string_of_int (Protocol.max_frame + 1) ^ "\n" in
+  match read_frames_fd header with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "oversize frame must be rejected"
+
+let test_fd_reader_idle_timeout () =
+  let r, w = Unix.pipe () in
+  let rd = Protocol.reader ~idle_timeout:0.05 r in
+  (match Protocol.read_frame_fd rd with
+  | Protocol.Idle -> ()
+  | _ -> Alcotest.fail "a silent connection must be reported Idle");
+  Unix.close r;
+  Unix.close w
+
+let test_fd_reader_io_timeout_mid_frame () =
+  let r, w = Unix.pipe () in
+  (* a slow-loris client: frame started, never finished *)
+  ignore (Unix.write_substring w "4\nab" 0 4);
+  let rd = Protocol.reader ~io_timeout:0.05 r in
+  (match Protocol.read_frame_fd rd with
+  | exception Protocol.Bad_request _ -> ()
+  | _ -> Alcotest.fail "a stalled mid-frame read must be Bad_request");
+  Unix.close r;
+  Unix.close w
+
+let chunked_frame_props =
+  let open QCheck in
+  let payload = string_gen_of_size (Gen.int_range 0 64) Gen.printable in
+  [
+    Test.make ~name:"fd reader reassembles frames under arbitrary chunking"
+      ~count:60
+      (pair (list_of_size (Gen.int_range 1 6) payload)
+         (list_of_size (Gen.int_range 1 16) (int_range 1 7)))
+      (fun (payloads, chunks) ->
+        let chunks = Array.of_list chunks in
+        let i = ref 0 in
+        let hook want =
+          let c = chunks.(!i mod Array.length chunks) in
+          incr i;
+          min want c
+        in
+        match read_frames_fd ~read_hook:hook (encode_frames payloads) with
+        | Ok got -> got = payloads
+        | Error _ -> false);
+  ]
 
 (* ------------------------------------------------------------------ *)
 (* Cache keys: injectivity (QCheck)                                    *)
@@ -345,6 +476,91 @@ let test_pool_callback_error_contained () =
   check_bool "worker survived it" true (Atomic.get after)
 
 (* ------------------------------------------------------------------ *)
+(* Deadlines and watchdog supervision                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_cancel_token () =
+  (* the ambient token defaults to the inert one: polls are free no-ops *)
+  Qls_cancel.poll ();
+  let t = Qls_cancel.make ~deadline_ms:1 () in
+  (match
+     Qls_cancel.with_token t (fun () ->
+         Thread.delay 0.01;
+         Qls_cancel.poll ();
+         `Completed)
+   with
+  | exception Qls_cancel.Expired { elapsed_ms; limit_ms } ->
+      check_int "limit carried" 1 limit_ms;
+      check_bool "elapsed >= limit" true (elapsed_ms >= limit_ms)
+  | `Completed -> Alcotest.fail "an expired token must raise at the poll");
+  (* without a deadline the poll stamps the heartbeat and never raises *)
+  let t2 = Qls_cancel.make () in
+  Qls_cancel.with_token t2 (fun () ->
+      Thread.delay 0.005;
+      Qls_cancel.poll ());
+  check_bool "heartbeat stamped" true
+    (Qls_cancel.last_poll_ms t2 >= Qls_cancel.created_ms t2);
+  match Qls_cancel.make ~deadline_ms:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "deadline_ms < 1 must be rejected"
+
+let test_pool_deadline_expires () =
+  let p = Pool.start ~jobs:1 () in
+  let got = Atomic.make None in
+  let token = Qls_cancel.make ~deadline_ms:5 () in
+  ignore
+    (Pool.submit p ~token
+       ~work:(fun () ->
+         Thread.delay 0.05;
+         Qls_cancel.poll ();
+         1)
+       ~complete:(fun r -> Atomic.set got (Some r)));
+  Pool.drain p;
+  match Atomic.get got with
+  | Some (Error (Qls_cancel.Expired { elapsed_ms; limit_ms })) ->
+      check_int "limit carried through the pool" 5 limit_ms;
+      check_bool "elapsed >= limit" true (elapsed_ms >= limit_ms)
+  | _ -> Alcotest.fail "the deadline must expire inside the pooled job"
+
+let test_pool_watchdog_replaces_lost_worker () =
+  let p =
+    Pool.start ~jobs:1
+      ~watchdog:{ Pool.hang_threshold_ms = 150; tick_ms = 25 }
+      ()
+  in
+  let verdict = Atomic.make None in
+  ignore
+    (Pool.submit p
+       ~work:(fun () -> Thread.delay 0.6)
+       ~complete:(fun r -> Atomic.set verdict (Some r)));
+  (* the watchdog must deliver the loss well before the stall ends *)
+  let give_up = Unix.gettimeofday () +. 5.0 in
+  while
+    Option.is_none (Atomic.get verdict) && Unix.gettimeofday () < give_up
+  do
+    Thread.delay 0.01
+  done;
+  (match Atomic.get verdict with
+  | Some (Error (Pool.Worker_lost { stalled_ms; _ })) ->
+      check_bool "stall measured past the threshold" true (stalled_ms >= 150)
+  | _ -> Alcotest.fail "watchdog must deliver Worker_lost");
+  check_int "loss counted" 1 (Pool.lost_workers p);
+  check_int "replacement spawned" 1 (Pool.live_workers p);
+  check_bool "watchdog is ticking" true
+    (match Pool.watchdog_age_ms p with Some a -> a >= 0 | None -> false);
+  (* the replacement worker restores capacity *)
+  let served = Atomic.make false in
+  ignore
+    (Pool.submit p
+       ~work:(fun () -> ())
+       ~complete:(fun r ->
+         match r with Ok () -> Atomic.set served true | Error _ -> ()));
+  Pool.drain p;
+  check_bool "replacement serves new work" true (Atomic.get served);
+  (* let the abandoned domain run off its stall before the process ends *)
+  Thread.delay 0.7
+
+(* ------------------------------------------------------------------ *)
 (* Typed tool validation (campaign --tools)                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -551,6 +767,131 @@ let test_server_request_log () =
     (List.length (List.filter (String.equal "bad_request") statuses));
   Sys.remove log
 
+let install_plan spec =
+  match Qls_faults.parse spec with
+  | Ok plan -> Qls_faults.install plan
+  | Error m -> Alcotest.fail ("bad fault spec: " ^ m)
+
+let test_server_deadline () =
+  let socket = fresh_socket () in
+  with_server
+    { Server.default_config with socket_path = Some socket; jobs = 1 }
+    (fun _ ->
+      let c = connect socket in
+      (* a deterministic 50 ms stall at the start of the request body,
+         far beyond the request's 10 ms budget *)
+      install_plan "seed=1;serve.work.hang:delay@0.05:1.0";
+      let r =
+        Fun.protect ~finally:Qls_faults.clear (fun () ->
+            rpc c
+              {|{"verb":"route","arch":"grid3x3","swaps":2,"gates":24,"seed":5,"tool":"sabre","trials":1,"deadline_ms":10}|})
+      in
+      check_string "typed deadline response" "deadline_exceeded"
+        (field r "kind");
+      check_string "not ok" "false" (field r "ok");
+      let elapsed = int_of_string (field r "elapsed_ms") in
+      let limit = int_of_string (field r "limit_ms") in
+      check_int "limit echoes the request" 10 limit;
+      check_bool "elapsed covers the whole budget" true (elapsed >= limit);
+      (* the worker survives and the cache slot is not poisoned: the same
+         request without a deadline completes — and matches the offline
+         library route exactly *)
+      let ok =
+        rpc c
+          {|{"verb":"route","arch":"grid3x3","swaps":2,"gates":24,"seed":5,"tool":"sabre","trials":1}|}
+      in
+      check_string "worker reusable after expiry" "true" (field ok "ok");
+      let device = Option.get (Qls_arch.Topologies.by_name "grid3x3") in
+      let config =
+        {
+          Qubikos.Generator.default_config with
+          n_swaps = 2;
+          gate_budget = 24;
+          seed = 5;
+        }
+      in
+      let bench = Qubikos.Generator.generate ~config device in
+      let router =
+        Option.get (Qls_router.Registry.by_name ~sabre_trials:1 "sabre")
+      in
+      let _, report =
+        Qls_router.Router.run_verified router device
+          bench.Qubikos.Benchmark.circuit
+      in
+      check_string "answer unchanged by the earlier expiry"
+        (string_of_int report.Qls_layout.Verifier.swap_count)
+        (field ok "swaps");
+      let st = rpc c {|{"verb":"stats"}|} in
+      check_bool "deadline_exceeded counted" true
+        (int_of_string (field st "deadline_exceeded") >= 1);
+      check_bool "uptime reported" true
+        (float_of_string (field st "uptime_s") >= 0.);
+      let _, ic, _ = c in
+      close_in_noerr ic)
+
+let test_server_worker_lost () =
+  let socket = fresh_socket () in
+  with_server
+    {
+      Server.default_config with
+      socket_path = Some socket;
+      jobs = 1;
+      hang_threshold = Some 0.2;
+    }
+    (fun _ ->
+      let c = connect socket in
+      (* stall the request body 0.6 s against a 0.2 s hang threshold:
+         the watchdog must answer this client and replace the worker *)
+      install_plan "seed=1;serve.work.hang:delay@0.6:1.0";
+      let r =
+        Fun.protect ~finally:Qls_faults.clear (fun () ->
+            rpc c
+              {|{"verb":"route","arch":"grid3x3","swaps":2,"gates":24,"seed":9,"tool":"sabre","trials":1}|})
+      in
+      check_string "typed internal response" "internal" (field r "kind");
+      check_string "not ok" "false" (field r "ok");
+      (* the replacement worker restores capacity *)
+      let ok =
+        rpc c
+          {|{"verb":"route","arch":"grid3x3","swaps":2,"gates":24,"seed":10,"tool":"sabre","trials":1}|}
+      in
+      check_string "replacement serves" "true" (field ok "ok");
+      let h = rpc c {|{"verb":"health"}|} in
+      check_string "health ok" "true" (field h "ok");
+      check_string "still ready" "true" (field h "ready");
+      check_int "loss visible in health" 1
+        (int_of_string (field h "lost_workers"));
+      check_int "capacity restored" 1 (int_of_string (field h "live_workers"));
+      check_bool "watchdog age reported" true
+        (int_of_string (field h "watchdog_age_ms") >= 0);
+      let st = rpc c {|{"verb":"stats"}|} in
+      check_bool "internal counted" true
+        (int_of_string (field st "internal") >= 1);
+      check_int "lost_workers in stats" 1
+        (int_of_string (field st "lost_workers"));
+      let _, ic, _ = c in
+      close_in_noerr ic);
+  (* let the abandoned domain run off its stall before the process ends *)
+  Thread.delay 0.7
+
+let test_server_health () =
+  let socket = fresh_socket () in
+  with_server
+    { Server.default_config with socket_path = Some socket; jobs = 2 }
+    (fun _ ->
+      let c = connect socket in
+      let h = rpc c {|{"verb":"health"}|} in
+      check_string "ok" "true" (field h "ok");
+      check_string "ready" "true" (field h "ready");
+      check_string "not draining" "false" (field h "draining");
+      check_int "all workers live" 2 (int_of_string (field h "live_workers"));
+      check_int "none lost" 0 (int_of_string (field h "lost_workers"));
+      check_bool "listeners bound" true
+        (int_of_string (field h "listeners") >= 1);
+      check_int "queue empty" 0 (int_of_string (field h "queue_depth"));
+      let _, ic, _ = c in
+      close_in_noerr ic)
+
 let () =
   Alcotest.run "qls_serve"
     [
@@ -559,8 +900,19 @@ let () =
           test_case "frame roundtrip" test_frame_roundtrip;
           test_case "malformed frames" test_frame_malformed;
           test_case "request parsing" test_request_parse;
+          test_case "deadline_ms and health parsing" test_request_parse_deadline;
           test_case "circuit hash" test_circuit_hash;
         ] );
+      ( "fd-framing",
+        [
+          test_case "one-byte reads reassemble" test_fd_reader_one_byte_reads;
+          test_case "oversize frame is one clean Bad_request"
+            test_fd_reader_oversize_frame;
+          test_case "idle connections are reaped" test_fd_reader_idle_timeout;
+          test_case "mid-frame stalls are Bad_request"
+            test_fd_reader_io_timeout_mid_frame;
+        ]
+        @ List.map QCheck_alcotest.to_alcotest chunked_frame_props );
       ("cache-keys", List.map QCheck_alcotest.to_alcotest key_props);
       ( "cache",
         [
@@ -579,6 +931,13 @@ let () =
           test_case "callback exceptions are contained"
             test_pool_callback_error_contained;
         ] );
+      ( "deadlines-watchdog",
+        [
+          test_case "token expiry semantics" test_cancel_token;
+          test_case "pooled job deadline expires" test_pool_deadline_expires;
+          test_case "watchdog replaces a lost worker"
+            test_pool_watchdog_replaces_lost_worker;
+        ] );
       ( "tool-validation",
         [
           test_case "validate_tools raises typed Herror" test_validate_tools;
@@ -591,5 +950,10 @@ let () =
             test_server_end_to_end;
           test_case "typed overload under zero capacity" test_server_overload;
           test_case "sealed request log survives drain" test_server_request_log;
+          test_case "deadline_exceeded is typed and non-poisoning"
+            test_server_deadline;
+          test_case "hung worker is declared lost and replaced"
+            test_server_worker_lost;
+          test_case "health reports readiness" test_server_health;
         ] );
     ]
