@@ -148,10 +148,35 @@ let verify_cmd =
       & info [ "exact" ]
           ~doc:"Also refute (optimal - 1) SWAPs with the exact solver.")
   in
-  let budget =
+  let exact_method =
+    Arg.(
+      value
+      & opt (enum [ ("sat", Certificate.Sat); ("search", Certificate.Search) ])
+          Certificate.Sat
+      & info [ "method" ] ~docv:"METHOD"
+          ~doc:"Exact refuter: $(b,sat) (OLSQ2-style, default) or \
+                $(b,search) (transition search).")
+  in
+  let node_budget =
     Arg.(
       value & opt int 150_000_000
-      & info [ "node-budget" ] ~docv:"N" ~doc:"Exact-solver search budget.")
+      & info [ "node-budget" ] ~docv:"N"
+          ~doc:"Search-method budget, in search-tree nodes.")
+  in
+  let conflict_budget =
+    Arg.(
+      value & opt int 2_000_000
+      & info [ "conflict-budget" ] ~docv:"N"
+          ~doc:"SAT-method budget, in solver conflicts.")
+  in
+  let portfolio =
+    Arg.(
+      value & opt int 0
+      & info [ "portfolio" ] ~docv:"N"
+          ~doc:
+            "Race $(docv) deterministically seeded SAT configurations \
+             (seeds 0..N-1) on separate domains; 0 disables. SAT method \
+             only.")
   in
   let file =
     Arg.(
@@ -159,7 +184,8 @@ let verify_cmd =
       & info [ "f"; "file" ] ~docv:"FILE"
           ~doc:"Re-prove a saved .qbk instance instead of regenerating one.")
   in
-  let run device n_swaps gates seed exact budget file =
+  let run device n_swaps gates seed exact exact_method node_budget
+      conflict_budget portfolio file =
     let bench =
       match file with
       | Some path -> Qubikos.Serialize.load path
@@ -176,7 +202,19 @@ let verify_cmd =
     | Ok () ->
         Format.printf "structural certificate: OK (Lemmas 1-3 + designed schedule)@.";
         if exact then begin
-          let r = Certificate.check_exact ~node_budget:budget bench in
+          let portfolio_seeds =
+            if portfolio > 0 then Some (List.init portfolio Fun.id) else None
+          in
+          let r =
+            Certificate.check_exact ~solver:exact_method
+              ~node_budget ~conflict_budget ?portfolio_seeds bench
+          in
+          (match r.Certificate.winner_seed with
+          | Some seed ->
+              Format.printf
+                "portfolio: %d configurations raced, winner seed %d@."
+                portfolio seed
+          | None -> ());
           match r.Certificate.exact_agrees with
           | Some true ->
               Format.printf "exact solver: confirmed (no %d-swap solution exists)@."
@@ -193,7 +231,9 @@ let verify_cmd =
   in
   let doc = "Re-prove the optimality of a generated instance." in
   Cmd.v (Cmd.info "verify" ~doc)
-    Term.(const run $ arch $ swaps $ gates $ seed $ exact $ budget $ file)
+    Term.(
+      const run $ arch $ swaps $ gates $ seed $ exact $ exact_method
+      $ node_budget $ conflict_budget $ portfolio $ file)
 
 (* ------------------------------------------------------------------ *)
 (* route                                                               *)
@@ -599,24 +639,53 @@ let study_cmd =
       & opt (list int) [ 1; 2; 3; 4 ]
       & info [ "counts" ] ~docv:"N,N,.." ~doc:"Designed SWAP counts.")
   in
-  let budget =
+  let exact_method =
+    Arg.(
+      value
+      & opt (enum [ ("sat", Certificate.Sat); ("search", Certificate.Search) ])
+          Certificate.Sat
+      & info [ "method" ] ~docv:"METHOD"
+          ~doc:"Exact refuter: $(b,sat) (default) or $(b,search).")
+  in
+  let node_budget =
+    Arg.(
+      value & opt int 50_000_000
+      & info [ "node-budget" ] ~docv:"N"
+          ~doc:"Search-method budget, in search-tree nodes.")
+  in
+  let conflict_budget =
     Arg.(
       value & opt int 2_000_000
-      & info [ "node-budget" ] ~docv:"N"
-          ~doc:"Exact-solver budget (SAT conflicts).")
+      & info [ "conflict-budget" ] ~docv:"N"
+          ~doc:"SAT-method budget, in solver conflicts.")
   in
-  let run device circuits counts budget seed =
+  let portfolio =
+    Arg.(
+      value & opt int 0
+      & info [ "portfolio" ] ~docv:"N"
+          ~doc:
+            "Race $(docv) deterministically seeded SAT configurations per \
+             instance; 0 disables.")
+  in
+  let run device circuits counts exact_method node_budget conflict_budget
+      portfolio seed =
+    let portfolio_seeds =
+      if portfolio > 0 then Some (List.init portfolio Fun.id) else None
+    in
     let rows =
       Evaluation.run_optimality_study ~circuits_per_count:circuits
         ~swap_counts:counts ~gate_budget:40 ~saturation_cap:1
-        ~node_budget:budget ~seed device
+        ~solver:exact_method ~node_budget ~conflict_budget ?portfolio_seeds
+        ~seed device
     in
     Format.printf "@[<v>%a@]@." Evaluation.pp_optimality rows;
     0
   in
   let doc = "Reproduce the optimality study (paper §IV-A)." in
   Cmd.v (Cmd.info "study" ~doc)
-    Term.(const run $ arch $ circuits $ counts $ budget $ seed)
+    Term.(
+      const run $ arch $ circuits $ counts $ exact_method $ node_budget
+      $ conflict_budget $ portfolio $ seed)
 
 (* ------------------------------------------------------------------ *)
 (* queko                                                               *)

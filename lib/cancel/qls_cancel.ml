@@ -7,9 +7,11 @@ type token = {
   expiry_ms : int option;  (* absolute wall-clock expiry *)
   limit_ms : int;  (* the budget [expiry_ms] encodes, for error reports *)
   hb_ms : int Atomic.t;  (* last poll; supervisors read this *)
+  halt : bool Atomic.t;  (* explicit cross-domain cancellation *)
 }
 
 exception Expired of { elapsed_ms : int; limit_ms : int }
+exception Cancelled
 
 let () =
   Printexc.register_printer (function
@@ -17,13 +19,21 @@ let () =
         Some
           (Printf.sprintf "Qls_cancel.Expired(elapsed=%dms, limit=%dms)"
              elapsed_ms limit_ms)
+    | Cancelled -> Some "Qls_cancel.Cancelled"
     | _ -> None)
 
 let now_ms () =
   (* lint: nondet-source — wall clock is the substance of deadline tracking *)
   int_of_float (Unix.gettimeofday () *. 1000.)
 
-let none = { t0_ms = 0; expiry_ms = None; limit_ms = 0; hb_ms = Atomic.make 0 }
+let none =
+  {
+    t0_ms = 0;
+    expiry_ms = None;
+    limit_ms = 0;
+    hb_ms = Atomic.make 0;
+    halt = Atomic.make false;
+  }
 
 let make ?deadline_ms () =
   (match deadline_ms with
@@ -36,7 +46,13 @@ let make ?deadline_ms () =
     expiry_ms = Option.map (fun d -> t0 + d) deadline_ms;
     limit_ms = Option.value deadline_ms ~default:0;
     hb_ms = Atomic.make t0;
+    halt = Atomic.make false;
   }
+
+(* [none] is shared by every tokenless domain, so cancelling it would poison
+   unrelated work; treat it as uncancellable instead. *)
+let cancel t = if t != none then Atomic.set t.halt true
+let cancelled t = Atomic.get t.halt
 
 let key : token Domain.DLS.key = Domain.DLS.new_key (fun () -> none)
 
@@ -49,6 +65,7 @@ let expire_check t =
   if t != none then begin
     let now = now_ms () in
     Atomic.set t.hb_ms now;
+    if Atomic.get t.halt then raise Cancelled;
     match t.expiry_ms with
     | Some e when now >= e ->
         raise (Expired { elapsed_ms = now - t.t0_ms; limit_ms = t.limit_ms })

@@ -29,6 +29,12 @@ type token
     wait), and is always [>= limit_ms]. *)
 exception Expired of { elapsed_ms : int; limit_ms : int }
 
+(** Raised by {!poll} / {!expire_check} once {!cancel} has been called on the
+    installed token. Unlike {!Expired} this carries no timing payload: it
+    means another domain decided this work is no longer needed (e.g. a
+    portfolio race already has its verdict), not that a budget ran out. *)
+exception Cancelled
+
 val make : ?deadline_ms:int -> unit -> token
 (** A fresh token. With [?deadline_ms] (must be [>= 1]), {!poll} raises
     {!Expired} once that many milliseconds have elapsed since [make].
@@ -45,10 +51,18 @@ val with_token : token -> (unit -> 'a) -> 'a
     runs [f ()], and restores the previous ambient token (also on raise).
     Nesting is allowed; the innermost token wins. *)
 
+val cancel : token -> unit
+(** Flag [t] as cancelled from any domain: the next {!poll} /
+    {!expire_check} on it raises {!Cancelled}. Idempotent, never blocks,
+    and a no-op on {!none} (which is shared by every tokenless domain). *)
+
+val cancelled : token -> bool
+(** Whether {!cancel} has been called on [t]. *)
+
 val poll : unit -> unit
 (** Checkpoint. Reads the ambient token; if it is {!none} this is a no-op.
-    Otherwise stamps the heartbeat and raises {!Expired} if the deadline
-    (when any) has passed. *)
+    Otherwise stamps the heartbeat, raises {!Cancelled} if the token was
+    cancelled, then {!Expired} if the deadline (when any) has passed. *)
 
 val expire_check : token -> unit
 (** Like {!poll} but on an explicit token — used by the pool to reject a job

@@ -133,16 +133,31 @@ let check_exn bench =
            (Format.pp_print_list pp_failure)
            fs)
 
-type exact_result = { certified : bool; exact_agrees : bool option }
+type exact_result = {
+  certified : bool;
+  exact_agrees : bool option;
+  winner_seed : int option;
+}
+
 type exact_method = Sat | Search
 
-let check_exact ?(solver = Sat) ?node_budget bench =
+(* Budget semantics: [node_budget] bounds the Search solver's nodes and
+   [conflict_budget] bounds the SAT solver's conflicts — two different
+   units, so they are separate parameters and neither is rescaled into the
+   other. *)
+let check_exact ?(solver = Sat) ?node_budget ?conflict_budget ?portfolio_seeds
+    bench =
   let certified = Result.is_ok (check bench) in
   let swaps = bench.Benchmark.optimal_swaps - 1 in
   let device = bench.Benchmark.device in
   let circuit = bench.Benchmark.circuit in
-  let exact_agrees =
-    if bench.Benchmark.optimal_swaps = 0 then Some true
+  let sat_agrees = function
+    | Qls_router.Olsq.Infeasible -> Some true
+    | Qls_router.Olsq.Feasible _ -> Some false
+    | Qls_router.Olsq.Unknown -> None
+  in
+  let exact_agrees, winner_seed =
+    if bench.Benchmark.optimal_swaps = 0 then (Some true, None)
     else
       Qls_obs.with_span ~site:"certify" "certify.exact"
         ~attrs:(fun () ->
@@ -151,23 +166,33 @@ let check_exact ?(solver = Sat) ?node_budget bench =
               Qls_obs.Str (match solver with Sat -> "sat" | Search -> "search")
             );
             ("swaps", Qls_obs.Int swaps);
+            ( "portfolio",
+              Qls_obs.Int
+                (match portfolio_seeds with
+                | Some seeds -> List.length seeds
+                | None -> 0) );
           ])
         (fun () ->
           match solver with
           | Sat -> (
-              match
-                Qls_router.Olsq.check ?conflict_budget:node_budget ~swaps
-                  device circuit
-              with
-              | Qls_router.Olsq.Infeasible -> Some true
-              | Qls_router.Olsq.Feasible _ -> Some false
-              | Qls_router.Olsq.Unknown -> None)
+              match portfolio_seeds with
+              | Some seeds ->
+                  let r =
+                    Qls_router.Olsq.race_check ~seeds ?conflict_budget ~swaps
+                      device circuit
+                  in
+                  (sat_agrees r.Qls_router.Olsq.value, Some r.winner_seed)
+              | None ->
+                  ( sat_agrees
+                      (Qls_router.Olsq.check ?conflict_budget ~swaps device
+                         circuit),
+                    None ))
           | Search -> (
               match
                 Qls_router.Exact.check ?node_budget ~swaps device circuit
               with
-              | Qls_router.Exact.Infeasible -> Some true
-              | Qls_router.Exact.Feasible _ -> Some false
-              | Qls_router.Exact.Unknown -> None))
+              | Qls_router.Exact.Infeasible -> (Some true, None)
+              | Qls_router.Exact.Feasible _ -> (Some false, None)
+              | Qls_router.Exact.Unknown -> (None, None)))
   in
-  { certified; exact_agrees }
+  { certified; exact_agrees; winner_seed }

@@ -53,6 +53,10 @@ type exact_result = {
           [optimal_swaps - 1] SWAPs exists; [Some false] if it found one
           (which would disprove the certificate); [None] if its budget ran
           out *)
+  winner_seed : int option;
+      (** with [portfolio_seeds]: the seed of the configuration that won
+          the race, recorded so the run can be replayed deterministically;
+          [None] otherwise *)
 }
 
 type exact_method =
@@ -61,8 +65,17 @@ type exact_method =
   | Search  (** {!Qls_router.Exact}: the direct transition search *)
 
 val check_exact :
-  ?solver:exact_method -> ?node_budget:int -> Benchmark.t -> exact_result
+  ?solver:exact_method ->
+  ?node_budget:int ->
+  ?conflict_budget:int ->
+  ?portfolio_seeds:int list ->
+  Benchmark.t ->
+  exact_result
 (** Full §IV-A-style verification: structural certificate plus
-    independent exact refutation of [optimal_swaps - 1]. [node_budget]
-    bounds the search solver's nodes or the SAT solver's conflicts
-    (defaults: 1.5e8 nodes / 2e6 conflicts). *)
+    independent exact refutation of [optimal_swaps - 1]. Each method has
+    its own budget in its own unit — [node_budget] bounds the [Search]
+    solver's search-tree nodes (default 5e7) and [conflict_budget] bounds
+    the [Sat] solver's conflicts (default 2e6); neither is rescaled into
+    the other. [portfolio_seeds] (Sat only) races one deterministically
+    derived solver configuration per seed and records the winner in
+    {!exact_result.winner_seed}. *)

@@ -332,8 +332,8 @@ type optimality_row = {
 }
 
 let run_optimality_study ?(circuits_per_count = 10) ?(swap_counts = [ 1; 2; 3; 4 ])
-    ?(gate_budget = 30) ?(saturation_cap = 1) ?solver ?node_budget ?(seed = 0)
-    device =
+    ?(gate_budget = 30) ?(saturation_cap = 1) ?solver ?node_budget
+    ?conflict_budget ?portfolio_seeds ?(seed = 0) device =
   List.map
     (fun n_swaps ->
       let config =
@@ -355,7 +355,10 @@ let run_optimality_study ?(circuits_per_count = 10) ?(swap_counts = [ 1; 2; 3; 4
       List.iter
         (fun bench ->
           gates := float_of_int (Benchmark.two_qubit_count bench) :: !gates;
-          let r = Certificate.check_exact ?solver ?node_budget bench in
+          let r =
+            Certificate.check_exact ?solver ?node_budget ?conflict_budget
+              ?portfolio_seeds bench
+          in
           if r.Certificate.certified then incr certified;
           match r.Certificate.exact_agrees with
           | Some true -> incr confirmed
@@ -460,7 +463,11 @@ let pp_summary ppf rows =
   let conflicts = v "sat.conflicts" in
   if conflicts > 0 then
     Format.fprintf ppf "sat: %d conflicts, %d learned, %d restarts@," conflicts
-      (v "sat.learned") (v "sat.restarts")
+      (v "sat.learned") (v "sat.restarts");
+  let races = v "sat.portfolio.races" in
+  if races > 0 then
+    Format.fprintf ppf "sat portfolio: %d races, %d workers cancelled@," races
+      (v "sat.portfolio.cancelled")
 
 let pp_optimality ppf rows =
   Format.fprintf ppf "%-10s %6s %9s %10s %16s %14s %11s@,"
@@ -471,4 +478,11 @@ let pp_optimality ppf rows =
       Format.fprintf ppf "%-10s %6d %9d %10d %16d %14d %11.1f@,"
         r.o_device r.o_swaps r.o_circuits r.o_certified r.o_exact_confirmed
         r.o_exact_unknown r.o_mean_gates)
-    rows
+    rows;
+  let v name =
+    Option.value ~default:0 (List.assoc_opt name (Qls_obs.counters ()))
+  in
+  let races = v "sat.portfolio.races" in
+  if races > 0 then
+    Format.fprintf ppf "sat portfolio: %d races, %d workers cancelled@," races
+      (v "sat.portfolio.cancelled")

@@ -217,13 +217,18 @@ val run_optimality_study :
   ?saturation_cap:int ->
   ?solver:Certificate.exact_method ->
   ?node_budget:int ->
+  ?conflict_budget:int ->
+  ?portfolio_seeds:int list ->
   ?seed:int ->
   Qls_arch.Device.t ->
   optimality_row list
 (** §IV-A: small instances (default: SWAP counts 1–4, 10 circuits each,
     gate budget 30, saturation cap 1), each re-proved structurally and by
     the exact solver (the SAT formulation by default, like the paper's
-    OLSQ2). The paper uses 100 circuits per count. *)
+    OLSQ2). [node_budget] bounds the [Search] method's nodes;
+    [conflict_budget] bounds the [Sat] method's conflicts;
+    [portfolio_seeds] races seeded SAT configurations per instance (see
+    {!Certificate.check_exact}). The paper uses 100 circuits per count. *)
 
 val pp_optimality : Format.formatter -> optimality_row list -> unit
 (** Render the study as an aligned text table. *)

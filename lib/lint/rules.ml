@@ -560,6 +560,41 @@ let r6_check ctx structure =
   end
 
 (* ------------------------------------------------------------------ *)
+(* R7 — seeded-randomness                                              *)
+(* Scoped to the solver stack (lib/sat, lib/router): portfolio racing
+   records the winning configuration's seed so a race can be replayed
+   bit-for-bit, which only works if every source of variation is a pure
+   function of an explicit seed ([Solver.config_of_seed], [Rng.create]).
+   Ambient [Random] state — seeded once per process, advanced by whoever
+   calls it first — breaks that contract silently, so in these
+   directories any [Random.*] use is an error. Elsewhere (e.g. a bench
+   warmup) ambient randomness is merely suspicious, not forbidden. *)
+
+let r7_scope file =
+  contains_sub file "lib/sat" || contains_sub file "lib/router"
+
+let r7_check ctx structure =
+  if not (r7_scope ctx.file) then []
+  else begin
+    let findings = ref [] in
+    run_iterator
+      (fun it e ->
+        (match ident_path e with
+        | Some ("Random" :: _ :: _) ->
+            findings :=
+              Finding.of_location ~file:ctx.file ~rule:"seeded-randomness"
+                ~severity:Finding.Error e.pexp_loc
+                "the solver and router layers must derive all variation \
+                 from an explicit seed (Solver.config_of_seed, Rng.create); \
+                 ambient Random state breaks portfolio winner-seed replay"
+              :: !findings
+        | _ -> ());
+        Ast_iterator.default_iterator.expr it e)
+      structure;
+    !findings
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [
@@ -606,6 +641,14 @@ let all =
          lib/harness)";
       severity = Finding.Error;
       check = r6_check;
+    };
+    {
+      name = "seeded-randomness";
+      summary =
+        "ambient Random use in the solver stack (lib/sat, lib/router), \
+         where all variation must derive from an explicit seed";
+      severity = Finding.Error;
+      check = r7_check;
     };
   ]
 

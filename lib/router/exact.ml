@@ -262,12 +262,18 @@ let check ?(node_budget = default_budget) ~swaps device circuit =
   let coupling = Device.graph device in
   let nodes = ref 0 in
   if n = 0 then begin
-    (* No two-qubit gates: zero swaps suffice; emit a swap-free witness. *)
-    let placement = Array.make (Circuit.n_qubits circuit) (-1) in
-    let witness =
-      build_witness ~device ~circuit ~dag ~k:0 ~swap_edges:[||] ~labels:[||]
-        ~placement
+    (* No two-qubit gates: zero swaps suffice. Emit the 1q gates in program
+       order under the identity mapping — the same witness semantics as
+       [Olsq.check]'s gate-free branch, so both checkers pin the same
+       initial mapping for 1q-only circuits. *)
+    let initial =
+      Mapping.identity ~n_program:(Circuit.n_qubits circuit) ~n_physical:n_phys
     in
+    let ops =
+      List.init (Circuit.length circuit) (fun i -> Transpiled.Gate i)
+    in
+    let witness = Transpiled.create ~source:circuit ~device ~initial ops in
+    ignore (Verifier.check_exn witness);
     Feasible witness
   end
   else begin

@@ -6,6 +6,7 @@ module Device = Qls_arch.Device
 module Mapping = Qls_layout.Mapping
 module Transpiled = Qls_layout.Transpiled
 module Verifier = Qls_layout.Verifier
+module Pool = Qls_harness.Pool
 
 type verdict = Feasible of Transpiled.t | Infeasible | Unknown
 
@@ -173,34 +174,58 @@ let decode ~vars ~device ~dag ~circuit solver =
   ignore (Verifier.check_exn witness);
   witness
 
-let check ?(conflict_budget = 2_000_000) ~swaps device circuit =
-  if swaps < 0 then invalid_arg "Olsq.check: negative swap count";
-  if Circuit.n_qubits circuit > Device.n_qubits device then
-    invalid_arg "Olsq.check: circuit larger than device";
-  let dag = Dag.of_circuit circuit in
-  let vars =
-    {
-      n_prog = Circuit.n_qubits circuit;
-      n_phys = Device.n_qubits device;
-      n_gates = Dag.n_gates dag;
-      n_edges = Device.n_edges device;
-      k = swaps;
-    }
+(* Canonicity (symmetry breaking), used on the incremental path only: if
+   transition [t] is "none" the mappings at blocks [t] and [t+1] coincide,
+   so a gate sitting in block [t+1] could equally run in block [t] — unless
+   a predecessor occupies block [t+1]. Forbidding the non-canonical
+   placements keeps exactly the greedy-earliest representative of every
+   solution class, which preserves satisfiability at every bound while
+   pruning the permutation symmetry the k-walk would otherwise re-refute at
+   each bound. *)
+let encode_earliest_block ~vars ~dag solver =
+  let { n_gates; n_edges; k; _ } = vars in
+  let add = Solver.add_clause solver in
+  for g = 0 to n_gates - 1 do
+    let preds = Dag.predecessors dag g in
+    for t = 0 to k - 1 do
+      add
+        (-b vars g (t + 1) :: -s vars n_edges t
+        :: List.map (fun g' -> b vars g' (t + 1)) preds)
+    done
+  done
+
+let make_vars device circuit dag ~k =
+  {
+    n_prog = Circuit.n_qubits circuit;
+    n_phys = Device.n_qubits device;
+    n_gates = Dag.n_gates dag;
+    n_edges = Device.n_edges device;
+    k;
+  }
+
+(* No two-qubit gates: emit all 1q gates under the identity mapping. Shared
+   by the fresh and incremental paths (and mirrored by [Exact.check]) so
+   every checker pins the same witness semantics for 1q-only circuits. *)
+let gate_free_witness ~vars ~device circuit =
+  let initial =
+    Mapping.identity ~n_program:vars.n_prog ~n_physical:vars.n_phys
   in
-  if vars.n_gates = 0 then begin
-    (* no two-qubit gates: emit all 1q gates under the identity mapping *)
-    let initial =
-      Mapping.identity ~n_program:vars.n_prog ~n_physical:vars.n_phys
-    in
-    let ops =
-      List.init (Circuit.length circuit) (fun i -> Transpiled.Gate i)
-    in
-    let witness = Transpiled.create ~source:circuit ~device ~initial ops in
-    Feasible witness
-  end
+  let ops = List.init (Circuit.length circuit) (fun i -> Transpiled.Gate i) in
+  Transpiled.create ~source:circuit ~device ~initial ops
+
+let validate_instance ~fn ~swaps device circuit =
+  if swaps < 0 then invalid_arg (fn ^ ": negative swap count");
+  if Circuit.n_qubits circuit > Device.n_qubits device then
+    invalid_arg (fn ^ ": circuit larger than device")
+
+let check ?(conflict_budget = 2_000_000) ?config ~swaps device circuit =
+  validate_instance ~fn:"Olsq.check" ~swaps device circuit;
+  let dag = Dag.of_circuit circuit in
+  let vars = make_vars device circuit dag ~k:swaps in
+  if vars.n_gates = 0 then Feasible (gate_free_witness ~vars ~device circuit)
   else if vars.n_prog = 0 then Infeasible
   else begin
-    let solver = Solver.create (total_vars vars) in
+    let solver = Solver.create ?config (total_vars vars) in
     encode ~vars ~device ~dag solver;
     match Solver.solve ~conflict_budget solver with
     | Solver.Sat -> Feasible (decode ~vars ~device ~dag ~circuit solver)
@@ -208,14 +233,177 @@ let check ?(conflict_budget = 2_000_000) ~swaps device circuit =
     | Solver.Unknown -> Unknown
   end
 
-let minimum_swaps ?(max_swaps = 8) ?conflict_budget device circuit =
+(* Incremental sessions: encode once at [k_max], then decide each bound
+   [k <= k_max] under assumptions instead of re-encoding. Bound [k] is
+   exactly "transitions k .. k_max-1 all take the none option": a solution
+   with at most [k] swaps always extends with trailing identity transitions,
+   and conversely a model under those assumptions uses at most [k] swaps.
+   Refuting bound [k] therefore shares every learned clause, activity and
+   saved phase with the attempt at [k+1]. *)
+module Incremental = struct
+  type session = {
+    device : Device.t;
+    circuit : Circuit.t;
+    dag : Dag.t;
+    vars : vars;
+    solver : Solver.t option;  (* None: trivial instance, no SAT needed *)
+  }
+
+  let create ?config ?(max_swaps = 8) device circuit =
+    validate_instance ~fn:"Olsq.Incremental.create" ~swaps:max_swaps device
+      circuit;
+    let dag = Dag.of_circuit circuit in
+    let vars = make_vars device circuit dag ~k:max_swaps in
+    let solver =
+      if vars.n_gates = 0 || vars.n_prog = 0 then None
+      else begin
+        let solver = Solver.create ?config (total_vars vars) in
+        encode ~vars ~device ~dag solver;
+        encode_earliest_block ~vars ~dag solver;
+        Some solver
+      end
+    in
+    { device; circuit; dag; vars; solver }
+
+  let max_swaps sess = sess.vars.k
+
+  (* Assume "no swap" for every transition from [swaps] up to the session
+     bound: these are exactly the selector literals that specialise the
+     k_max encoding to bound [swaps]. *)
+  let bound_assumptions sess ~swaps =
+    List.init (sess.vars.k - swaps) (fun i ->
+        s sess.vars sess.vars.n_edges (swaps + i))
+
+  let check ?(conflict_budget = 2_000_000) sess ~swaps =
+    if swaps < 0 then
+      invalid_arg "Olsq.Incremental.check: negative swap count";
+    if swaps > sess.vars.k then
+      invalid_arg
+        (Printf.sprintf
+           "Olsq.Incremental.check: bound %d exceeds session max_swaps %d"
+           swaps sess.vars.k);
+    match sess.solver with
+    | None ->
+        if sess.vars.n_gates = 0 then
+          Feasible
+            (gate_free_witness ~vars:sess.vars ~device:sess.device
+               sess.circuit)
+        else Infeasible
+    | Some solver -> (
+        let assumptions = bound_assumptions sess ~swaps in
+        match Solver.solve ~conflict_budget ~assumptions solver with
+        | Solver.Sat ->
+            Feasible
+              (decode ~vars:sess.vars ~device:sess.device ~dag:sess.dag
+                 ~circuit:sess.circuit solver)
+        | Solver.Unsat -> Infeasible
+        | Solver.Unknown -> Unknown)
+
+  let solves sess =
+    match sess.solver with None -> 0 | Some solver -> Solver.solves solver
+
+  let total_conflicts sess =
+    match sess.solver with
+    | None -> 0
+    | Some solver ->
+        let c, _, _, _ = Solver.total_stats solver in
+        c
+end
+
+let walk ~max_swaps ~check_bound =
   let rec go k =
     if k > max_swaps then Unknown_above { refuted_below = k }
     else
-      match check ?conflict_budget ~swaps:k device circuit with
+      match check_bound k with
       | Feasible witness ->
           Optimal { swaps = Transpiled.swap_count witness; witness }
       | Infeasible -> go (k + 1)
       | Unknown -> Unknown_above { refuted_below = k }
   in
   go 0
+
+let minimum_swaps ?(max_swaps = 8) ?conflict_budget ?config
+    ?(mode = `Incremental) device circuit =
+  match mode with
+  | `Fresh ->
+      walk ~max_swaps ~check_bound:(fun k ->
+          check ?conflict_budget ?config ~swaps:k device circuit)
+  | `Incremental ->
+      let session = Incremental.create ?config ~max_swaps device circuit in
+      walk ~max_swaps ~check_bound:(fun k ->
+          Incremental.check ?conflict_budget session ~swaps:k)
+
+(* Portfolio racing: run one solver configuration per seed on its own
+   domain; the first worker to finish publishes its result and cancels the
+   rest through their Qls_cancel tokens. The set of configurations is a
+   pure function of the seed list (Solver.config_of_seed), so recording the
+   winner seed makes any race replayable bit-for-bit by re-running that
+   single configuration. *)
+type 'a raced = {
+  value : 'a;
+  winner_seed : int;
+  raced : int;
+  cancelled : int;
+}
+
+let default_seeds = [ 0; 1; 2; 3 ]
+
+let obs_races = lazy (Qls_obs.counter "sat.portfolio.races")
+let obs_race_cancelled = lazy (Qls_obs.counter "sat.portfolio.cancelled")
+
+let race ?jobs ~seeds ~f () =
+  let seeds = Array.of_list seeds in
+  let n = Array.length seeds in
+  if n = 0 then invalid_arg "Olsq.race: empty seed list";
+  let jobs =
+    match jobs with
+    | Some j -> max 1 j
+    | None -> min n (Pool.recommended_jobs ())
+  in
+  let tokens = Array.init n (fun _ -> Qls_cancel.make ()) in
+  let winner = Atomic.make (-1) in
+  let results =
+    Pool.run ~jobs
+      ~f:(fun i seed ->
+        match Qls_cancel.with_token tokens.(i) (fun () -> f seed) with
+        | v ->
+            if Atomic.compare_and_set winner (-1) i then
+              Array.iteri
+                (fun j tok -> if j <> i then Qls_cancel.cancel tok)
+                tokens;
+            Some v
+        | exception Qls_cancel.Cancelled -> None)
+      seeds
+  in
+  let w = Atomic.get winner in
+  if w < 0 then invalid_arg "Olsq.race: no worker finished";
+  let value =
+    match results.(w) with Some v -> v | None -> assert false
+  in
+  let cancelled =
+    Array.fold_left
+      (fun acc r -> match r with None -> acc + 1 | Some _ -> acc)
+      0 results
+  in
+  Qls_obs.incr (Lazy.force obs_races);
+  Qls_obs.add (Lazy.force obs_race_cancelled) cancelled;
+  { value; winner_seed = seeds.(w); raced = n; cancelled }
+
+let race_check ?jobs ?(seeds = default_seeds) ?conflict_budget ~swaps device
+    circuit =
+  validate_instance ~fn:"Olsq.race_check" ~swaps device circuit;
+  race ?jobs ~seeds
+    ~f:(fun seed ->
+      check ?conflict_budget
+        ~config:(Solver.config_of_seed seed)
+        ~swaps device circuit)
+    ()
+
+let race_minimum_swaps ?jobs ?(seeds = default_seeds) ?max_swaps
+    ?conflict_budget device circuit =
+  race ?jobs ~seeds
+    ~f:(fun seed ->
+      minimum_swaps ?max_swaps ?conflict_budget
+        ~config:(Solver.config_of_seed seed)
+        ~mode:`Incremental device circuit)
+    ()

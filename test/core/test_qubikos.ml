@@ -275,8 +275,29 @@ let certificate_tests =
         check_bool "exact agrees" true (r.Certificate.exact_agrees = Some true));
     test_case "check_exact reports budget exhaustion honestly" (fun () ->
         let b = gen ~n_swaps:2 ~seed:4 () in
+        (* each method is starved through its own budget, in its own unit:
+           conflicts for Sat, search-tree nodes for Search *)
+        let r = Certificate.check_exact ~conflict_budget:0 b in
+        check_bool "sat unknown" true (r.Certificate.exact_agrees = None);
+        let r =
+          Certificate.check_exact ~solver:Certificate.Search ~node_budget:1 b
+        in
+        check_bool "search unknown" true (r.Certificate.exact_agrees = None));
+    test_case "check_exact sat path ignores node_budget" (fun () ->
+        (* regression: node_budget used to be passed through as the SAT
+           conflict budget, silently rescaling it *)
+        let b = gen ~n_swaps:2 ~saturation_cap:1 ~seed:4 () in
         let r = Certificate.check_exact ~node_budget:1 b in
-        check_bool "unknown" true (r.Certificate.exact_agrees = None));
+        check_bool "still confirmed" true
+          (r.Certificate.exact_agrees = Some true));
+    test_case "check_exact portfolio records a winner seed" (fun () ->
+        let b = gen ~n_swaps:2 ~saturation_cap:1 ~seed:4 () in
+        let r = Certificate.check_exact ~portfolio_seeds:[ 0; 1 ] b in
+        check_bool "confirmed" true (r.Certificate.exact_agrees = Some true);
+        check_bool "winner recorded" true
+          (match r.Certificate.winner_seed with
+          | Some s -> List.mem s [ 0; 1 ]
+          | None -> false));
     test_case "pp_failure output is non-empty for all cases" (fun () ->
         List.iter
           (fun f ->

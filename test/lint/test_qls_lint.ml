@@ -89,6 +89,40 @@ let rule_tests =
         check_int "fixture parses" 0 failures;
         check_int "deliberate sleeps elsewhere are fine" 0
           (List.length findings));
+    test_case "seeded-randomness fires under a solver-stack file name"
+      (fun () ->
+        let findings, suppressed, failures =
+          Engine.lint_source
+            ~rules:[ rule "seeded-randomness" ]
+            ~file:"lib/sat/fixture.ml"
+            (fixture "r7_seeded_randomness.ml")
+        in
+        check_int "fixture parses" 0 failures;
+        List.iter
+          (fun f -> check_string "rule tag" "seeded-randomness" f.Finding.rule)
+          findings;
+        check_int "finding count" 3 (List.length findings);
+        check_int "justified use suppressed" 1 suppressed);
+    test_case "seeded-randomness also covers lib/router" (fun () ->
+        let findings, _, failures =
+          Engine.lint_source
+            ~rules:[ rule "seeded-randomness" ]
+            ~file:"lib/router/fixture.ml"
+            (fixture "r7_seeded_randomness.ml")
+        in
+        check_int "fixture parses" 0 failures;
+        check_int "finding count" 3 (List.length findings));
+    test_case "seeded-randomness is silent outside the solver stack"
+      (fun () ->
+        let findings, _, failures =
+          Engine.lint_source
+            ~rules:[ rule "seeded-randomness" ]
+            ~file:"bench/fixture.ml"
+            (fixture "r7_seeded_randomness.ml")
+        in
+        check_int "fixture parses" 0 failures;
+        check_int "ambient randomness elsewhere is fine" 0
+          (List.length findings));
     test_case "clean fixture is clean under every rule" (fun () ->
         let findings, suppressed = lint ~rules:Rules.all (fixture "clean.ml") in
         check_int "no findings" 0 (List.length findings);

@@ -538,6 +538,140 @@ let olsq_props =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* OLSQ incremental sessions + portfolio                               *)
+(* ------------------------------------------------------------------ *)
+
+let olsq_incremental_tests =
+  [
+    test_case "incremental walk matches the fresh walk on the triangle"
+      (fun () ->
+        let device = Topologies.line 4 and c = triangle () in
+        match
+          ( Olsq.minimum_swaps ~mode:`Incremental device c,
+            Olsq.minimum_swaps ~mode:`Fresh device c )
+        with
+        | Olsq.Optimal { swaps = a; witness }, Olsq.Optimal { swaps = b; _ } ->
+            check_int "same optimum" a b;
+            check_int "one swap" 1 a;
+            check_bool "witness valid" true (Verifier.is_valid witness)
+        | _ -> Alcotest.fail "both walks must conclude");
+    test_case "session refutes then certifies under assumptions" (fun () ->
+        let sess = Olsq.Incremental.create ~max_swaps:3 (Topologies.line 4) (triangle ()) in
+        check_int "session bound" 3 (Olsq.Incremental.max_swaps sess);
+        check_bool "0 infeasible" true
+          (Olsq.Incremental.check sess ~swaps:0 = Olsq.Infeasible);
+        (match Olsq.Incremental.check sess ~swaps:1 with
+        | Olsq.Feasible w ->
+            check_int "one swap" 1 (Transpiled.swap_count w);
+            check_bool "valid" true (Verifier.is_valid w)
+        | _ -> Alcotest.fail "1 swap must suffice");
+        check_int "one solve per bound" 2 (Olsq.Incremental.solves sess);
+        check_bool "bound above session max rejected" true
+          (try
+             ignore (Olsq.Incremental.check sess ~swaps:4);
+             false
+           with Invalid_argument _ -> true));
+    test_case "portfolio race agrees with the single-config verdict"
+      (fun () ->
+        let device = Topologies.line 4 and c = triangle () in
+        let r = Olsq.race_check ~seeds:[ 0; 1; 2 ] ~swaps:0 device c in
+        check_bool "raced verdict" true (r.Olsq.value = Olsq.Infeasible);
+        check_int "raced count" 3 r.Olsq.raced;
+        check_bool "winner from the seed list" true
+          (List.mem r.Olsq.winner_seed [ 0; 1; 2 ]);
+        check_bool "cancelled bounded" true
+          (r.Olsq.cancelled >= 0 && r.Olsq.cancelled < 3);
+        match Olsq.race_minimum_swaps ~seeds:[ 0; 1 ] device c with
+        | { Olsq.value = Olsq.Optimal { swaps; _ }; _ } ->
+            check_int "raced optimum" 1 swaps
+        | _ -> Alcotest.fail "raced walk must conclude");
+    test_case "empty portfolio rejected" (fun () ->
+        check_bool "raises" true
+          (try
+             ignore
+               (Olsq.race_check ~seeds:[] ~swaps:0 (Topologies.line 4)
+                  (triangle ()));
+             false
+           with Invalid_argument _ -> true));
+    test_case "1q-only witnesses pin the identity initial mapping" (fun () ->
+        (* regression: Exact.check used to free-fill an all-(-1) placement
+           here while Olsq used Mapping.identity — all three checkers must
+           agree on the same witness semantics *)
+        let c = Circuit.create ~n_qubits:3 [ Gate.h 0; Gate.h 2; Gate.h 1 ] in
+        let device = Topologies.line 4 in
+        let ident = Mapping.identity ~n_program:3 ~n_physical:4 in
+        let initial_of = function
+          | Some w -> Transpiled.initial_mapping w
+          | None -> Alcotest.fail "expected Feasible"
+        in
+        let from_exact =
+          match Exact.check ~swaps:0 device c with
+          | Exact.Feasible w -> Some w
+          | _ -> None
+        and from_olsq =
+          match Olsq.check ~swaps:0 device c with
+          | Olsq.Feasible w -> Some w
+          | _ -> None
+        and from_session =
+          let sess = Olsq.Incremental.create ~max_swaps:2 device c in
+          match Olsq.Incremental.check sess ~swaps:0 with
+          | Olsq.Feasible w -> Some w
+          | _ -> None
+        in
+        check_bool "exact identity" true
+          (Mapping.equal ident (initial_of from_exact));
+        check_bool "olsq identity" true
+          (Mapping.equal ident (initial_of from_olsq));
+        check_bool "session identity" true
+          (Mapping.equal ident (initial_of from_session)));
+  ]
+
+let olsq_incremental_props =
+  [
+    QCheck.Test.make
+      ~name:"fresh and incremental verdicts agree at every bound" ~count:20
+      QCheck.(int_range 0 100_000)
+      (fun seed ->
+        let rng = Rng.create seed in
+        let n_gates = 2 + Rng.int rng 6 in
+        let c =
+          Random_circuit.uniform rng ~n_qubits:4 ~n_two_qubit:n_gates
+            ~single_ratio:0.2
+        in
+        let device =
+          if Rng.bool rng then Topologies.line 4 else Topologies.ring 4
+        in
+        let k_max = 3 in
+        let sess = Olsq.Incremental.create ~max_swaps:k_max device c in
+        List.for_all
+          (fun k ->
+            let fresh = Olsq.check ~swaps:k device c in
+            let incr = Olsq.Incremental.check sess ~swaps:k in
+            match (fresh, incr) with
+            | Olsq.Feasible a, Olsq.Feasible b ->
+                Verifier.is_valid a && Verifier.is_valid b
+                && Transpiled.swap_count a <= k
+                && Transpiled.swap_count b <= k
+            | Olsq.Infeasible, Olsq.Infeasible -> true
+            | _ -> false)
+          (List.init (k_max + 1) Fun.id));
+    QCheck.Test.make
+      ~name:"portfolio optimum equals the single-config optimum" ~count:10
+      QCheck.(int_range 0 100_000)
+      (fun seed ->
+        let rng = Rng.create seed in
+        let c =
+          Random_circuit.uniform rng ~n_qubits:4 ~n_two_qubit:(2 + Rng.int rng 5)
+            ~single_ratio:0.0
+        in
+        let device = Topologies.line 4 in
+        let raced = Olsq.race_minimum_swaps ~seeds:[ 0; 1; 2 ] device c in
+        match (raced.Olsq.value, Olsq.minimum_swaps device c) with
+        | Olsq.Optimal { swaps = a; _ }, Olsq.Optimal { swaps = b; _ } -> a = b
+        | _ -> false);
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Token swapping                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -909,6 +1043,9 @@ let () =
       ("exact-properties", List.map QCheck_alcotest.to_alcotest exact_props);
       ("olsq", olsq_tests);
       ("olsq-properties", List.map QCheck_alcotest.to_alcotest olsq_props);
+      ("olsq-incremental", olsq_incremental_tests);
+      ( "olsq-incremental-properties",
+        List.map QCheck_alcotest.to_alcotest olsq_incremental_props );
       ("token-swap", token_swap_tests);
       ("token-swap-properties", List.map QCheck_alcotest.to_alcotest token_swap_props);
       ("goldens", golden_tests);

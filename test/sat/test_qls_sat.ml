@@ -134,6 +134,124 @@ let basic_tests =
         check_bool "unknown" true (Solver.solve ~conflict_budget:1 s = Solver.Unknown));
   ]
 
+(* Incremental interface: clause addition between solves, assumptions,
+   unsat cores, budget flag, cumulative stats, seeded configurations. *)
+let incremental_tests =
+  [
+    test_case "add_clause after solve narrows the models" (fun () ->
+        let s = Solver.create 2 in
+        Solver.add_clause s [ 1; 2 ];
+        check_bool "sat" true (is_sat (Solver.solve s));
+        Solver.add_clause s [ -1 ];
+        check_bool "still sat" true (is_sat (Solver.solve s));
+        check_bool "v2 forced" true (Solver.value s 2);
+        check_bool "v1 false" false (Solver.value s 1);
+        Solver.add_clause s [ -2 ];
+        check_bool "now unsat" true (is_unsat (Solver.solve s));
+        check_bool "permanently unsat" true (is_unsat (Solver.solve s)));
+    test_case "assumptions hold for one call only" (fun () ->
+        let s = Solver.create 2 in
+        Solver.add_clause s [ 1; 2 ];
+        check_bool "sat under 1" true
+          (is_sat (Solver.solve ~assumptions:[ 1; -2 ] s));
+        check_bool "v1 assumed" true (Solver.value s 1);
+        check_bool "v2 assumed false" false (Solver.value s 2);
+        check_bool "sat under -1" true
+          (is_sat (Solver.solve ~assumptions:[ -1 ] s));
+        check_bool "v1 flipped" false (Solver.value s 1);
+        check_bool "v2 forced" true (Solver.value s 2);
+        (* nothing persisted: the unconstrained solve is still free *)
+        check_bool "sat unassumed" true (is_sat (Solver.solve s)));
+    test_case "falsified assumption yields a core, not root unsat" (fun () ->
+        let s = Solver.create 3 in
+        Solver.add_clause s [ -1; -2 ];
+        check_bool "unsat under 1,2" true
+          (is_unsat (Solver.solve ~assumptions:[ 1; 2; 3 ] s));
+        let core = Solver.unsat_core s in
+        check_bool "core nonempty" true (core <> []);
+        check_bool "core is a subset of the assumptions" true
+          (List.for_all (fun l -> List.mem l [ 1; 2; 3 ]) core);
+        check_bool "core avoids the irrelevant assumption" true
+          (not (List.mem 3 core));
+        (* the core alone must reproduce the refutation *)
+        check_bool "core sufficient" true
+          (is_unsat (Solver.solve ~assumptions:core s));
+        (* and the instance itself is still satisfiable *)
+        check_bool "sat without assumptions" true (is_sat (Solver.solve s));
+        check_bool "core cleared on sat" true (Solver.unsat_core s = []));
+    test_case "contradictory assumptions are unsat with both in core"
+      (fun () ->
+        let s = Solver.create 2 in
+        Solver.add_clause s [ 1; 2 ];
+        check_bool "unsat" true (is_unsat (Solver.solve ~assumptions:[ 1; -1 ] s));
+        let core = Solver.unsat_core s in
+        check_bool "core names the contradiction" true
+          (List.mem 1 core && List.mem (-1) core));
+    test_case "learned clauses persist across assumption solves" (fun () ->
+        (* pigeonhole 5 guarded by variable g: under assumption g the
+           instance is unsat and the refutation is learned as clauses over
+           the pigeonhole variables and g. A second identical solve reuses
+           them and must finish with strictly fewer conflicts. *)
+        let nv, clauses = pigeonhole 4 in
+        let g = nv + 1 in
+        let s = Solver.create (nv + 1) in
+        List.iter (fun c -> Solver.add_clause s (-g :: c)) clauses;
+        check_bool "unsat under g" true
+          (is_unsat (Solver.solve ~assumptions:[ g ] s));
+        let first_conflicts, _ = Solver.stats s in
+        check_bool "first solve searched" true (first_conflicts > 0);
+        check_bool "clauses were learned" true (Solver.learned s > 0);
+        check_bool "still unsat under g" true
+          (is_unsat (Solver.solve ~assumptions:[ g ] s));
+        let second_conflicts, _ = Solver.stats s in
+        check_bool "retained learning made the re-solve cheaper" true
+          (second_conflicts < first_conflicts);
+        check_bool "sat without g" true (is_sat (Solver.solve s));
+        check_bool "g deactivated" false (Solver.value s g));
+    test_case "budget exhaustion sets the explicit flag" (fun () ->
+        let nv, clauses = pigeonhole 6 in
+        let s = Solver.create nv in
+        List.iter (Solver.add_clause s) clauses;
+        check_bool "unknown" true
+          (Solver.solve ~conflict_budget:1 s = Solver.Unknown);
+        check_bool "flag set" true (Solver.budget_exhausted s);
+        let s2 = Solver.create 1 in
+        Solver.add_clause s2 [ 1 ];
+        check_bool "sat" true (is_sat (Solver.solve s2));
+        check_bool "flag clear on completion" false (Solver.budget_exhausted s2));
+    test_case "stats accumulate across solves" (fun () ->
+        let nv, clauses = pigeonhole 3 in
+        let g = nv + 1 in
+        let s = Solver.create (nv + 1) in
+        List.iter (fun c -> Solver.add_clause s (-g :: c)) clauses;
+        let sum_c = ref 0 and sum_d = ref 0 and sum_r = ref 0 and sum_l = ref 0 in
+        for _ = 1 to 3 do
+          ignore (Solver.solve ~assumptions:[ g ] s);
+          let c, d = Solver.stats s in
+          sum_c := !sum_c + c;
+          sum_d := !sum_d + d;
+          sum_r := !sum_r + Solver.restarts s;
+          sum_l := !sum_l + Solver.learned s
+        done;
+        check_bool "solves counted" true (Solver.solves s = 3);
+        check_bool "totals are the per-call sums" true
+          (Solver.total_stats s = (!sum_c, !sum_d, !sum_r, !sum_l)));
+    test_case "config_of_seed is deterministic with seed 0 as default"
+      (fun () ->
+        check_bool "seed 0 is the default" true
+          (Solver.config_of_seed 0 = Solver.default_config);
+        List.iter
+          (fun seed ->
+            let a = Solver.config_of_seed seed in
+            check_bool "pure function" true (a = Solver.config_of_seed seed);
+            check_bool "seed recorded" true (a.Solver.seed = seed);
+            check_bool "decay sane" true
+              (a.Solver.decay > 0.0 && a.Solver.decay < 1.0);
+            check_bool "restart base sane" true (a.Solver.restart_base > 0);
+            check_bool "growth sane" true (a.Solver.restart_growth > 1.0))
+          [ 1; 2; 3; 4; 17; 12345 ]);
+  ]
+
 (* Brute-force evaluator for cross-checking. *)
 let brute_sat nv clauses =
   let rec go assignment v =
@@ -174,11 +292,72 @@ let random_props =
         | Solver.Sat -> model_satisfies s clauses && brute_sat nv clauses
         | Solver.Unsat -> not (brute_sat nv clauses)
         | Solver.Unknown -> false);
+    QCheck.Test.make
+      ~name:"solving under assumptions matches adding them as units"
+      ~count:300
+      QCheck.(int_range 0 100_000)
+      (fun seed ->
+        let rng = Rng.create seed in
+        let nv = 4 + Rng.int rng 7 in
+        let n_clauses = 2 + Rng.int rng (4 * nv) in
+        let clauses =
+          List.init n_clauses (fun _ ->
+              List.init 3 (fun _ ->
+                  let v = 1 + Rng.int rng nv in
+                  if Rng.bool rng then v else -v))
+        in
+        let assumptions =
+          List.init
+            (Rng.int rng 4)
+            (fun _ ->
+              let v = 1 + Rng.int rng nv in
+              if Rng.bool rng then v else -v)
+        in
+        (* one incremental solver, queried twice (plain, then assumed) — the
+           assumed verdict must match a fresh solver with the assumptions
+           baked in as unit clauses *)
+        let s = Solver.create nv in
+        List.iter (Solver.add_clause s) clauses;
+        let plain = Solver.solve s in
+        let assumed = Solver.solve ~assumptions s in
+        let baked, baked_r =
+          solve_clauses nv (List.map (fun l -> [ l ]) assumptions @ clauses)
+        in
+        ignore baked;
+        is_sat assumed = is_sat baked_r
+        && is_unsat assumed = is_unsat baked_r
+        (* an assumption-unsat must expose a core drawn from assumptions *)
+        && (not (is_unsat assumed && is_sat plain)
+           || Solver.unsat_core s <> []
+              && List.for_all
+                   (fun l -> List.mem l assumptions)
+                   (Solver.unsat_core s)));
+    QCheck.Test.make
+      ~name:"diversified portfolio configs agree with brute force"
+      ~count:150
+      QCheck.(pair (int_range 0 50_000) (int_range 1 8))
+      (fun (seed, cfg_seed) ->
+        let rng = Rng.create seed in
+        let nv = 4 + Rng.int rng 6 in
+        let n_clauses = 2 + Rng.int rng (4 * nv) in
+        let clauses =
+          List.init n_clauses (fun _ ->
+              List.init 3 (fun _ ->
+                  let v = 1 + Rng.int rng nv in
+                  if Rng.bool rng then v else -v))
+        in
+        let s = Solver.create ~config:(Solver.config_of_seed cfg_seed) nv in
+        List.iter (Solver.add_clause s) clauses;
+        match Solver.solve s with
+        | Solver.Sat -> model_satisfies s clauses && brute_sat nv clauses
+        | Solver.Unsat -> not (brute_sat nv clauses)
+        | Solver.Unknown -> false);
   ]
 
 let () =
   Alcotest.run "qls_sat"
     [
       ("solver", basic_tests);
+      ("incremental", incremental_tests);
       ("random", List.map QCheck_alcotest.to_alcotest random_props);
     ]
