@@ -3,26 +3,35 @@
    Usage:
      dune exec bench/router_bench.exe                         default scale
      dune exec bench/router_bench.exe -- --quick              CI smoke scale
-     dune exec bench/router_bench.exe -- --out BENCH_router.json
+     dune exec bench/router_bench.exe -- --update             refresh baseline
+     dune exec bench/router_bench.exe -- --out FILE
      dune exec bench/router_bench.exe -- --check BENCH_router.json
      dune exec bench/router_bench.exe -- --runs N --tolerance 0.25
 
-   --check compares the fresh run against the committed baseline and
-   exits 1 on a >tolerance ns/gate regression or ANY increase in the
-   (deterministic) builds-per-round counters. *)
+   A plain run writes BENCH_router.fresh.json and never touches the
+   committed baseline; --update writes BENCH_router.json in place (at
+   quick scale unless --quick/--full is given, matching the recorded
+   baseline's mode) — commit the result when a deliberate perf change
+   moves the numbers. --check compares the fresh run against the
+   committed baseline and exits 1 on a >tolerance ns/gate regression or
+   ANY increase in the (deterministic) builds-per-round counters. *)
 
 module Core = Router_bench_core
 
+let baseline_file = "BENCH_router.json"
+
 let () =
   let scale = ref Core.Default in
-  let out = ref "BENCH_router.json" in
+  let scale_set = ref false in
+  let out = ref "BENCH_router.fresh.json" in
+  let update = ref false in
   let baseline = ref None in
   let runs = ref None in
   let tolerance = ref 0.25 in
   let usage () =
     prerr_endline
-      "usage: router_bench.exe [--quick | --full] [--out FILE] [--check \
-       BASELINE] [--runs N] [--tolerance FRAC]";
+      "usage: router_bench.exe [--quick | --full] [--update] [--out FILE] \
+       [--check BASELINE] [--runs N] [--tolerance FRAC]";
     exit 2
   in
   let argv = Sys.argv in
@@ -32,9 +41,14 @@ let () =
       match argv.(i) with
       | "--quick" ->
           scale := Core.Quick;
+          scale_set := true;
           parse (i + 1)
       | "--full" ->
           scale := Core.Full;
+          scale_set := true;
+          parse (i + 1)
+      | "--update" ->
+          update := true;
           parse (i + 1)
       | "--out" -> (
           match value i with
@@ -63,6 +77,10 @@ let () =
       | _ -> usage ()
   in
   parse 1;
+  if !update then begin
+    out := baseline_file;
+    if not !scale_set then scale := Core.Quick
+  end;
   let mode = Core.string_of_scale !scale in
   let runs =
     match !runs with Some n -> n | None -> Core.default_runs !scale

@@ -80,10 +80,11 @@ let depth_factors = function
 
 let designed_swaps = function Quick -> 3 | Default -> 5 | Full -> 5
 
-(* Best-of-N timing: even quick mode takes 3 runs per cell, because the
-   CI smoke gate is 25% and a single run of a tens-of-microseconds cell
-   jitters past that on a loaded runner. *)
-let default_runs = function Quick -> 3 | Default -> 3 | Full -> 5
+(* Best-of-N timing: quick mode takes 5 runs per cell, because the CI
+   smoke gate is 15% and a single run of a tens-of-microseconds cell
+   jitters past that on a loaded runner; best-of-N converges on the
+   noise floor as N grows. *)
+let default_runs = function Quick -> 5 | Default -> 3 | Full -> 5
 
 let instance_seed = 1
 
@@ -311,7 +312,11 @@ let check ~baseline ~tolerance entries =
             Hashtbl.replace ratios e.router
               (log (e.ns_per_gate /. b.ns_per_gate)
               :: (try Hashtbl.find ratios e.router with Not_found -> []));
-          if e.builds_per_round > b.builds_per_round +. 1e-9 then
+          (* The baseline file stores builds_per_round at 4 decimals, so
+             a fresh (exact) value can sit up to half an ulp above the
+             recorded one; the smallest genuine regression is one extra
+             build over the cell's rounds (>= ~1e-3), far above 1e-4. *)
+          if e.builds_per_round > b.builds_per_round +. 1e-4 then
             note
               "%s/%s/%dg: builds_per_round %.4f regressed from %.4f (deterministic — a code change reintroduced per-candidate recomputation)"
               e.router e.device e.gate_budget e.builds_per_round

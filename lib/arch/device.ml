@@ -4,9 +4,9 @@ module Vf2 = Qls_graph.Vf2
 
 type t = { name : string; graph : Graph.t; dist : Apsp.t }
 
-let create ~name g =
+let create ?(allow_disconnected = false) ~name g =
   if Graph.n_vertices g = 0 then invalid_arg "Device.create: empty graph";
-  if not (Graph.is_connected g) then
+  if (not allow_disconnected) && not (Graph.is_connected g) then
     invalid_arg (Printf.sprintf "Device.create: %S is disconnected" name);
   { name; graph = g; dist = Apsp.compute g }
 
@@ -15,6 +15,8 @@ let graph d = d.graph
 let n_qubits d = Graph.n_vertices d.graph
 let n_edges d = Graph.n_edges d.graph
 let distance d p p' = Apsp.dist d.dist p p'
+let distance_row d p = Apsp.row d.dist p
+let distance_matrix d = Apsp.matrix d.dist
 let diameter d = Apsp.diameter d.dist
 let coupled d p p' = Graph.mem_edge d.graph p p'
 let neighbors d p = Graph.neighbors d.graph p

@@ -8,10 +8,15 @@
 type t
 (** A device. *)
 
-val create : name:string -> Qls_graph.Graph.t -> t
+val create : ?allow_disconnected:bool -> name:string -> Qls_graph.Graph.t -> t
 (** [create ~name g] wraps a coupling graph.
     @raise Invalid_argument if [g] is disconnected or has no vertices —
-    QLS on a disconnected device is ill-posed. *)
+    QLS on a disconnected device is ill-posed. [~allow_disconnected:true]
+    skips only the connectivity check (for partial-device modelling and
+    for tests exercising the routers' typed rejection of disconnected
+    hardware); distances across components are {!Qls_graph.Apsp.unreachable},
+    and {!Qls_router.Route_state.create} refuses such a device with a
+    typed [Invalid_argument]. *)
 
 val name : t -> string
 (** Human-readable device name (e.g. ["aspen4"]). *)
@@ -26,7 +31,25 @@ val n_edges : t -> int
 (** Number of couplers. *)
 
 val distance : t -> int -> int -> int
-(** [distance d p p'] is the hop distance between physical qubits. *)
+(** [distance d p p'] is the hop distance between physical qubits.
+    Convenience accessor for cold paths; per-candidate router loops must
+    use {!distance_row} instead (lint rule [distance-in-loop] enforces
+    this). *)
+
+val distance_row : t -> int -> int array
+(** [distance_row d p] is the preallocated flat distance row of [p]:
+    [(distance_row d p).(p') = distance d p p'], zero-copy. Read-only —
+    the array aliases the device's APSP matrix and is shared by every
+    caller. Fetch the row once per scoring loop so the hot path is a
+    single array index per queried pair. *)
+
+val distance_matrix : t -> int array array
+(** [distance_matrix d] is the whole distance matrix,
+    [(distance_matrix d).(p).(p') = distance d p p']. Same read-only
+    aliasing contract as {!distance_row}, hoisted one level further: the
+    innermost router loops (SABRE/tket scoring, the A* excess deltas)
+    fetch it once per pass so a distance query is two array indexes with
+    no accessor call at all (DESIGN.md §14). *)
 
 val diameter : t -> int
 (** Coupling-graph diameter. *)

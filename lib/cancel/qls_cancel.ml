@@ -8,6 +8,7 @@ type token = {
   limit_ms : int;  (* the budget [expiry_ms] encodes, for error reports *)
   hb_ms : int Atomic.t;  (* last poll; supervisors read this *)
   halt : bool Atomic.t;  (* explicit cross-domain cancellation *)
+  parent : token option;  (* linked token this one fans out for *)
 }
 
 exception Expired of { elapsed_ms : int; limit_ms : int }
@@ -33,6 +34,7 @@ let none =
     limit_ms = 0;
     hb_ms = Atomic.make 0;
     halt = Atomic.make false;
+    parent = None;
   }
 
 let make ?deadline_ms () =
@@ -47,7 +49,26 @@ let make ?deadline_ms () =
     limit_ms = Option.value deadline_ms ~default:0;
     hb_ms = Atomic.make t0;
     halt = Atomic.make false;
+    parent = None;
   }
+
+(* A child mirrors the parent's absolute expiry (same [t0_ms]/[limit_ms],
+   so an [Expired] report reads identically from either) and keeps its
+   own cancellation flag; polls walk the parent chain, so cancelling the
+   parent stops every child while cancelling one child leaves its
+   siblings running. [child none] is [none]: with no ambient budget there
+   is nothing to propagate. *)
+let child t =
+  if t == none then none
+  else
+    {
+      t0_ms = t.t0_ms;
+      expiry_ms = t.expiry_ms;
+      limit_ms = t.limit_ms;
+      hb_ms = Atomic.make (now_ms ());
+      halt = Atomic.make false;
+      parent = Some t;
+    }
 
 (* [none] is shared by every tokenless domain, so cancelling it would poison
    unrelated work; treat it as uncancellable instead. *)
@@ -64,8 +85,14 @@ let with_token t f =
 let expire_check t =
   if t != none then begin
     let now = now_ms () in
-    Atomic.set t.hb_ms now;
-    if Atomic.get t.halt then raise Cancelled;
+    (* Stamp the whole chain: a supervisor watching the parent job sees
+       fanned-out children still making progress. *)
+    let rec stamp u =
+      Atomic.set u.hb_ms now;
+      if Atomic.get u.halt then raise Cancelled;
+      match u.parent with Some p -> stamp p | None -> ()
+    in
+    stamp t;
     match t.expiry_ms with
     | Some e when now >= e ->
         raise (Expired { elapsed_ms = now - t.t0_ms; limit_ms = t.limit_ms })
@@ -73,6 +100,7 @@ let expire_check t =
   end
 
 let poll () = expire_check (Domain.DLS.get key)
+let current () = Domain.DLS.get key
 let last_poll_ms t = Atomic.get t.hb_ms
 let created_ms t = t.t0_ms
 let deadline_ms t = if t.limit_ms = 0 then None else Some t.limit_ms

@@ -51,6 +51,20 @@ val with_token : token -> (unit -> 'a) -> 'a
     runs [f ()], and restores the previous ambient token (also on raise).
     Nesting is allowed; the innermost token wins. *)
 
+val current : unit -> token
+(** The calling domain's ambient token ({!none} when nothing is
+    installed). Work that fans out to other domains captures this and
+    hands each shard a {!child} of it — ambient tokens are domain-local,
+    so they do not cross a [Domain.spawn] on their own. *)
+
+val child : token -> token
+(** [child t] is a linked token for one shard of work running on [t]'s
+    behalf, typically on another domain. It mirrors [t]'s absolute
+    deadline (an expired parent budget expires every child, with the same
+    [elapsed]/[limit] report), and every {!poll} on the child also
+    heartbeats [t] and honours a {!cancel} of [t] — while {!cancel} on
+    the child stops that shard alone. [child none] is {!none}. *)
+
 val cancel : token -> unit
 (** Flag [t] as cancelled from any domain: the next {!poll} /
     {!expire_check} on it raises {!Cancelled}. Idempotent, never blocks,

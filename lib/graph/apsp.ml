@@ -11,6 +11,12 @@ let dist t u v =
     invalid_arg "Apsp.dist: vertex out of range";
   t.dist.(u).(v)
 
+let row t u =
+  if u < 0 || u >= t.n then invalid_arg "Apsp.row: vertex out of range";
+  t.dist.(u)
+
+let matrix t = t.dist
+
 let eccentricity t v =
   Array.fold_left (fun acc d -> if d = unreachable then acc else max acc d) 0 t.dist.(v)
 

@@ -44,6 +44,13 @@ let prog m p =
     invalid_arg (Printf.sprintf "Mapping.prog: bad physical qubit %d" p);
   if m.p2q.(p) < 0 then None else Some m.p2q.(p)
 
+let occupant m p =
+  if p < 0 || p >= m.n_physical then
+    invalid_arg (Printf.sprintf "Mapping.occupant: bad physical qubit %d" p);
+  m.p2q.(p)
+
+let phys_table m = m.q2p
+
 let to_array m = Array.copy m.q2p
 
 let swap_physical m p p' =
@@ -61,7 +68,17 @@ let swap_physical m p p' =
 let apply_swaps m swaps =
   List.fold_left (fun m (p, p') -> swap_physical m p p') m swaps
 
-let equal m m' = m.n_physical = m'.n_physical && m.q2p = m'.q2p
+(* Explicit int-array walk: the A* closed set calls this on every hash
+   hit, and the polymorphic compare it replaces paid a generic-compare
+   dispatch per element. *)
+let equal m m' =
+  m.n_physical = m'.n_physical
+  && Array.length m.q2p = Array.length m'.q2p
+  && (m.q2p == m'.q2p
+     ||
+     let n = Array.length m.q2p in
+     let rec go i = i >= n || (m.q2p.(i) = m'.q2p.(i) && go (i + 1)) in
+     go 0)
 
 let compose_program_perm m perm =
   if Array.length perm <> Array.length m.q2p then

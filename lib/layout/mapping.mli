@@ -33,6 +33,18 @@ val phys : t -> int -> int
 val prog : t -> int -> int option
 (** [prog m p] is the program qubit on physical qubit [p], if any. *)
 
+val occupant : t -> int -> int
+(** [occupant m p] is the program qubit on physical qubit [p], or [-1]
+    when the slot is empty. Allocation-free variant of {!prog} for inner
+    search loops (an [option] costs a box per call). *)
+
+val phys_table : t -> int array
+(** The program→physical table itself, zero-copy: [(phys_table m).(q) =
+    phys m q]. Read-only — the array is the mapping's own state (same
+    aliasing contract as {!Qls_graph.Apsp.row}; DESIGN.md §14). Hot
+    search loops fetch it once per expanded state so a position lookup
+    is one array index, not an accessor call with a bounds check. *)
+
 val to_array : t -> int array
 (** The program→physical table (fresh copy). *)
 

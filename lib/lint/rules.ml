@@ -595,6 +595,88 @@ let r7_check ctx structure =
   end
 
 (* ------------------------------------------------------------------ *)
+(* R8 — distance-in-loop                                               *)
+(* Scoped to the router layer (lib/router): [Device.distance] resolved
+   per candidate inside an iteration closure, a sort comparator, or a
+   while/for body repeats the APSP row lookup on every probe — the
+   pattern PR 9's hot-path rewrite removed from the scoring loops.
+   Hoist [Device.distance_row] (or [Device.distance_matrix]) out of the
+   loop and index the returned row directly; the accessors alias the
+   device's preallocated table, so the hoist is free. A genuinely
+   once-per-round lookup can carry a suppression saying so. *)
+
+let r8_scope file = contains_sub file "lib/router"
+
+(* Broader than R5's [iteration_fn]: a sort comparator runs O(n log n)
+   times and module-local folds (Graph.fold_edges) iterate too, so any
+   head whose final name starts with an iteration-shaped prefix counts. *)
+let r8_iteration_fn e =
+  match last_component e with
+  | Some name ->
+      List.exists
+        (fun pre ->
+          String.length name >= String.length pre
+          && String.equal (String.sub name 0 (String.length pre)) pre)
+        [
+          "iter"; "map"; "fold"; "filter"; "exists"; "for_all"; "find";
+          "concat_map"; "sort"; "partition";
+        ]
+  | None -> false
+
+let r8_check ctx structure =
+  if not (r8_scope ctx.file) then []
+  else begin
+    let findings = ref [] in
+    let add loc =
+      findings :=
+        Finding.of_location ~file:ctx.file ~rule:"distance-in-loop"
+          ~severity:Finding.Error loc
+          "Device.distance inside a per-candidate loop repeats the APSP \
+           row lookup on every probe; hoist Device.distance_row (or \
+           Device.distance_matrix) above the loop and index the row, or \
+           suppress with the reason the lookup is once-per-round"
+        :: !findings
+    in
+    let loop = ref 0 in
+    let in_loop f =
+      incr loop;
+      f ();
+      decr loop
+    in
+    let is_closure e =
+      match e.pexp_desc with
+      | Pexp_fun _ | Pexp_function _ -> true
+      | _ -> false
+    in
+    let rec expr_hook it e =
+      match e.pexp_desc with
+      | Pexp_while (cond, body) ->
+          in_loop (fun () ->
+              expr_hook it cond;
+              expr_hook it body)
+      | Pexp_for (_, lo, hi, _, body) ->
+          expr_hook it lo;
+          expr_hook it hi;
+          in_loop (fun () -> expr_hook it body)
+      | Pexp_apply (f, args) ->
+          (match ident_path f with
+          | Some [ "Device"; "distance" ] when !loop > 0 -> add e.pexp_loc
+          | _ -> ());
+          if r8_iteration_fn f then (
+            expr_hook it f;
+            List.iter
+              (fun (_, a) ->
+                if is_closure a then in_loop (fun () -> expr_hook it a)
+                else expr_hook it a)
+              args)
+          else Ast_iterator.default_iterator.expr it e
+      | _ -> Ast_iterator.default_iterator.expr it e
+    in
+    run_iterator expr_hook structure;
+    !findings
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [
@@ -649,6 +731,14 @@ let all =
          where all variation must derive from an explicit seed";
       severity = Finding.Error;
       check = r7_check;
+    };
+    {
+      name = "distance-in-loop";
+      summary =
+        "Device.distance resolved per candidate in a router loop instead \
+         of a hoisted distance_row/distance_matrix";
+      severity = Finding.Error;
+      check = r8_check;
     };
   ]
 

@@ -34,6 +34,29 @@ type options = {
 val default_options : options
 (** Lookahead 0.5, budget 10k. *)
 
+(** The A* closed set: collision-free at every device size. The
+    pre-rewrite key truncated each physical index to one byte, so on
+    devices with more than 256 physical qubits distinct mappings
+    collided and live search states were silently pruned. Keys are now
+    an incrementally-maintained Zobrist hash verified against the stored
+    mappings. Exposed so the >256-qubit collision regression test can
+    probe the key discipline directly. *)
+module Closed : sig
+  type t
+
+  val create : n_prog:int -> n_phys:int -> t
+  (** Fresh closed set for mappings of [n_prog] program qubits onto
+      [n_phys] physical qubits. Deterministic: same dimensions, same
+      keys. *)
+
+  val add : t -> Qls_layout.Mapping.t -> bool
+  (** [add t m] inserts [m]; [true] iff it was not already present.
+      Distinct mappings are never conflated, whatever the device size. *)
+
+  val mem : t -> Qls_layout.Mapping.t -> bool
+  (** Membership, exact. *)
+end
+
 val route :
   ?options:options ->
   ?initial:Qls_layout.Mapping.t ->

@@ -137,7 +137,8 @@ let weighted_cost device circuit mapping =
   (* lint: nondet-source — integer sum; commutative, order-insensitive *)
   Hashtbl.fold
     (fun (u, v) w acc ->
-      acc + (w * Device.distance device (Mapping.phys mapping u) (Mapping.phys mapping v)))
+      acc
+      + (w * (Device.distance_row device (Mapping.phys mapping u)).(Mapping.phys mapping v)))
     g.Wgraph.weights 0
 
 (* Greedy weighted placement of a (coarse) graph onto the device. *)
@@ -157,9 +158,10 @@ let greedy_place rng device (g : Wgraph.t) =
       let best = ref None in
       for p = 0 to n_phys - 1 do
         if not taken.(p) then begin
+          let row = Device.distance_row device p in
           let cost =
             List.fold_left
-              (fun acc (u, w) -> acc + (w * Device.distance device p anchor.(u)))
+              (fun acc (u, w) -> acc + (w * row.(anchor.(u))))
               0 placed
           in
           let key = (cost, -Device.degree device p, Rng.int rng 1_000_000) in
@@ -185,13 +187,12 @@ let refine device (g : Wgraph.t) anchor taken ~sweeps =
   let delta_for v new_p =
     (* Cost change of moving vertex v to physical new_p (assumed free or
        holding a vertex that simultaneously moves to v's spot). *)
+    let row_new = Device.distance_row device new_p in
+    let row_old = Device.distance_row device anchor.(v) in
     List.fold_left
       (fun acc (u, w) ->
         if u = v then acc
-        else
-          acc
-          + (w * (Device.distance device new_p anchor.(u)
-                  - Device.distance device anchor.(v) anchor.(u))))
+        else acc + (w * (row_new.(anchor.(u)) - row_old.(anchor.(u)))))
       0 (Wgraph.neighbors g v)
   in
   for _ = 1 to sweeps do
@@ -207,25 +208,21 @@ let refine device (g : Wgraph.t) anchor taken ~sweeps =
               else begin
                 (* Swap v and u; account for their mutual edge exactly by
                    evaluating the cost difference directly. *)
-                let before =
+                let pair_cost () =
+                  let row_v = Device.distance_row device anchor.(v) in
+                  let row_u = Device.distance_row device anchor.(u) in
                   List.fold_left
-                    (fun acc (x, w) -> acc + (w * Device.distance device anchor.(v) anchor.(x)))
+                    (fun acc (x, w) -> acc + (w * row_v.(anchor.(x))))
                     0 (Wgraph.neighbors g v)
                   + List.fold_left
-                      (fun acc (x, w) -> acc + (w * Device.distance device anchor.(u) anchor.(x)))
+                      (fun acc (x, w) -> acc + (w * row_u.(anchor.(x))))
                       0 (Wgraph.neighbors g u)
                 in
+                let before = pair_cost () in
                 let av = anchor.(v) and au = anchor.(u) in
                 anchor.(v) <- au;
                 anchor.(u) <- av;
-                let after =
-                  List.fold_left
-                    (fun acc (x, w) -> acc + (w * Device.distance device anchor.(v) anchor.(x)))
-                    0 (Wgraph.neighbors g v)
-                  + List.fold_left
-                      (fun acc (x, w) -> acc + (w * Device.distance device anchor.(u) anchor.(x)))
-                      0 (Wgraph.neighbors g u)
-                in
+                let after = pair_cost () in
                 anchor.(v) <- av;
                 anchor.(u) <- au;
                 after - before

@@ -43,10 +43,9 @@ let degree_greedy rng device circuit =
     in
     let candidates = List.filter (fun p -> not taken.(p)) (List.init n_phys Fun.id) in
     let score p =
+      let row = Device.distance_row device p in
       let dist_sum =
-        List.fold_left
-          (fun acc q' -> acc + Device.distance device p assignment.(q'))
-          0 placed_partners
+        List.fold_left (fun acc q' -> acc + row.(assignment.(q'))) 0 placed_partners
       in
       (* Lower is better: distance first, then prefer high physical degree
          (negated), then a random jitter for tie diversity. *)
@@ -72,7 +71,8 @@ let degree_greedy rng device circuit =
 
 let spread_cost device circuit mapping =
   let inter = Interaction.of_circuit circuit in
+  let dmat = Device.distance_matrix device in
   Graph.fold_edges
     (fun q q' acc ->
-      acc + Device.distance device (Mapping.phys mapping q) (Mapping.phys mapping q') - 1)
+      acc + dmat.(Mapping.phys mapping q).(Mapping.phys mapping q') - 1)
     inter 0

@@ -40,15 +40,27 @@ module Debug : sig
     extended_set_builds : int;
     remaining_layers_builds : int;
     swap_candidate_scans : int;
+    phys_front_scanned : int;
+        (** physical-front entries examined across all
+            {!swap_candidates} calls. The active set is delta-maintained,
+            so this totals the {e front sizes}, not
+            [scans * n_qubits] — the regression tests pin the gap. *)
   }
 
   val reset : unit -> unit
   (** Zero all counters. *)
 
   val counters : unit -> counters
-  (** Current counts since the last {!reset}. A correctly hoisted router
-      performs at most one [extended_set_builds] (resp.
-      [remaining_layers_builds]) per [swap_candidate_scans]. *)
+  (** Current counts since the last {!reset}. The build counters count
+      {e rebuilds} (cache misses), not calls: {!extended_set} and
+      {!remaining_layers} results are cached across rounds whose
+      {!advance} emitted nothing (SWAP-only rounds leave the front — and
+      hence both structures — unchanged), so a correctly hoisted router
+      sees at most one [extended_set_builds] (resp.
+      [remaining_layers_builds]) per {e front change}, which is at most
+      one per [swap_candidate_scans] and typically far fewer. A
+      delta-maintained state likewise keeps [phys_front_scanned] far
+      below [swap_candidate_scans * n_qubits]. *)
 end
 
 val create :
@@ -56,7 +68,12 @@ val create :
   source:Qls_circuit.Circuit.t ->
   initial:Qls_layout.Mapping.t ->
   t
-(** Fresh state; no gates are emitted yet (call {!advance}). *)
+(** Fresh state; no gates are emitted yet (call {!advance}).
+    @raise Invalid_argument if the mapping sizes disagree with the circuit
+    or device, or if the device's coupling graph is disconnected — routing
+    across components is ill-posed, and failing here (typed, at the
+    boundary) replaces the crashes the routers used to hit mid-round
+    ([failwith "no progress"], [Rng.pick] on an empty candidate list). *)
 
 val device : t -> Qls_arch.Device.t
 (** The target device. *)
@@ -111,23 +128,30 @@ val force_route_first : t -> unit
 val swap_candidates : t -> (int * int) list
 (** Couplers touching at least one physical qubit that currently holds a
     front-layer program qubit — the standard SWAP candidate set, in
-    canonical ({!Qls_arch.Device.edges}) order. The physical front is
-    tracked incrementally across {!advance}/{!apply_swap}, so this costs
-    O(couplers incident to the front), not O(all couplers). Round-
-    invariant: build once per routing round. *)
+    canonical ({!Qls_arch.Device.edges}) order. The physical front is an
+    active {e set} delta-maintained across {!advance}/{!apply_swap}, so
+    this costs O(front qubits + couplers incident to the front) — it
+    never re-scans the per-qubit count array, which on a 127-qubit device
+    dominated small-front rounds. Round-invariant: build once per routing
+    round. *)
 
 val extended_set : t -> size:int -> int list
 (** The SABRE "extended set": up to [size] DAG vertices following the
     front layer, collected breadth-first through the successor relation
     (nearer successors first). Round-invariant: build once per round and
-    share it across every candidate scored that round. *)
+    share it across every candidate scored that round. The result is
+    additionally cached inside the state, keyed on (front generation,
+    [size]): SWAP-only rounds never change the front, so consecutive
+    blocked rounds reuse the list and only an {!advance} that emitted
+    gates forces a rebuild (DESIGN.md §14). *)
 
 val remaining_layers : t -> max_layers:int -> int list list
 (** ASAP timeslices of the not-yet-emitted two-qubit gates, starting from
     the current front layer, capped at [max_layers] slices. This is the
     lookahead structure of the t|ket⟩-style router. Round-invariant:
     build once per round and share it across every candidate scored that
-    round. *)
+    round. Cached across SWAP-only rounds exactly like {!extended_set},
+    keyed on (front generation, [max_layers]). *)
 
 val front_pairs_physical : t -> (int * int) list
 (** Physical qubit pairs of the front-layer gates. *)

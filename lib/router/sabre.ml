@@ -45,63 +45,93 @@ let tied ~opts s best =
 
 let with_trials trials opts = { opts with trials }
 
+(* Option validation at the [route] boundary. A NaN weight is the nasty
+   one: every score comparison involving it is false, so the router
+   silently degenerates to first-candidate selection and produces a
+   plausible-looking but garbage routing. Rejecting up front turns that
+   class of misconfiguration into a typed error at the call site. *)
+let validate_options opts =
+  let check_weight name v =
+    if Float.is_nan v then
+      invalid_arg (Printf.sprintf "Sabre.route: %s is NaN" name);
+    if v < 0.0 then
+      invalid_arg (Printf.sprintf "Sabre.route: %s is negative (%g)" name v)
+  in
+  check_weight "extended_set_weight" opts.extended_set_weight;
+  check_weight "decay_increment" opts.decay_increment;
+  (match opts.lookahead_decay with
+  | Some gamma -> check_weight "lookahead_decay" gamma
+  | None -> ());
+  if opts.decay_reset_interval < 1 then
+    invalid_arg
+      (Printf.sprintf "Sabre.route: decay_reset_interval %d < 1 (decay would never reset)"
+         opts.decay_reset_interval);
+  if opts.extended_set_size < 0 then
+    invalid_arg
+      (Printf.sprintf "Sabre.route: extended_set_size %d < 0"
+         opts.extended_set_size)
+
 type decision = {
   front_gates : (int * int) list;
   candidates : ((int * int) * float) list;
   chosen : int * int;
 }
 
-(* Physical distance of program pair (a, b) if the contents of physical
-   qubits p and p' were exchanged. *)
-let dist_after_swap device mapping p p' a b =
-  let reloc x =
-    let px = Mapping.phys mapping x in
-    if px = p then p' else if px = p' then p else px
+(* [front_phys] / [extended_phys] are the round's front layer and extended
+   set projected to physical pairs and packed flat
+   ([|pa0; pb0; pa1; pb1; ...|]), hoisted by the caller: both are
+   round-invariant ({!Route_state} docs), so building them here — once per
+   {e candidate} — would redo identical Dag/Mapping queries |candidates|
+   times per round. [dmat] is the device distance matrix
+   ({!Device.distance_matrix}), hoisted once per pass: each queried pair
+   relocates its endpoints through the pending (p, p') exchange and pays
+   two array indexes, with no accessor call and no tuple traversal in the
+   innermost loop (DESIGN.md §14). The basic term accumulates in exact
+   integer arithmetic (hop distances are small ints, so the sum is
+   float-exact and bit-identical to the historical float fold the goldens
+   pin); the weighted lookahead keeps the historical float accumulation
+   order. *)
+let score_swap ~opts ~dmat ~decay ~front_phys ~extended_phys (p, p') =
+  let sum_pairs pairs =
+    let sum = ref 0 in
+    let i = ref 0 in
+    let stop = Array.length pairs in
+    while !i < stop do
+      let pa = pairs.(!i) and pb = pairs.(!i + 1) in
+      let ra = if pa = p then p' else if pa = p' then p else pa in
+      let rb = if pb = p then p' else if pb = p' then p else pb in
+      sum := !sum + dmat.(ra).(rb);
+      i := !i + 2
+    done;
+    !sum
   in
-  Device.distance device (reloc a) (reloc b)
-
-(* [extended] is the round's extended set, hoisted by the caller:
-   {!Route_state.extended_set} is round-invariant, so building it here —
-   once per {e candidate} — would redo the identical BFS
-   |candidates| times per round (the recomputation bug this refactor
-   removed). *)
-let score_swap ~opts ~st ~decay ~extended (p, p') =
-  let device = Route_state.device st in
-  let dag = Route_state.dag st in
-  let mapping = Route_state.mapping st in
-  let front = Route_state.front st in
   let basic =
-    List.fold_left
-      (fun acc v ->
-        let a, b = Dag.pair dag v in
-        acc +. float_of_int (dist_after_swap device mapping p p' a b))
-      0.0 front
-    /. float_of_int (max 1 (List.length front))
+    let n = Array.length front_phys / 2 in
+    float_of_int (sum_pairs front_phys) /. float_of_int (max 1 n)
   in
   let lookahead =
-    match extended with
-    | [] -> 0.0
-    | _ ->
-        let acc = ref 0.0 and wsum = ref 0.0 in
-        List.iteri
-          (fun k v ->
-            let a, b = Dag.pair dag v in
-            let w =
-              match opts.lookahead_decay with
-              | None -> 1.0
-              | Some gamma -> gamma ** float_of_int k
-            in
-            acc :=
-              !acc +. (w *. float_of_int (dist_after_swap device mapping p p' a b));
-            wsum := !wsum +. w)
-          extended;
-        (* Stock SABRE divides the extended-set cost by |E| (each lookahead
-           gate weighted equally — exactly the behaviour the paper's case
-           study exposes); with lookahead decay we normalise by the weight
-           mass instead so magnitudes stay comparable. *)
-        (match opts.lookahead_decay with
-        | None -> !acc /. float_of_int (List.length extended)
-        | Some _ -> if !wsum > 0.0 then !acc /. !wsum else 0.0)
+    let n = Array.length extended_phys / 2 in
+    if n = 0 then 0.0
+    else
+      match opts.lookahead_decay with
+      | None ->
+          (* Stock SABRE divides the extended-set cost by |E| (each
+             lookahead gate weighted equally — exactly the behaviour the
+             paper's case study exposes). *)
+          float_of_int (sum_pairs extended_phys) /. float_of_int n
+      | Some gamma ->
+          (* With lookahead decay we normalise by the weight mass instead
+             so magnitudes stay comparable. *)
+          let acc = ref 0.0 and wsum = ref 0.0 in
+          for k = 0 to n - 1 do
+            let pa = extended_phys.(2 * k) and pb = extended_phys.((2 * k) + 1) in
+            let ra = if pa = p then p' else if pa = p' then p else pa in
+            let rb = if pb = p then p' else if pb = p' then p else pb in
+            let w = gamma ** float_of_int k in
+            acc := !acc +. (w *. float_of_int dmat.(ra).(rb));
+            wsum := !wsum +. w
+          done;
+          if !wsum > 0.0 then !acc /. !wsum else 0.0
   in
   let decay_factor = Float.max decay.(p) decay.(p') in
   decay_factor *. (basic +. (opts.extended_set_weight *. lookahead))
@@ -114,6 +144,8 @@ let obs_gates = lazy (Qls_obs.counter "router.gates")
 let routing_pass ~opts ~rng ~trace ~device ~initial circuit =
   let st = Route_state.create ~device ~source:circuit ~initial in
   let n_phys = Device.n_qubits device in
+  let dmat = Device.distance_matrix device in
+  let dag = Route_state.dag st in
   let decay = Array.make n_phys 1.0 in
   let decisions = ref [] in
   let rounds_since_reset = ref 0 in
@@ -144,35 +176,60 @@ let routing_pass ~opts ~rng ~trace ~device ~initial circuit =
       let extended =
         Route_state.extended_set st ~size:opts.extended_set_size
       in
+      (* Project the round-invariant structures to flat physical-pair
+         arrays once per round: scoring then touches no Dag/Mapping
+         accessor (and chases no list links) at all. *)
+      let mapping = Route_state.mapping st in
+      let pack vs =
+        let n = List.length vs in
+        let arr = Array.make (2 * n) 0 in
+        List.iteri
+          (fun i v ->
+            let a, b = Dag.pair dag v in
+            arr.(2 * i) <- Mapping.phys mapping a;
+            arr.((2 * i) + 1) <- Mapping.phys mapping b)
+          vs;
+        arr
+      in
+      let front_phys = pack (Route_state.front st) in
+      let extended_phys = pack extended in
       let scored =
         List.map
-          (fun sw -> (sw, score_swap ~opts ~st ~decay ~extended sw))
+          (fun sw ->
+            (sw, score_swap ~opts ~dmat ~decay ~front_phys ~extended_phys sw))
           candidates
       in
       let best_score =
         List.fold_left (fun acc (_, s) -> Float.min acc s) infinity scored
       in
       let ties = List.filter (fun (_, s) -> tied ~opts s best_score) scored in
-      let chosen, _ = Rng.pick rng ties in
-      if trace then begin
-        let dag = Route_state.dag st in
-        let front_gates =
-          List.map (fun v -> Dag.pair dag v) (List.sort Int.compare (Route_state.front st))
-        in
-        let sorted =
-          List.sort (fun (_, s) (_, s') -> Float.compare s s') scored
-        in
-        decisions := { front_gates; candidates = sorted; chosen } :: !decisions
-      end;
-      let p, p' = chosen in
-      Route_state.apply_swap st p p';
-      decay.(p) <- decay.(p) +. opts.decay_increment;
-      decay.(p') <- decay.(p') +. opts.decay_increment;
-      incr rounds_since_reset;
-      if !rounds_since_reset >= opts.decay_reset_interval then begin
-        Array.fill decay 0 n_phys 1.0;
-        rounds_since_reset := 0
-      end
+      match ties with
+      | [] ->
+          (* Unreachable on a validated (connected) device — every front
+             qubit has at least one coupler, so the candidate list is
+             never empty and scores are finite. Kept total anyway: fall
+             back to the release valve instead of [Rng.pick] on []. *)
+          Route_state.force_route_first st
+      | _ ->
+          let chosen, _ = Rng.pick rng ties in
+          if trace then begin
+            let front_gates =
+              List.map (fun v -> Dag.pair dag v) (List.sort Int.compare (Route_state.front st))
+            in
+            let sorted =
+              List.sort (fun (_, s) (_, s') -> Float.compare s s') scored
+            in
+            decisions := { front_gates; candidates = sorted; chosen } :: !decisions
+          end;
+          let p, p' = chosen in
+          Route_state.apply_swap st p p';
+          decay.(p) <- decay.(p) +. opts.decay_increment;
+          decay.(p') <- decay.(p') +. opts.decay_increment;
+          incr rounds_since_reset;
+          if !rounds_since_reset >= opts.decay_reset_interval then begin
+            Array.fill decay 0 n_phys 1.0;
+            rounds_since_reset := 0
+          end
     end;
     let emitted = Route_state.advance st in
     if traced then
@@ -217,38 +274,79 @@ let run_trial ~opts ~rng ~trace ~device ~initial circuit =
   done;
   routing_pass ~opts ~rng ~trace ~device ~initial:!mapping circuit
 
-let route ?(options = default_options) ?initial device circuit =
+(* One complete trial, self-contained: the rng is derived from
+   (seed, trial) alone and the initial placement from that rng, so a
+   trial's result is a pure function of its index — the property that
+   lets the parallel path below reproduce the sequential loop bit for
+   bit. *)
+let run_one ~opts ~traced ~device ~initial circuit trial =
+  let rng = Rng.create ((opts.seed * 1_000_003) + trial) in
+  let start =
+    match initial with
+    | Some m -> m
+    | None -> Placement.random rng device circuit
+  in
+  let sp =
+    if traced then Qls_obs.start ~site:"router" "sabre.trial" else Qls_obs.none
+  in
+  let result, _ = run_trial ~opts ~rng ~trace:false ~device ~initial:start circuit in
+  let swaps = Transpiled.swap_count result in
+  if traced then
+    Qls_obs.stop sp
+      ~attrs:[ ("trial", Qls_obs.Int trial); ("swaps", Qls_obs.Int swaps) ];
+  (result, swaps)
+
+let route ?(options = default_options) ?jobs ?initial device circuit =
   let opts = options in
+  validate_options opts;
   let n_trials = max 1 opts.trials in
-  let best = ref None in
   let traced = Qls_obs.enabled () in
-  for trial = 0 to n_trials - 1 do
-    let rng = Rng.create ((opts.seed * 1_000_003) + trial) in
-    let start =
-      match initial with
-      | Some m -> m
-      | None -> Placement.random rng device circuit
-    in
-    let sp =
-      if traced then Qls_obs.start ~site:"router" "sabre.trial"
-      else Qls_obs.none
-    in
-    let result, _ = run_trial ~opts ~rng ~trace:false ~device ~initial:start circuit in
-    let swaps = Transpiled.swap_count result in
-    if traced then
-      Qls_obs.stop sp
-        ~attrs:
-          [ ("trial", Qls_obs.Int trial); ("swaps", Qls_obs.Int swaps) ];
-    match !best with
-    | Some (_, best_swaps) when best_swaps <= swaps -> ()
-    | Some _ | None -> best := Some (result, swaps)
-  done;
-  match !best with
+  let results =
+    if n_trials = 1 then
+      (* Single trial runs inline: no domains, no tokens — the
+         bench/serve hot path is unchanged. *)
+      [| run_one ~opts ~traced ~device ~initial circuit 0 |]
+    else begin
+      (* Trials are independent, so they fan out across domains
+         ([Pool.run ~jobs:1] degenerates to the historical inline loop —
+         the equivalence property races that against the parallel
+         default). Each shard runs under its own child of the caller's
+         ambient cancellation token: ambient tokens are domain-local, so
+         without the explicit hand-off a deadline set by a serve request
+         or a campaign watchdog would silently stop applying inside the
+         fan-out. Results come back in trial order regardless of
+         completion order. *)
+      let parent = Qls_cancel.current () in
+      let jobs =
+        match jobs with
+        | Some j -> max 1 j
+        | None -> min n_trials (Qls_harness.Pool.recommended_jobs ())
+      in
+      Qls_harness.Pool.run ~jobs
+        ~f:(fun trial () ->
+          Qls_cancel.with_token (Qls_cancel.child parent) (fun () ->
+              run_one ~opts ~traced ~device ~initial circuit trial))
+        (Array.make n_trials ())
+    end
+  in
+  (* Left fold over trial order, earlier trial winning ties — exactly the
+     historical sequential selection, so parallel and sequential routing
+     agree byte for byte (the property test pins this). *)
+  let best =
+    Array.fold_left
+      (fun acc ((_, swaps) as cand) ->
+        match acc with
+        | Some (_, best_swaps) when best_swaps <= swaps -> acc
+        | Some _ | None -> Some cand)
+      None results
+  in
+  match best with
   | Some (result, _) -> result
   | None -> assert false
 
 let route_traced ?(options = default_options) ?initial device circuit =
   let opts = options in
+  validate_options opts;
   let rng = Rng.create (opts.seed * 1_000_003) in
   let start =
     match initial with

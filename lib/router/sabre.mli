@@ -60,12 +60,34 @@ val with_trials : int -> options -> options
 
 val route :
   ?options:options ->
+  ?jobs:int ->
   ?initial:Qls_layout.Mapping.t ->
   Qls_arch.Device.t ->
   Qls_circuit.Circuit.t ->
   Qls_layout.Transpiled.t
 (** Run SABRE. When [initial] is given, trials keep that placement fixed
-    and only randomise tie-breaking (router-only evaluation mode). *)
+    and only randomise tie-breaking (router-only evaluation mode).
+
+    With [trials > 1] the trials run in parallel on a
+    {!Qls_harness.Pool} of domains (single-trial routing stays inline and
+    spawns nothing). [jobs] caps the worker domains (clamped to [>= 1];
+    default [min trials (Pool.recommended_jobs ())]; [~jobs:1] runs the
+    trials inline on the calling domain). Each trial's RNG stream and
+    initial placement are functions of [(seed, trial)] alone and the best
+    result is selected by a fold in trial order (earlier trial wins
+    SWAP-count ties), so the routed circuit is byte-identical to the
+    historical sequential loop at any parallelism. Each trial runs under a {!Qls_cancel.child} of the
+    caller's ambient token: deadlines and cancellation propagate into the
+    fan-out, and trial heartbeats keep the parent token live.
+
+    Options are validated on entry: NaN or negative
+    [extended_set_weight] / [decay_increment] / [lookahead_decay], a
+    [decay_reset_interval < 1] or a negative [extended_set_size] raise
+    [Invalid_argument] instead of silently corrupting SWAP scoring (a NaN
+    weight makes every comparison false, degrading selection to
+    first-candidate with no error anywhere).
+
+    @raise Invalid_argument on invalid [options]. *)
 
 val router : ?options:options -> unit -> Router.t
 (** Package as a {!Router.t} named ["sabre"] (or ["sabre-decay"] when

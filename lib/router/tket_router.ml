@@ -30,31 +30,31 @@ let tied ~opts s best =
     Float.abs (s -. best) <= 1e-9 *. Float.max 1.0 best
   else s <= best +. 1e-12
 
-let dist_after_swap device mapping p p' a b =
-  let reloc x =
-    let px = Mapping.phys mapping x in
-    if px = p then p' else if px = p' then p else px
-  in
-  Device.distance device (reloc a) (reloc b)
-
-(* [layers] is the round's slice lookahead, hoisted by the caller:
-   {!Route_state.remaining_layers} is round-invariant (and simulates the
-   whole lookahead window), so rebuilding it per candidate multiplied the
-   round cost by |candidates| for no change in the result. *)
-let score_swap ~opts ~st ~layers (p, p') =
-  let device = Route_state.device st in
-  let dag = Route_state.dag st in
-  let mapping = Route_state.mapping st in
+(* [layers_phys] is the round's slice lookahead projected to flat
+   physical-pair arrays (one [|pa0; pb0; ...|] per slice), hoisted by the
+   caller: {!Route_state.remaining_layers} is round-invariant (and
+   simulates the whole lookahead window), so rebuilding it per candidate
+   multiplied the round cost by |candidates| for no change in the result.
+   [dmat] is the hoisted {!Device.distance_matrix} (DESIGN.md §14): each
+   queried pair relocates its endpoints through the pending (p, p')
+   exchange and pays two array indexes. The float accumulation order
+   matches the historical per-vertex traversal, so scores stay
+   bit-identical. *)
+let score_swap ~opts ~dmat ~layers_phys (p, p') =
   let total = ref 0.0 in
   List.iteri
     (fun k layer ->
       let w = opts.slice_discount ** float_of_int k in
-      List.iter
-        (fun v ->
-          let a, b = Dag.pair dag v in
-          total := !total +. (w *. float_of_int (dist_after_swap device mapping p p' a b)))
-        layer)
-    layers;
+      let i = ref 0 in
+      let stop = Array.length layer in
+      while !i < stop do
+        let pa = layer.(!i) and pb = layer.(!i + 1) in
+        let ra = if pa = p then p' else if pa = p' then p else pa in
+        let rb = if pb = p then p' else if pb = p' then p else pb in
+        total := !total +. (w *. float_of_int dmat.(ra).(rb));
+        i := !i + 2
+      done)
+    layers_phys;
   !total
 
 (* Same registry names as Sabre's — the obs registry hands back one
@@ -74,6 +74,8 @@ let route ?(options = default_options) ?initial device circuit =
         | None -> Placement.degree_greedy rng device circuit)
   in
   let st = Route_state.create ~device ~source:circuit ~initial:start in
+  let dmat = Device.distance_matrix device in
+  let dag = Route_state.dag st in
   let stuck = ref 0 in
   let traced = Qls_obs.enabled () in
   let pass_sp =
@@ -97,13 +99,36 @@ let route ?(options = default_options) ?initial device circuit =
       let layers =
         Route_state.remaining_layers st ~max_layers:opts.lookahead_slices
       in
+      let mapping = Route_state.mapping st in
+      let layers_phys =
+        List.map
+          (fun layer ->
+            let n = List.length layer in
+            let arr = Array.make (2 * n) 0 in
+            List.iteri
+              (fun i v ->
+                let a, b = Dag.pair dag v in
+                arr.(2 * i) <- Mapping.phys mapping a;
+                arr.((2 * i) + 1) <- Mapping.phys mapping b)
+              layer;
+            arr)
+          layers
+      in
       let scored =
-        List.map (fun sw -> (sw, score_swap ~opts ~st ~layers sw)) candidates
+        List.map
+          (fun sw -> (sw, score_swap ~opts ~dmat ~layers_phys sw))
+          candidates
       in
       let best = List.fold_left (fun acc (_, s) -> Float.min acc s) infinity scored in
       let ties = List.filter (fun (_, s) -> tied ~opts s best) scored in
-      let (p, p'), _ = Rng.pick rng ties in
-      Route_state.apply_swap st p p'
+      match ties with
+      | [] ->
+          (* Unreachable on a validated (connected) device; kept total
+             rather than [Rng.pick]-crashing on []. *)
+          Route_state.force_route_first st
+      | _ ->
+          let (p, p'), _ = Rng.pick rng ties in
+          Route_state.apply_swap st p p'
     end;
     let emitted = Route_state.advance st in
     if traced then

@@ -52,9 +52,11 @@ let happy_swaps device mapping ~target =
     done
   in
   let gain (x, y) =
-    let d_of src dst = if dst < 0 then 0 else Device.distance device src dst in
-    let before = d_of x dest.(x) + d_of y dest.(y) in
-    let after = d_of y dest.(x) + d_of x dest.(y) in
+    let row_x = Device.distance_row device x in
+    let row_y = Device.distance_row device y in
+    let d_of row dst = if dst < 0 then 0 else row.(dst) in
+    let before = d_of row_x dest.(x) + d_of row_y dest.(y) in
+    let after = d_of row_y dest.(x) + d_of row_x dest.(y) in
     before - after
   in
   let swaps = ref [] in

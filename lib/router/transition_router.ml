@@ -14,22 +14,24 @@ let choose_targets rng device mapping front_pairs =
   let couplers = Array.of_list (Device.edges device) in
   let used = Array.make (Device.n_qubits device) false in
   let assignments = ref [] in
+  let dmat = Device.distance_matrix device in
   let pairs =
     List.sort
       (fun (a, b) (a', b') ->
-        let d (x, y) = Device.distance device (Mapping.phys mapping x) (Mapping.phys mapping y) in
+        let d (x, y) = dmat.(Mapping.phys mapping x).(Mapping.phys mapping y) in
         Int.compare (d (a', b')) (d (a, b)))
       front_pairs
   in
   List.iter
     (fun (a, b) ->
       let pa = Mapping.phys mapping a and pb = Mapping.phys mapping b in
+      let row_a = dmat.(pa) and row_b = dmat.(pb) in
       let best = ref None in
       Array.iter
         (fun (x, y) ->
           if (not used.(x)) && not used.(y) then begin
-            let cost_xy = Device.distance device pa x + Device.distance device pb y in
-            let cost_yx = Device.distance device pa y + Device.distance device pb x in
+            let cost_xy = row_a.(x) + row_b.(y) in
+            let cost_yx = row_a.(y) + row_b.(x) in
             let cost, oriented =
               if cost_xy <= cost_yx then (cost_xy, (x, y)) else (cost_yx, (y, x))
             in

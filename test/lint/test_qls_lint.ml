@@ -123,6 +123,28 @@ let rule_tests =
         check_int "fixture parses" 0 failures;
         check_int "ambient randomness elsewhere is fine" 0
           (List.length findings));
+    test_case "distance-in-loop fires under a router file name" (fun () ->
+        let findings, suppressed, failures =
+          Engine.lint_source
+            ~rules:[ rule "distance-in-loop" ]
+            ~file:"lib/router/fixture.ml"
+            (fixture "r8_distance_in_loop.ml")
+        in
+        check_int "fixture parses" 0 failures;
+        List.iter
+          (fun f -> check_string "rule tag" "distance-in-loop" f.Finding.rule)
+          findings;
+        check_int "finding count" 5 (List.length findings);
+        check_int "justified once-per-round lookup suppressed" 1 suppressed);
+    test_case "distance-in-loop is silent outside lib/router" (fun () ->
+        let findings, _, failures =
+          Engine.lint_source
+            ~rules:[ rule "distance-in-loop" ]
+            ~file:"lib/arch/fixture.ml"
+            (fixture "r8_distance_in_loop.ml")
+        in
+        check_int "fixture parses" 0 failures;
+        check_int "lookups elsewhere are fine" 0 (List.length findings));
     test_case "clean fixture is clean under every rule" (fun () ->
         let findings, suppressed = lint ~rules:Rules.all (fixture "clean.ml") in
         check_int "no findings" 0 (List.length findings);

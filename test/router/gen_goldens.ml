@@ -16,9 +16,16 @@ module Transpiled = Qls_layout.Transpiled
 module Mapping = Qls_layout.Mapping
 module Sabre = Qls_router.Sabre
 module Tket_router = Qls_router.Tket_router
+module Astar_router = Qls_router.Astar_router
 
 let devices = [ ("aspen4", 150); ("sycamore54", 250) ]
 let seeds = [ 0; 1; 7; 42 ]
+
+(* qmap (A-star) goldens live on the big devices where its closed-set and
+   layer-search rewrites actually bite — rochester (53q) and eagle
+   (127q); two seeds keep the suite fast (the eagle search dominates). *)
+let qmap_devices = [ ("rochester", 53); ("eagle", 127) ]
+let qmap_seeds = [ 0; 1 ]
 let n_swaps = 3
 
 let fingerprint t =
@@ -50,21 +57,32 @@ let instance device_name gate_budget seed =
 let () =
   print_endline "let cases =";
   print_endline "  [";
+  let record dev_name gate_budget seed router_name t =
+    Printf.printf
+      "    { device = %S; gate_budget = %d; seed = %d; router = %S;\n\
+      \      swaps = %d; digest = %S };\n"
+      dev_name gate_budget seed router_name (Transpiled.swap_count t)
+      (fingerprint t)
+  in
   List.iter
     (fun (dev_name, gate_budget) ->
       List.iter
         (fun seed ->
           let device, inst = instance dev_name gate_budget seed in
           let circuit = inst.Qubikos.Benchmark.circuit in
-          let record router_name t =
-            Printf.printf
-              "    { device = %S; gate_budget = %d; seed = %d; router = %S;\n\
-              \      swaps = %d; digest = %S };\n"
-              dev_name gate_budget seed router_name (Transpiled.swap_count t)
-              (fingerprint t)
-          in
-          record "sabre" (Sabre.route device circuit);
-          record "tket" (Tket_router.route device circuit))
+          record dev_name gate_budget seed "sabre" (Sabre.route device circuit);
+          record dev_name gate_budget seed "tket"
+            (Tket_router.route device circuit))
         seeds)
     devices;
+  List.iter
+    (fun (dev_name, gate_budget) ->
+      List.iter
+        (fun seed ->
+          let device, inst = instance dev_name gate_budget seed in
+          let circuit = inst.Qubikos.Benchmark.circuit in
+          record dev_name gate_budget seed "qmap"
+            (Astar_router.route device circuit))
+        qmap_seeds)
+    qmap_devices;
   print_endline "  ]"

@@ -1,6 +1,8 @@
 (* Golden recordings of routed outputs — regenerate with gen_goldens.exe.
-   Recorded BEFORE the router hot-path refactor (PR 3); the refactor must
-   reproduce them bit-identically. *)
+   sabre/tket cases recorded BEFORE the router hot-path refactor (PR 3);
+   qmap cases recorded with the PR 9 Zobrist closed set and deferred
+   materialisation on the >53-qubit devices that code targets. Any
+   further hot-path work must reproduce all of them bit-identically. *)
 
 type case = {
   device : string;
@@ -44,4 +46,12 @@ let cases =
       swaps = 205; digest = "ba32266d0d6f9dbd9bb972191a46adc5" };
     { device = "sycamore54"; gate_budget = 250; seed = 42; router = "tket";
       swaps = 171; digest = "b03bd81f3e037e14612ffa401171ac98" };
+    { device = "rochester"; gate_budget = 53; seed = 0; router = "qmap";
+      swaps = 663; digest = "4249c3414ff8ab5ecd8dd60874de2bf8" };
+    { device = "rochester"; gate_budget = 53; seed = 1; router = "qmap";
+      swaps = 604; digest = "53975efe1782451a847be9bca40a1d7b" };
+    { device = "eagle"; gate_budget = 127; seed = 0; router = "qmap";
+      swaps = 3177; digest = "807aaca8e21597a179f38ed1056c4f06" };
+    { device = "eagle"; gate_budget = 127; seed = 1; router = "qmap";
+      swaps = 2459; digest = "23818146682678ca08b4916baec42edf" };
   ]

@@ -29,6 +29,23 @@ let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 let test_case name f = Alcotest.test_case name `Quick f
 
+(* Mirrors gen_goldens.fingerprint: MD5 over initial mapping + ops. Used
+   by the goldens and by every byte-identity assertion below. *)
+let fingerprint t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "init:";
+  Array.iter
+    (fun p -> Buffer.add_string buf (Printf.sprintf "%d," p))
+    (Mapping.to_array (Transpiled.initial_mapping t));
+  Buffer.add_string buf "|ops:";
+  List.iter
+    (function
+      | Transpiled.Gate i -> Buffer.add_string buf (Printf.sprintf "G%d;" i)
+      | Transpiled.Swap (p, p') ->
+          Buffer.add_string buf (Printf.sprintf "S%d:%d;" p p'))
+    (Transpiled.ops t);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
 (* A circuit whose gates are all executable under the identity mapping on
    a line: consecutive-qubit CNOTs. *)
 let adjacent_circuit n_qubits n_gates =
@@ -169,6 +186,32 @@ let route_state_tests =
         Route_state.force_route_first st;
         check_int "now executable" 1 (Route_state.advance st);
         check_int "3 swaps along the line" 3 (Route_state.swap_count st));
+    test_case "create rejects disconnected devices with a typed error"
+      (fun () ->
+        (* Two disjoint 2-qubit couplers: routing across the gap is
+           ill-posed, and the old behaviour was a mid-round crash deep in
+           a router ([failwith "no progress"] / [Rng.pick []]). *)
+        let g = Qls_graph.Graph.create 4 [ (0, 1); (2, 3) ] in
+        let device =
+          Device.create ~allow_disconnected:true ~name:"split" g
+        in
+        let source = Circuit.create ~n_qubits:4 [ Gate.cx 0 2 ] in
+        check_bool "raises Invalid_argument" true
+          (try
+             ignore
+               (Route_state.create ~device ~source
+                  ~initial:(Mapping.identity ~n_program:4 ~n_physical:4));
+             false
+           with Invalid_argument msg ->
+             (* The message names the defect, not just "bad input". *)
+             let contains hay needle =
+               let nh = String.length hay and nn = String.length needle in
+               let rec go i =
+                 i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+               in
+               go 0
+             in
+             contains msg "disconnected"));
     test_case "single-qubit gates keep their per-qubit order" (fun () ->
         let device = Topologies.line 3 in
         let source =
@@ -327,6 +370,165 @@ let sabre_tests =
         let c = Random_circuit.uniform rng ~n_qubits:9 ~n_two_qubit:30 ~single_ratio:0.0 in
         let t1 = Sabre.route device c and t2 = Sabre.route device c in
         check_int "same result" (Transpiled.swap_count t1) (Transpiled.swap_count t2));
+    test_case "route rejects invalid options with typed errors" (fun () ->
+        let device = Topologies.line 4 in
+        let c = triangle () in
+        let rejects what opts =
+          check_bool what true
+            (try
+               ignore (Sabre.route ~options:opts device c);
+               false
+             with Invalid_argument _ -> true)
+        in
+        rejects "NaN extended_set_weight"
+          { Sabre.default_options with Sabre.extended_set_weight = Float.nan };
+        rejects "negative extended_set_weight"
+          { Sabre.default_options with Sabre.extended_set_weight = -0.5 };
+        rejects "NaN decay_increment"
+          { Sabre.default_options with Sabre.decay_increment = Float.nan };
+        rejects "negative decay_increment"
+          { Sabre.default_options with Sabre.decay_increment = -1e-3 };
+        rejects "NaN lookahead_decay"
+          { Sabre.default_options with Sabre.lookahead_decay = Some Float.nan };
+        rejects "negative lookahead_decay"
+          { Sabre.default_options with Sabre.lookahead_decay = Some (-0.7) };
+        rejects "zero decay_reset_interval"
+          { Sabre.default_options with Sabre.decay_reset_interval = 0 };
+        rejects "negative extended_set_size"
+          { Sabre.default_options with Sabre.extended_set_size = -1 };
+        (* route_traced shares the validation. *)
+        check_bool "route_traced rejects too" true
+          (try
+             ignore
+               (Sabre.route_traced
+                  ~options:
+                    {
+                      Sabre.default_options with
+                      Sabre.extended_set_weight = Float.nan;
+                    }
+                  device c);
+             false
+           with Invalid_argument _ -> true);
+        (* And the defaults still route. *)
+        check_bool "defaults valid" true
+          (Verifier.is_valid (Sabre.route device c)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Parallel multi-trial SABRE: the pool fan-out must reproduce the      *)
+(* sequential trial loop byte for byte, at every trial count and seed.  *)
+(* ------------------------------------------------------------------ *)
+
+let parallel_trial_tests =
+  [
+    test_case "parallel trials byte-identical to sequential (trial/seed grid)"
+      (fun () ->
+        let device = Topologies.grid 3 3 in
+        let rng = Rng.create 123 in
+        let c =
+          Random_circuit.uniform rng ~n_qubits:9 ~n_two_qubit:30
+            ~single_ratio:0.2
+        in
+        List.iter
+          (fun trials ->
+            List.iter
+              (fun seed ->
+                let opts = { Sabre.default_options with Sabre.trials; seed } in
+                (* jobs:1 degenerates Pool.run to the historical inline
+                   loop; the default fans out across domains. *)
+                let seq = Sabre.route ~options:opts ~jobs:1 device c in
+                let par = Sabre.route ~options:opts device c in
+                Alcotest.(check string)
+                  (Printf.sprintf "trials=%d seed=%d" trials seed)
+                  (fingerprint seq) (fingerprint par))
+              [ 0; 1; 7; 42 ])
+          [ 1; 2; 4; 8 ]);
+    test_case "parallel trials honour an expired ambient deadline" (fun () ->
+        let device = Topologies.grid 3 3 in
+        let rng = Rng.create 321 in
+        let c =
+          Random_circuit.uniform rng ~n_qubits:9 ~n_two_qubit:40
+            ~single_ratio:0.0
+        in
+        let token = Qls_cancel.make ~deadline_ms:1 () in
+        Unix.sleepf 0.005;
+        check_bool "Expired propagates out of the fan-out" true
+          (try
+             Qls_cancel.with_token token (fun () ->
+                 ignore
+                   (Sabre.route
+                      ~options:(Sabre.with_trials 4 Sabre.default_options)
+                      device c);
+                 false)
+           with Qls_cancel.Expired _ -> true));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* A* closed set: exact at every device size (the >256-qubit collision  *)
+(* regression).                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let closed_set_tests =
+  [
+    test_case "distinguishes mappings the old 1-byte key conflated"
+      (fun () ->
+        let n_phys = 300 in
+        (* The pre-rewrite closed-set key, reproduced verbatim: each
+           physical index truncated to one byte. On any device with more
+           than 256 physical qubits this conflates distinct mappings —
+           the old A* then treated the second as already expanded and
+           silently pruned live search states. *)
+        let old_key m =
+          let arr = Mapping.to_array m in
+          let b = Bytes.create (Array.length arr) in
+          Array.iteri (fun i p -> Bytes.set b i (Char.chr (p land 0xff))) arr;
+          Bytes.to_string b
+        in
+        let a = Mapping.of_array ~n_physical:n_phys [| 1 |] in
+        let b = Mapping.of_array ~n_physical:n_phys [| 257 |] in
+        check_bool "mappings are distinct" false (Mapping.equal a b);
+        Alcotest.(check string) "old key collides (the bug)" (old_key a)
+          (old_key b);
+        let closed = Astar_router.Closed.create ~n_prog:1 ~n_phys in
+        check_bool "insert a" true (Astar_router.Closed.add closed a);
+        check_bool "b not conflated with a" false
+          (Astar_router.Closed.mem closed b);
+        check_bool "insert b" true (Astar_router.Closed.add closed b);
+        check_bool "a still present" true (Astar_router.Closed.mem closed a);
+        check_bool "b present" true (Astar_router.Closed.mem closed b);
+        check_bool "re-insert a refused" false
+          (Astar_router.Closed.add closed a));
+    test_case "qmap routes correctly on a 300-qubit path device" (fun () ->
+        (* End-to-end on the device class the old key corrupted: qubits
+           past index 255 alias below-256 positions under 1-byte
+           truncation. *)
+        let device =
+          Device.create ~name:"line300"
+            (Qls_graph.Graph.create 300
+               (List.init 299 (fun i -> (i, i + 1))))
+        in
+        let c =
+          Circuit.create ~n_qubits:300
+            [ Gate.cx 254 256; Gate.cx 255 257; Gate.cx 253 258 ]
+        in
+        let t = Astar_router.route device c in
+        check_bool "verifies" true (Verifier.is_valid t));
+  ]
+
+let closed_set_props =
+  [
+    QCheck.Test.make ~name:"closed set add/mem is exact on 300 qubits"
+      ~count:50
+      QCheck.(int_range 0 100_000)
+      (fun seed ->
+        let rng = Rng.create seed in
+        let n_phys = 300 in
+        let m1 = Mapping.random rng ~n_program:5 ~n_physical:n_phys in
+        let m2 = Mapping.random rng ~n_program:5 ~n_physical:n_phys in
+        let closed = Astar_router.Closed.create ~n_prog:5 ~n_phys in
+        ignore (Astar_router.Closed.add closed m1);
+        Astar_router.Closed.mem closed m1
+        && Mapping.equal m1 m2 = Astar_router.Closed.mem closed m2);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -761,22 +963,6 @@ let token_swap_props =
 (* Goldens: routed outputs bit-identical to the pre-refactor recordings *)
 (* ------------------------------------------------------------------ *)
 
-(* Mirrors gen_goldens.fingerprint: MD5 over initial mapping + ops. *)
-let fingerprint t =
-  let buf = Buffer.create 4096 in
-  Buffer.add_string buf "init:";
-  Array.iter
-    (fun p -> Buffer.add_string buf (Printf.sprintf "%d," p))
-    (Mapping.to_array (Transpiled.initial_mapping t));
-  Buffer.add_string buf "|ops:";
-  List.iter
-    (function
-      | Transpiled.Gate i -> Buffer.add_string buf (Printf.sprintf "G%d;" i)
-      | Transpiled.Swap (p, p') ->
-          Buffer.add_string buf (Printf.sprintf "S%d:%d;" p p'))
-    (Transpiled.ops t);
-  Digest.to_hex (Digest.string (Buffer.contents buf))
-
 let golden_tests =
   List.map
     (fun (c : Goldens.case) ->
@@ -803,6 +989,7 @@ let golden_tests =
             match c.Goldens.router with
             | "sabre" -> Sabre.route device circuit
             | "tket" -> Tket_router.route device circuit
+            | "qmap" -> Astar_router.route device circuit
             | r -> Alcotest.fail ("unknown router " ^ r)
           in
           check_int "swap count" c.Goldens.swaps (Transpiled.swap_count t);
@@ -893,6 +1080,77 @@ let hot_path_tests =
         check_bool "routing happened" true (rounds > 0);
         check_bool "at most one build per round" true
           (cnt.Route_state.Debug.remaining_layers_builds <= rounds));
+    test_case "delta-maintained physical front: scans stay below rescans"
+      (fun () ->
+        (* The physical front is an active set updated by deltas on
+           advance/apply_swap; before PR 9 each swap_candidates call
+           re-scanned all n_qubits counts. The counter totals entries
+           examined, so rounds * n_qubits is the old cost floor and any
+           total strictly below it proves the delta path is live. *)
+        let device = Topologies.aspen4 () in
+        let n_qubits = Device.n_qubits device in
+        let rng = Rng.create 3 in
+        let c =
+          Random_circuit.uniform rng ~n_qubits:16 ~n_two_qubit:60
+            ~single_ratio:0.0
+        in
+        Route_state.Debug.reset ();
+        let t = Sabre.route device c in
+        let cnt = Route_state.Debug.counters () in
+        check_bool "verifies" true (Verifier.is_valid t);
+        let rounds = cnt.Route_state.Debug.swap_candidate_scans in
+        check_bool "routing happened" true (rounds > 0);
+        check_bool "front entries were scanned" true
+          (cnt.Route_state.Debug.phys_front_scanned > 0);
+        check_bool "below the full-rescan floor" true
+          (cnt.Route_state.Debug.phys_front_scanned < rounds * n_qubits));
+    test_case "extended set and layers cached across swap-only rounds"
+      (fun () ->
+        (* cx 0 4 on a 5-line stays blocked through several SWAP rounds:
+           the front never changes, so the cache must serve every repeat
+           query and only an advance that emits gates may invalidate. *)
+        let device = Topologies.line 5 in
+        let source =
+          Circuit.create ~n_qubits:5 [ Gate.cx 0 4; Gate.cx 0 1 ]
+        in
+        let st =
+          Route_state.create ~device ~source
+            ~initial:(Placement.identity device source)
+        in
+        ignore (Route_state.advance st);
+        Route_state.Debug.reset ();
+        let builds () =
+          (Route_state.Debug.counters ()).Route_state.Debug.extended_set_builds
+        in
+        let lbuilds () =
+          (Route_state.Debug.counters ())
+            .Route_state.Debug.remaining_layers_builds
+        in
+        let es1 = Route_state.extended_set st ~size:10 in
+        check_int "first query builds" 1 (builds ());
+        let es2 = Route_state.extended_set st ~size:10 in
+        check_int "repeat query cached" 1 (builds ());
+        Alcotest.(check (list int)) "cached value identical" es1 es2;
+        let rl1 = Route_state.remaining_layers st ~max_layers:3 in
+        check_int "layers first query builds" 1 (lbuilds ());
+        (* A SWAP round that unblocks nothing must not invalidate. *)
+        Route_state.apply_swap st 0 1;
+        check_int "swap round: still zero emitted" 0 (Route_state.advance st);
+        ignore (Route_state.extended_set st ~size:10);
+        ignore (Route_state.remaining_layers st ~max_layers:3);
+        check_int "swap-only round served from cache" 1 (builds ());
+        check_int "layers too" 1 (lbuilds ());
+        Alcotest.(check (list (list int)))
+          "layers value stable" rl1
+          (Route_state.remaining_layers st ~max_layers:3);
+        (* A different size is a different key: rebuild. *)
+        ignore (Route_state.extended_set st ~size:1);
+        check_int "size change rebuilds" 2 (builds ());
+        (* Progress (advance that emits) invalidates. *)
+        Route_state.force_route_first st;
+        check_bool "progress made" true (Route_state.advance st > 0);
+        ignore (Route_state.extended_set st ~size:10);
+        check_int "front change rebuilds" 3 (builds ()));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -1038,6 +1296,9 @@ let () =
       ("placement", placement_tests);
       ("router-properties", List.map QCheck_alcotest.to_alcotest router_props);
       ("sabre", sabre_tests);
+      ("sabre-parallel", parallel_trial_tests);
+      ("closed-set", closed_set_tests);
+      ("closed-set-properties", List.map QCheck_alcotest.to_alcotest closed_set_props);
       ("tools", tool_tests);
       ("exact", exact_tests);
       ("exact-properties", List.map QCheck_alcotest.to_alcotest exact_props);
