@@ -1,104 +1,7 @@
 (* qls_lint driver: lint lib/, bin/ and bench/ (or explicit paths),
    apply in-source suppressions and the checked-in baseline, print the
    survivors, exit non-zero when any remain. [dune build @lint] runs
-   this over the source tree. *)
+   this over the source tree with both the Parsetree and the Typedtree
+   engines; see Qls_lint.Driver for the flags. *)
 
-open Qls_lint
-
-let usage =
-  "qls_lint_main [options] [path ...]\n\
-   Lints lib/, bin/ and bench/ under --root when no paths are given.\n\
-   Exit status: 0 clean, 1 findings, 2 usage/configuration error.\n\
-   Options:"
-
-let () =
-  let root = ref "." in
-  let baseline_path = ref "" in
-  let jsonl_path = ref "" in
-  let write_baseline = ref "" in
-  let rule_names = ref "" in
-  let quiet = ref false in
-  let paths = ref [] in
-  let spec =
-    [
-      ("--root", Arg.Set_string root, "DIR  tree root (default .)");
-      ( "--baseline",
-        Arg.Set_string baseline_path,
-        "FILE  grandfather file; findings covered by it are waived" );
-      ( "--jsonl",
-        Arg.Set_string jsonl_path,
-        "FILE  also write the surviving findings as JSONL" );
-      ( "--write-baseline",
-        Arg.Set_string write_baseline,
-        "FILE  write the current findings as a fresh baseline and exit 0" );
-      ( "--rules",
-        Arg.Set_string rule_names,
-        "NAMES  comma-separated rule subset (default: all)" );
-      ("--quiet", Arg.Set quiet, " suppress the summary line");
-    ]
-  in
-  Arg.parse spec (fun p -> paths := p :: !paths) usage;
-  let rules =
-    match !rule_names with
-    | "" -> Rules.all
-    | names ->
-        String.split_on_char ',' names
-        |> List.map (fun n ->
-               let n = String.trim n in
-               match Rules.by_name n with
-               | Some r -> r
-               | None ->
-                   Printf.eprintf "qls_lint: unknown rule %S\n" n;
-                   exit 2)
-  in
-  let report = Engine.run ~rules ~root:!root (List.rev !paths) in
-  if not (String.equal !write_baseline "") then begin
-    let entries = Baseline.of_findings report.Engine.findings in
-    let oc = open_out !write_baseline in
-    output_string oc (Baseline.render entries);
-    close_out oc;
-    Printf.printf "qls_lint: wrote %d baseline entr%s to %s\n"
-      (List.length entries)
-      (match entries with [ _ ] -> "y" | _ -> "ies")
-      !write_baseline;
-    exit 0
-  end;
-  let applied =
-    match !baseline_path with
-    | "" ->
-        { Baseline.kept = report.Engine.findings; waived = 0; stale = [] }
-    | path -> (
-        match Baseline.load path with
-        | Ok entries -> Baseline.apply entries report.Engine.findings
-        | Error msg ->
-            Printf.eprintf "qls_lint: baseline %s: %s\n" path msg;
-            exit 2)
-  in
-  List.iter
-    (fun f -> print_endline (Finding.to_human f))
-    applied.Baseline.kept;
-  List.iter
-    (fun e ->
-      Printf.printf
-        "note: stale baseline entry %s\t%s\t%d (fewer findings remain — \
-         shrink it)\n"
-        e.Baseline.file e.Baseline.rule e.Baseline.allowed)
-    applied.Baseline.stale;
-  (match !jsonl_path with
-  | "" -> ()
-  | path ->
-      let oc = open_out path in
-      List.iter
-        (fun f ->
-          output_string oc (Finding.to_jsonl f);
-          output_char oc '\n')
-        applied.Baseline.kept;
-      close_out oc);
-  if not !quiet then
-    Printf.printf
-      "qls_lint: %d file(s), %d finding(s) (%d suppressed in source, %d \
-       waived by baseline)\n"
-      report.Engine.files
-      (List.length applied.Baseline.kept)
-      report.Engine.suppressed applied.Baseline.waived;
-  match applied.Baseline.kept with [] -> exit 0 | _ :: _ -> exit 1
+let () = exit (Qls_lint.Driver.main ~prog:"qls_lint_main" Sys.argv)

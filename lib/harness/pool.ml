@@ -88,27 +88,28 @@ type wjob = {
 
 type worker = {
   w_id : int;
-  mutable w_domain : unit Domain.t option;  (* None only mid-spawn *)
+  mutable w_domain : unit Domain.t option;
+      (* guarded_by: mutex — None only mid-spawn *)
   w_current : wjob option Atomic.t;
   w_lost : bool Atomic.t;  (* replaced; exit after the current job *)
 }
 
 type pool = {
-  jobs_queue : wjob Queue.t;
+  jobs_queue : wjob Queue.t;  (* guarded_by: mutex *)
   capacity : int;
   mutex : Mutex.t;
   work_ready : Condition.t;  (* signalled per enqueue and at close *)
   all_idle : Condition.t;  (* signalled when running + queued hits 0 *)
-  mutable running : int;  (* jobs currently executing on a worker *)
-  mutable closing : bool;  (* no further admissions; drain in progress *)
-  mutable workers : worker list;  (* live workers only *)
-  mutable next_worker_id : int;
+  mutable running : int;  (* guarded_by: mutex — jobs executing on a worker *)
+  mutable closing : bool;  (* guarded_by: mutex — drain in progress *)
+  mutable workers : worker list;  (* guarded_by: mutex — live workers only *)
+  mutable next_worker_id : int;  (* guarded_by: mutex *)
   next_job_id : int Atomic.t;
   lost_total : int Atomic.t;
   on_callback_error : exn -> unit;
   watchdog : watchdog option;
   wd_pipe : (Unix.file_descr * Unix.file_descr) option;  (* stop signal *)
-  mutable wd_thread : Thread.t option;
+  mutable wd_thread : Thread.t option;  (* guarded_by: mutex *)
   wd_last_tick_ms : int Atomic.t;
 }
 
@@ -150,15 +151,15 @@ let pool_worker p w () =
 let spawn_worker_locked p =
   let w =
     {
-      w_id = p.next_worker_id;
+      w_id = p.next_worker_id; (* lint: guarded-by — caller holds p.mutex *)
       w_domain = None;
       w_current = Atomic.make None;
       w_lost = Atomic.make false;
     }
   in
-  p.next_worker_id <- p.next_worker_id + 1;
-  w.w_domain <- Some (Domain.spawn (pool_worker p w));
-  p.workers <- w :: p.workers
+  p.next_worker_id <- p.next_worker_id + 1; (* lint: guarded-by — caller holds p.mutex *)
+  w.w_domain <- Some (Domain.spawn (pool_worker p w)); (* lint: guarded-by — caller holds p.mutex *)
+  p.workers <- w :: p.workers (* lint: guarded-by — caller holds p.mutex *)
 
 let watchdog_loop p cfg stop_r () =
   let stop = ref false in

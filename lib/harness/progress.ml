@@ -1,4 +1,7 @@
-type tool_stat = { mutable ratio_sum : float; mutable samples : int }
+type tool_stat = {
+  mutable ratio_sum : float;  (* guarded_by: mutex *)
+  mutable samples : int;  (* guarded_by: mutex *)
+}
 
 (* The scalar counters are [Atomic] rather than mutex-guarded mutables:
    {!finished} and {!eta_seconds} are read by arbitrary cross-domain
@@ -13,7 +16,7 @@ type t = {
   failed : int Atomic.t;
   resumed : int Atomic.t;
   started : float;
-  tools : (string, tool_stat) Hashtbl.t;
+  tools : (string, tool_stat) Hashtbl.t;  (* guarded_by: mutex *)
   mutex : Mutex.t;
 }
 
@@ -31,11 +34,11 @@ let create ~total =
   }
 
 let tool_stat t name =
-  match Hashtbl.find_opt t.tools name with
+  match Hashtbl.find_opt t.tools name (* lint: guarded-by — caller holds t.mutex *) with
   | Some s -> s
   | None ->
       let s = { ratio_sum = 0.0; samples = 0 } in
-      Hashtbl.add t.tools name s;
+      Hashtbl.add t.tools name s; (* lint: guarded-by — caller holds t.mutex *)
       s
 
 let record ?ratio ?tool ~outcome t =

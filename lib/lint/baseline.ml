@@ -53,9 +53,22 @@ let render entries =
     (List.sort entry_order entries);
   Buffer.contents b
 
-(* Group sorted findings into per-(file, rule) runs. *)
+(* Group findings into per-(file, rule) runs. The sort must key on the
+   rule before the line: [Finding.order] alone interleaves rules within
+   a file, and the adjacency fold below would then split one (file,
+   rule) pair into several runs — duplicating baseline entries and
+   corrupting the allowance/stale bookkeeping. *)
 let group findings =
-  let sorted = List.sort Finding.order findings in
+  let sorted =
+    List.sort
+      (fun (a : Finding.t) (b : Finding.t) ->
+        let c = String.compare a.Finding.file b.Finding.file in
+        if c <> 0 then c
+        else
+          let c = String.compare a.Finding.rule b.Finding.rule in
+          if c <> 0 then c else Finding.order a b)
+      findings
+  in
   List.fold_left
     (fun acc (f : Finding.t) ->
       match acc with

@@ -1,13 +1,26 @@
 (* Parse → rules → suppressions for one file; directory walking for the
-   tree. Parsing uses compiler-libs ([Parse.implementation]) on the raw
-   source, so the engine sees exactly what the compiler sees — no ppx,
-   no type information. *)
+   tree. The untyped pass uses compiler-libs ([Parse.implementation]) on
+   the raw source, so it sees exactly what the compiler sees — no ppx.
+   The typed pass loads the build's [.cmt] files through [Cmt_index] and
+   runs the [Registry.Typed] rules on the Typedtree; files whose cmt is
+   missing are counted, not failed (pass [require_typed] at the driver
+   to harden that). Both passes feed the same suppression filter.
+
+   The walk parallelises over [Qls_harness.Pool] domains: per-file
+   results land in a slot indexed by the sorted walk order and are
+   merged in that order, so the report is bit-identical for every
+   [jobs]. compiler-libs parsing mutates global state (docstrings,
+   location bookkeeping), so parses and cmt loads serialise behind one
+   mutex; rule iteration — the expensive part — runs concurrently. *)
 
 type report = {
   findings : Finding.t list;  (** unsuppressed, sorted *)
   suppressed : int;           (** findings silenced by in-source comments *)
   files : int;
   parse_failures : int;
+  typed_files : int;          (** files the typed pass actually covered *)
+  typed_missing : string list;
+      (** files typed rules wanted but no cmt was found for *)
 }
 
 let read_file path =
@@ -15,6 +28,9 @@ let read_file path =
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
+
+(* compiler-libs globals (Docstrings, Location) are not domain-safe. *)
+let compiler_mutex = Mutex.create ()
 
 let parse path src =
   let lexbuf = Lexing.from_string src in
@@ -31,6 +47,7 @@ let parse path src =
         (Finding.v ~file:path ~line:1 ~col:0 ~rule:"parse-error"
            ~severity:Finding.Error (Printexc.to_string e))
 
+(* Untyped single-source entry point, kept for the rule fixture tests. *)
 let lint_source ~rules ~file src =
   match parse file src with
   | Error f -> ([ f ], 0, 1)
@@ -49,6 +66,22 @@ let lint_source ~rules ~file src =
       (List.sort Finding.order kept, List.length silenced, 0)
 
 let lint_file ~rules path = lint_source ~rules ~file:path (read_file path)
+
+(* Typed single-source entry point (suppressions applied), for tests
+   that drive a typed rule over a fixture's typedtree directly. *)
+let lint_typed_source ~rules ~guards ~file ~src structure =
+  let ctx = { Typed_rules.file; guards } in
+  let raw =
+    List.concat_map (fun r -> r.Typed_rules.check ctx structure) rules
+  in
+  let sup = Suppress.scan src in
+  let kept, silenced =
+    List.partition
+      (fun (f : Finding.t) ->
+        not (Suppress.suppressed sup ~line:f.Finding.line ~rule:f.Finding.rule))
+      raw
+  in
+  (List.sort Finding.order kept, List.length silenced)
 
 (* Deterministic walk: directory entries sorted with [String.compare],
    [_build] and dotfiles skipped. *)
@@ -84,18 +117,107 @@ let collect_paths ~root paths =
     paths
   |> List.map normalize
 
-let run ~rules ~root paths =
-  let files = collect_paths ~root paths in
-  let findings, suppressed, failures =
-    List.fold_left
-      (fun (fs, sup, fail) path ->
-        let f, s, e = lint_file ~rules path in
-        (f :: fs, sup + s, fail + e))
-      ([], 0, 0) files
+let relativize ~root path =
+  let root = normalize root in
+  if root = "." || root = "" then path
+  else
+    let prefix = if String.length root > 0 && root.[String.length root - 1] = '/' then root else root ^ "/" in
+    let lp = String.length prefix and lpath = String.length path in
+    if lpath > lp && String.sub path 0 lp = prefix then
+      String.sub path lp (lpath - lp)
+    else path
+
+let default_build_root root =
+  let b = Filename.concat root (Filename.concat "_build" "default") in
+  if Sys.file_exists b && Sys.is_directory b then b else root
+
+type file_result = {
+  fr_findings : Finding.t list;
+  fr_suppressed : int;
+  fr_failures : int;
+  fr_typed : bool;
+  fr_missing : string option;
+}
+
+let run ?(jobs = 1) ?build_root ~rules ~root paths =
+  let untyped, typed = Registry.split rules in
+  let files = Array.of_list (collect_paths ~root paths) in
+  let n = Array.length files in
+  let sources = Array.map read_file files in
+  let guards = Typed_rules.Guards.empty () in
+  if not (List.is_empty typed) then
+    Array.iteri
+      (fun i p -> Typed_rules.Guards.add_file guards ~file:p sources.(i))
+      files;
+  let index =
+    if List.is_empty typed then None
+    else
+      let build_root =
+        match build_root with Some b -> b | None -> default_build_root root
+      in
+      Some (Cmt_index.create ~build_root)
+  in
+  let lint_one i _ =
+    let path = files.(i) and src = sources.(i) in
+    let raw_untyped, failures =
+      match untyped with
+      | [] -> ([], 0)
+      | _ -> (
+          let parsed =
+            Mutex.protect compiler_mutex (fun () -> parse path src)
+          in
+          match parsed with
+          | Error f -> ([ f ], 1)
+          | Ok structure ->
+              let ctx = { Rules.file = path } in
+              (List.concat_map (fun check -> check ctx structure) untyped, 0))
+    in
+    let raw_typed, covered, missing =
+      match index with
+      | None -> ([], false, None)
+      | Some idx -> (
+          match Cmt_index.find idx ~source:(relativize ~root path) with
+          | Cmt_index.Loaded structure ->
+              let ctx = { Typed_rules.file = path; guards } in
+              ( List.concat_map (fun check -> check ctx structure) typed,
+                true,
+                None )
+          | Cmt_index.Unavailable -> ([], false, Some path))
+    in
+    let sup = Suppress.scan src in
+    let kept, silenced =
+      List.partition
+        (fun (f : Finding.t) ->
+          not (Suppress.suppressed sup ~line:f.Finding.line ~rule:f.Finding.rule))
+        (raw_untyped @ raw_typed)
+    in
+    {
+      fr_findings = List.sort Finding.order kept;
+      fr_suppressed = List.length silenced;
+      fr_failures = failures;
+      fr_typed = covered;
+      fr_missing = missing;
+    }
+  in
+  let results =
+    if jobs <= 1 || n <= 1 then Array.init n (fun i -> lint_one i ())
+    else Qls_harness.Pool.run ~jobs ~f:lint_one (Array.init n Fun.id)
+  in
+  let findings, suppressed, failures, typed_files, missing =
+    Array.fold_left
+      (fun (fs, sup, fail, tf, miss) r ->
+        ( r.fr_findings :: fs,
+          sup + r.fr_suppressed,
+          fail + r.fr_failures,
+          (tf + if r.fr_typed then 1 else 0),
+          match r.fr_missing with Some m -> m :: miss | None -> miss ))
+      ([], 0, 0, 0, []) results
   in
   {
     findings = List.sort Finding.order (List.concat findings);
     suppressed;
-    files = List.length files;
+    files = n;
     parse_failures = failures;
+    typed_files;
+    typed_missing = List.rev missing;
   }

@@ -1,0 +1,44 @@
+(* The unified rule catalogue: R1–R8 run on the Parsetree of the raw
+   source, R9–R12 on the Typedtree loaded from [.cmt] files. A rule
+   declares which representation it needs; the engine runs whichever
+   passes the selected rules require and feeds both through the same
+   Finding/Suppress/Baseline pipeline. *)
+
+type repr =
+  | Untyped of (Rules.ctx -> Parsetree.structure -> Finding.t list)
+  | Typed of (Typed_rules.ctx -> Typedtree.structure -> Finding.t list)
+
+type t = {
+  name : string;
+  summary : string;
+  severity : Finding.severity;
+  repr : repr;
+}
+
+let of_rule (r : Rules.t) =
+  {
+    name = r.Rules.name;
+    summary = r.Rules.summary;
+    severity = r.Rules.severity;
+    repr = Untyped r.Rules.check;
+  }
+
+let of_typed (r : Typed_rules.t) =
+  {
+    name = r.Typed_rules.name;
+    summary = r.Typed_rules.summary;
+    severity = r.Typed_rules.severity;
+    repr = Typed r.Typed_rules.check;
+  }
+
+let all = List.map of_rule Rules.all @ List.map of_typed Typed_rules.all
+let by_name name = List.find_opt (fun r -> String.equal r.name name) all
+
+let split rules =
+  List.partition_map
+    (fun r ->
+      match r.repr with Untyped c -> Either.Left c | Typed c -> Either.Right c)
+    rules
+
+let needs_typed rules =
+  List.exists (fun r -> match r.repr with Typed _ -> true | _ -> false) rules

@@ -1,0 +1,681 @@
+(* The R9–R12 rule catalogue: concurrency-discipline rules that need
+   type information to be sound. These run on the Typedtree loaded from
+   the build's [.cmt] files (see [Cmt_index]), so callees are resolved
+   paths — [Mutex.protect] is [Stdlib.Mutex.protect] no matter how it
+   was spelled at the call site — and record labels carry the type that
+   declared them, which is what lets [guarded-by] follow a field across
+   module boundaries. Like R1–R8 each rule is an approximation with a
+   documented envelope; the suppression comment is the escape hatch. *)
+
+open Typedtree
+
+module StringSet = Set.Make (String)
+
+(* ------------------------------------------------------------------ *)
+(* Resolved-path helpers                                               *)
+
+(* Split a module-name segment on "__" so dune's wrapping prefixes
+   ("Qls_serve__Cache", "Dune__exe__Main") compare like user paths. *)
+let split_wrapped seg =
+  let n = String.length seg in
+  let rec skip_us i = if i < n && seg.[i] = '_' then skip_us (i + 1) else i in
+  let rec go acc start i =
+    if i + 1 >= n then String.sub seg start (n - start) :: acc
+    else if seg.[i] = '_' && seg.[i + 1] = '_' then
+      let piece = String.sub seg start (i - start) in
+      let next = skip_us (i + 2) in
+      go (piece :: acc) next next
+    else go acc start (i + 1)
+  in
+  List.rev (go [] 0 0) |> List.filter (fun s -> s <> "")
+
+let path_segments p =
+  Path.name p
+  |> String.split_on_char '.'
+  |> List.concat_map split_wrapped
+  |> List.map String.lowercase_ascii
+
+let rec list_suffix ~of_:segs suffix =
+  let ls = List.length segs and lx = List.length suffix in
+  if ls < lx then false
+  else if ls = lx then List.equal String.equal segs suffix
+  else match segs with [] -> false | _ :: tl -> list_suffix ~of_:tl suffix
+
+let head_name e =
+  match e.exp_desc with Texp_ident (p, _, _) -> Some (Path.name p) | _ -> None
+
+let head_segments e =
+  match e.exp_desc with Texp_ident (p, _, _) -> Some (path_segments p) | _ -> None
+
+let head_matches e suffixes =
+  match head_segments e with
+  | Some segs -> List.exists (fun s -> list_suffix ~of_:segs s) suffixes
+  | None -> false
+
+let positional_args args =
+  List.filter_map
+    (function Asttypes.Nolabel, Some e -> Some e | _ -> None)
+    args
+
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false
+    else if String.sub hay i nn = needle then true
+    else go (i + 1)
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* guarded_by annotation registry                                      *)
+
+(* Convention (DESIGN.md §11): a mutable record field whose writes and
+   reads must happen under a mutex carries a same-line comment
+
+     mutable hits : int; (* guarded_by: mutex *)
+
+   where the guard name is the record's own mutex field (or a let-bound
+   mutex in scope). The registry is keyed by
+   (declaring module stem, type name, field name) — the typedtree gives
+   us the declaring type of every label, so accesses match no matter
+   which module or alias they go through. The scan is line-based and
+   assumes the repo style of one field per line. *)
+module Guards = struct
+  type registry = (string * string * string, string) Hashtbl.t
+
+  let empty () : registry = Hashtbl.create 32
+
+  let module_stem file =
+    String.lowercase_ascii (Filename.remove_extension (Filename.basename file))
+
+  let is_ident_char c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = '\''
+
+  let token_at s i =
+    let n = String.length s in
+    let rec stop j = if j < n && is_ident_char s.[j] then stop (j + 1) else j in
+    let j = stop i in
+    if j > i then Some (String.sub s i (j - i)) else None
+
+  let find_sub hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i =
+      if i + nn > nh then None
+      else if String.sub hay i nn = needle then Some i
+      else go (i + 1)
+    in
+    go 0
+
+  let skip_spaces s i =
+    let n = String.length s in
+    let rec go i = if i < n && (s.[i] = ' ' || s.[i] = '\t') then go (i + 1) else i in
+    go i
+
+  (* "type 'a cell = {" / "and stats = {" -> the last lowercase-ident
+     token before '='. *)
+  let type_decl_name line =
+    let t = String.trim line in
+    let after kw =
+      if String.length t > String.length kw && String.sub t 0 (String.length kw) = kw
+      then Some (String.sub t (String.length kw) (String.length t - String.length kw))
+      else None
+    in
+    match (after "type ", after "and ") with
+    | None, None -> None
+    | Some rest, _ | None, Some rest -> (
+        match String.index_opt rest '=' with
+        | None -> None
+        | Some eq ->
+            let head = String.sub rest 0 eq in
+            let name = ref None in
+            let i = ref 0 in
+            let n = String.length head in
+            while !i < n do
+              if head.[!i] >= 'a' && head.[!i] <= 'z' then begin
+                match token_at head !i with
+                | Some tok when tok <> "nonrec" && tok <> "private" ->
+                    name := Some tok;
+                    i := !i + String.length tok
+                | Some tok -> i := !i + String.length tok
+                | None -> incr i
+              end
+              else incr i
+            done;
+            !name)
+
+  (* "  mutable hits : int; (* guarded_by: mutex *)" -> ("hits", "mutex") *)
+  let field_annot line =
+    match find_sub line "guarded_by:" with
+    | None -> None
+    | Some g -> (
+        let guard = token_at line (skip_spaces line (g + String.length "guarded_by:")) in
+        let i = skip_spaces line 0 in
+        let i =
+          match token_at line i with
+          | Some "mutable" -> skip_spaces line (i + String.length "mutable")
+          | _ -> i
+        in
+        match (token_at line i, guard) with
+        | Some field, Some guard -> Some (field, guard)
+        | _ -> None)
+
+  let add_file (reg : registry) ~file src =
+    let stem = module_stem file in
+    let current = ref None in
+    List.iter
+      (fun line ->
+        (match type_decl_name line with Some n -> current := Some n | None -> ());
+        match (field_annot line, !current) with
+        | Some (field, guard), Some tname ->
+            Hashtbl.replace reg (stem, tname, field) guard
+        | _ -> ())
+      (String.split_on_char '\n' src)
+
+  let lookup (reg : registry) key = Hashtbl.find_opt reg key
+  let size (reg : registry) = Hashtbl.length reg
+end
+
+(* ------------------------------------------------------------------ *)
+(* Rule plumbing                                                       *)
+
+type ctx = { file : string; guards : Guards.registry }
+
+type t = {
+  name : string;
+  summary : string;
+  severity : Finding.severity;
+  check : ctx -> Typedtree.structure -> Finding.t list;
+}
+
+let finding ctx ~rule ~severity loc msg =
+  Finding.of_location ~file:ctx.file ~rule ~severity loc msg
+
+let run_iterator make_expr structure =
+  let it = { Tast_iterator.default_iterator with expr = make_expr } in
+  it.Tast_iterator.structure it structure
+
+(* The label's [lbl_res] is the record type it projects from; its head
+   constructor path names the declaring type. Local types print as just
+   "t", so the current file supplies the module stem in that case. *)
+let label_key ctx (lbl : Types.label_description) =
+  let stem = Guards.module_stem ctx.file in
+  match Types.get_desc lbl.Types.lbl_res with
+  | Types.Tconstr (p, _, _) -> (
+      match List.rev (path_segments p) with
+      | tname :: m :: _ -> (m, tname, lbl.Types.lbl_name)
+      | [ tname ] -> (stem, tname, lbl.Types.lbl_name)
+      | [] -> (stem, "", lbl.Types.lbl_name))
+  | _ -> (stem, "", lbl.Types.lbl_name)
+
+let guard_name_of_mutex e =
+  match e.exp_desc with
+  | Texp_field (_, _, lbl) -> lbl.Types.lbl_name
+  | Texp_ident (p, _, _) -> Path.last p
+  | _ -> "*"
+
+let is_protect_head e = head_matches e [ [ "mutex"; "protect" ] ]
+let is_lock_head e = head_matches e [ [ "mutex"; "lock" ] ]
+let is_condwait_head e = head_matches e [ [ "condition"; "wait" ] ]
+
+(* Guard names this expression locks somewhere inside: [Mutex.lock m]
+   and [Condition.wait c m] (which re-acquires [m] before returning). *)
+let locked_names e =
+  let acc = ref StringSet.empty in
+  let expr sub x =
+    (match x.exp_desc with
+    | Texp_apply (fn, args) when is_lock_head fn -> (
+        match positional_args args with
+        | m :: _ -> acc := StringSet.add (guard_name_of_mutex m) !acc
+        | [] -> ())
+    | Texp_apply (fn, args) when is_condwait_head fn -> (
+        match positional_args args with
+        | [ _; m ] -> acc := StringSet.add (guard_name_of_mutex m) !acc
+        | _ -> ())
+    | _ -> ());
+    Tast_iterator.default_iterator.expr sub x
+  in
+  let it = { Tast_iterator.default_iterator with expr } in
+  it.Tast_iterator.expr it e;
+  !acc
+
+(* ------------------------------------------------------------------ *)
+(* R9 — guarded-by                                                     *)
+(* Envelope: a guarded field access is "held" when it sits inside the
+   thunk of [Mutex.protect m' _] or inside a function that locks [m']
+   somewhere ([Mutex.lock]/[Condition.wait] — function granularity, so
+   lock...unlock windows are not tracked precisely), where [m'] has the
+   same guard *name* as the annotation. Lock identity is by name, not
+   by object: locking cache A and touching cache B's fields is out of
+   scope. Record literals (construction) are not accesses. *)
+
+let r9_check ctx structure =
+  let findings = ref [] in
+  let held = ref StringSet.empty in
+  let is_held g = StringSet.mem g !held || StringSet.mem "*" !held in
+  let check loc (lbl : Types.label_description) =
+    match Guards.lookup ctx.guards (label_key ctx lbl) with
+    | None -> ()
+    | Some guard ->
+        if not (is_held guard) then
+          findings :=
+            finding ctx ~rule:"guarded-by" ~severity:Finding.Error loc
+              (Printf.sprintf
+                 "field '%s' is marked 'guarded_by: %s' but is accessed with \
+                  no enclosing Mutex.protect/lock of '%s'"
+                 lbl.Types.lbl_name guard guard)
+            :: !findings
+  in
+  let with_held extra f =
+    let saved = !held in
+    held := StringSet.union saved extra;
+    f ();
+    held := saved
+  in
+  let expr sub e =
+    match e.exp_desc with
+    | Texp_field (_, _, lbl) ->
+        check e.exp_loc lbl;
+        Tast_iterator.default_iterator.expr sub e
+    | Texp_setfield (_, _, lbl, _) ->
+        check e.exp_loc lbl;
+        Tast_iterator.default_iterator.expr sub e
+    | Texp_apply (fn, args) when is_protect_head fn -> (
+        match positional_args args with
+        | [ m; thunk ] ->
+            sub.Tast_iterator.expr sub m;
+            with_held
+              (StringSet.singleton (guard_name_of_mutex m))
+              (fun () -> sub.Tast_iterator.expr sub thunk)
+        | _ -> Tast_iterator.default_iterator.expr sub e)
+    | Texp_function _ ->
+        with_held (locked_names e) (fun () ->
+            Tast_iterator.default_iterator.expr sub e)
+    | _ -> Tast_iterator.default_iterator.expr sub e
+  in
+  run_iterator expr structure;
+  !findings
+
+(* ------------------------------------------------------------------ *)
+(* R10 — domain-escape                                                 *)
+(* A closure handed to the domain pool must not capture a value whose
+   type contains a known non-Atomic mutable cell. Envelope: literal
+   [fun]-closures in argument position of Pool.submit/Pool.run/
+   Domain.spawn; mutable cells are ref/Hashtbl/Buffer/Queue/Stack/bytes
+   at any depth of the captured value's type. Arrays are exempt
+   (disjoint-index writes are the pool's result-collection idiom), as
+   are abstract record types — direct mutation of those is R1's job and
+   their lock discipline is R9's. *)
+
+let spawn_suffixes =
+  [ [ "pool"; "submit" ]; [ "pool"; "run" ]; [ "pool"; "map" ]; [ "domain"; "spawn" ] ]
+
+let mutable_cell_name segs =
+  if list_suffix ~of_:segs [ "ref" ] then Some "ref"
+  else if list_suffix ~of_:segs [ "hashtbl"; "t" ] then Some "Hashtbl.t"
+  else if list_suffix ~of_:segs [ "buffer"; "t" ] then Some "Buffer.t"
+  else if list_suffix ~of_:segs [ "queue"; "t" ] then Some "Queue.t"
+  else if list_suffix ~of_:segs [ "stack"; "t" ] then Some "Stack.t"
+  else if list_suffix ~of_:segs [ "bytes" ] then Some "bytes"
+  else None
+
+let shared_safe segs =
+  List.exists
+    (fun s -> List.mem s [ "atomic"; "mutex"; "condition"; "semaphore" ])
+    segs
+
+let rec find_mutable_cell seen ty =
+  let id = Types.get_id ty in
+  if List.mem id !seen then None
+  else begin
+    seen := id :: !seen;
+    match Types.get_desc ty with
+    | Types.Tconstr (p, args, _) ->
+        let segs = path_segments p in
+        if shared_safe segs then None
+        else (
+          match mutable_cell_name segs with
+          | Some _ as cell -> cell
+          | None -> List.find_map (find_mutable_cell seen) args)
+    | Types.Ttuple ts -> List.find_map (find_mutable_cell seen) ts
+    | Types.Tpoly (t, _) -> find_mutable_cell seen t
+    | _ -> None
+  end
+
+(* Free value identifiers of a closure. Typed idents are globally
+   unique (stamped), so "used somewhere minus bound somewhere" is exact
+   — no scope bookkeeping needed. *)
+let closure_captures closure =
+  let bound = ref [] in
+  let uses = ref [] in
+  let pat (type k) sub (p : k general_pattern) =
+    bound := pat_bound_idents p @ !bound;
+    Tast_iterator.default_iterator.pat sub p
+  in
+  let expr sub e =
+    (match e.exp_desc with
+    | Texp_ident (Path.Pident id, _, _) -> uses := (id, e) :: !uses
+    | Texp_for (id, _, _, _, _, _) -> bound := id :: !bound
+    | _ -> ());
+    Tast_iterator.default_iterator.expr sub e
+  in
+  let it = { Tast_iterator.default_iterator with expr; pat } in
+  it.Tast_iterator.expr it closure;
+  List.filter
+    (fun (id, _) -> not (List.exists (Ident.same id) !bound))
+    (List.rev !uses)
+
+let r10_check ctx structure =
+  let findings = ref [] in
+  let report_closure closure =
+    let seen_ids = ref [] in
+    List.iter
+      (fun (id, (occ : expression)) ->
+        if not (List.exists (Ident.same id) !seen_ids) then begin
+          seen_ids := id :: !seen_ids;
+          match find_mutable_cell (ref []) occ.exp_type with
+          | Some cell ->
+              findings :=
+                finding ctx ~rule:"domain-escape" ~severity:Finding.Error
+                  occ.exp_loc
+                  (Printf.sprintf
+                     "'%s' (type contains %s, a non-Atomic mutable cell) is \
+                      captured by a closure that crosses a domain boundary; \
+                      share it via Atomic/mutex-guarded state or suppress it \
+                      as a documented scratch"
+                     (Ident.name id) cell)
+                :: !findings
+          | None -> ()
+        end)
+      (closure_captures closure)
+  in
+  let expr sub e =
+    (match e.exp_desc with
+    | Texp_apply (fn, args) when head_matches fn spawn_suffixes ->
+        List.iter
+          (function
+            | _, Some (a : expression) -> (
+                match a.exp_desc with
+                | Texp_function _ -> report_closure a
+                | _ -> ())
+            | _ -> ())
+          args
+    | _ -> ());
+    Tast_iterator.default_iterator.expr sub e
+  in
+  run_iterator expr structure;
+  !findings
+
+(* ------------------------------------------------------------------ *)
+(* R11 — blocking-under-mutex                                          *)
+(* Envelope: lexically inside the thunk of [Mutex.protect] (plain
+   lock/unlock windows have no syntactic extent, so they are R9's
+   function-granularity problem, not R11's). A closure *defined* under
+   protect but run later is still flagged — suppress if that is the
+   design. [Condition.wait c m] is fine on the protected mutex itself
+   and an error on any other. *)
+
+let blocking_suffixes =
+  [
+    [ "unix"; "select" ]; [ "unix"; "sleep" ]; [ "unix"; "sleepf" ];
+    [ "unix"; "read" ]; [ "unix"; "write" ]; [ "unix"; "recv" ];
+    [ "unix"; "send" ]; [ "unix"; "accept" ]; [ "unix"; "connect" ];
+    [ "thread"; "delay" ]; [ "thread"; "join" ];
+    [ "pool"; "drain" ]; [ "pool"; "run" ];
+  ]
+
+let r11_check ctx structure =
+  let findings = ref [] in
+  let held : string list ref = ref [] in
+  let add loc msg =
+    findings :=
+      finding ctx ~rule:"blocking-under-mutex" ~severity:Finding.Error loc msg
+      :: !findings
+  in
+  let expr sub e =
+    match e.exp_desc with
+    | Texp_apply (fn, args)
+      when is_protect_head fn
+           && List.length (positional_args args) = 2 -> (
+        match positional_args args with
+        | [ m; thunk ] ->
+            sub.Tast_iterator.expr sub m;
+            let saved = !held in
+            held := guard_name_of_mutex m :: saved;
+            sub.Tast_iterator.expr sub thunk;
+            held := saved
+        | _ -> assert false)
+    | Texp_apply (fn, args) when not (List.is_empty !held) ->
+        (match head_segments fn with
+        | Some segs ->
+            if List.exists (fun s -> list_suffix ~of_:segs s) blocking_suffixes
+            then
+              add e.exp_loc
+                (Printf.sprintf
+                   "blocking call '%s' inside a Mutex.protect body (mutex \
+                    '%s' held) can stall every thread contending for the lock"
+                   (Option.value ~default:"?" (head_name fn))
+                   (List.hd !held))
+            else if list_suffix ~of_:segs [ "condition"; "wait" ] then (
+              match positional_args args with
+              | [ _; m ] ->
+                  let g = guard_name_of_mutex m in
+                  if g <> "*" && (not (List.mem g !held)) && not (List.mem "*" !held)
+                  then
+                    add e.exp_loc
+                      (Printf.sprintf
+                         "Condition.wait on mutex '%s' inside Mutex.protect \
+                          of '%s' — waiting releases the wrong lock"
+                         g (List.hd !held))
+              | _ -> ())
+        | None -> ());
+        Tast_iterator.default_iterator.expr sub e
+    | _ -> Tast_iterator.default_iterator.expr sub e
+  in
+  run_iterator expr structure;
+  !findings
+
+(* ------------------------------------------------------------------ *)
+(* R12 — cancel-poll-coverage                                          *)
+(* Scope: lib/router and lib/sat, the hot paths PR 7's deadlines rely
+   on. A [while] loop (and a structure-level recursive function) must
+   contain a reachable [Qls_cancel.poll]/[expire_check]: directly, or
+   through a call to a file-local function that transitively polls.
+   [for] loops are exempt (bounded by construction in this codebase);
+   nested [let rec] helpers are covered indirectly through the loops
+   that drive them. *)
+
+let poll_suffixes =
+  [ [ "qls_cancel"; "poll" ]; [ "qls_cancel"; "expire_check" ] ]
+
+let in_r12_scope file =
+  contains_sub file "lib/router" || contains_sub file "lib/sat"
+
+let polls_directly e =
+  let found = ref false in
+  let expr sub x =
+    (match x.exp_desc with
+    | Texp_apply (fn, _) when head_matches fn poll_suffixes -> found := true
+    | Texp_ident _ when head_matches x poll_suffixes -> found := true
+    | _ -> ());
+    if not !found then Tast_iterator.default_iterator.expr sub x
+  in
+  let it = { Tast_iterator.default_iterator with expr } in
+  it.Tast_iterator.expr it e;
+  !found
+
+let callee_names e =
+  let acc = ref StringSet.empty in
+  let expr sub x =
+    (match x.exp_desc with
+    | Texp_apply ({ exp_desc = Texp_ident (Path.Pident id, _, _); _ }, _) ->
+        acc := StringSet.add (Ident.name id) !acc
+    | _ -> ());
+    Tast_iterator.default_iterator.expr sub x
+  in
+  let it = { Tast_iterator.default_iterator with expr } in
+  it.Tast_iterator.expr it e;
+  !acc
+
+let r12_check ctx structure =
+  if not (in_r12_scope ctx.file) then []
+  else begin
+    (* Pass 1: which file-local functions (transitively) poll? *)
+    let table : (string, bool ref * StringSet.t ref) Hashtbl.t =
+      Hashtbl.create 32
+    in
+    let record_binding vb =
+      match vb.vb_pat.pat_desc with
+      | Tpat_var (id, _) ->
+          let name = Ident.name id in
+          let direct = polls_directly vb.vb_expr in
+          let callees = callee_names vb.vb_expr in
+          let d, c =
+            match Hashtbl.find_opt table name with
+            | Some (d, c) -> (d, c)
+            | None ->
+                let cell = (ref false, ref StringSet.empty) in
+                Hashtbl.add table name cell;
+                cell
+          in
+          d := !d || direct;
+          c := StringSet.union !c callees
+      | _ -> ()
+    in
+    let vb_it =
+      {
+        Tast_iterator.default_iterator with
+        value_binding =
+          (fun sub vb ->
+            record_binding vb;
+            Tast_iterator.default_iterator.value_binding sub vb);
+      }
+    in
+    vb_it.Tast_iterator.structure vb_it structure;
+    let polling = ref StringSet.empty in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      (* lint: nondet-source — fixpoint: the converged set is traversal-order independent *)
+      Hashtbl.iter
+        (fun name (d, c) ->
+          if
+            (not (StringSet.mem name !polling))
+            && (!d || StringSet.exists (fun n -> StringSet.mem n !polling) !c)
+          then begin
+            polling := StringSet.add name !polling;
+            changed := true
+          end)
+        table
+    done;
+    let reachable e =
+      polls_directly e
+      || StringSet.exists (fun n -> StringSet.mem n !polling) (callee_names e)
+    in
+    let findings = ref [] in
+    (* Pass 2: while loops. *)
+    let expr sub e =
+      (match e.exp_desc with
+      | Texp_while (cond, body) ->
+          if not (reachable cond || reachable body) then
+            findings :=
+              finding ctx ~rule:"cancel-poll-coverage" ~severity:Finding.Error
+                e.exp_loc
+                "while loop in a router/solver hot path has no reachable \
+                 Qls_cancel.poll — deadlines cannot fire here; poll or add a \
+                 one-line justification"
+              :: !findings
+      | _ -> ());
+      Tast_iterator.default_iterator.expr sub e
+    in
+    run_iterator expr structure;
+    (* Pass 3: structure-level recursive functions. *)
+    List.iter
+      (fun item ->
+        match item.str_desc with
+        | Tstr_value (Asttypes.Recursive, vbs) ->
+            let group_ids =
+              List.filter_map
+                (fun vb ->
+                  match vb.vb_pat.pat_desc with
+                  | Tpat_var (id, _) -> Some id
+                  | _ -> None)
+                vbs
+            in
+            List.iter
+              (fun vb ->
+                match (vb.vb_pat.pat_desc, vb.vb_expr.exp_desc) with
+                | Tpat_var (id, _), Texp_function _ ->
+                    let recurses =
+                      let found = ref false in
+                      let expr sub x =
+                        (match x.exp_desc with
+                        | Texp_ident (Path.Pident i, _, _)
+                          when List.exists (Ident.same i) group_ids ->
+                            found := true
+                        | _ -> ());
+                        if not !found then
+                          Tast_iterator.default_iterator.expr sub x
+                      in
+                      let it = { Tast_iterator.default_iterator with expr } in
+                      it.Tast_iterator.expr it vb.vb_expr;
+                      !found
+                    in
+                    if recurses && not (reachable vb.vb_expr) then
+                      findings :=
+                        finding ctx ~rule:"cancel-poll-coverage"
+                          ~severity:Finding.Error vb.vb_loc
+                          (Printf.sprintf
+                             "recursive function '%s' in a router/solver hot \
+                              path has no reachable Qls_cancel.poll — poll \
+                              or add a one-line justification"
+                             (Ident.name id))
+                        :: !findings
+                | _ -> ())
+              vbs
+        | _ -> ())
+      structure.str_items;
+    !findings
+  end
+
+(* ------------------------------------------------------------------ *)
+
+let all =
+  [
+    {
+      name = "guarded-by";
+      summary =
+        "fields annotated '(* guarded_by: m *)' accessed outside a scope \
+         that holds m";
+      severity = Finding.Error;
+      check = r9_check;
+    };
+    {
+      name = "domain-escape";
+      summary =
+        "non-Atomic mutable state captured by a closure crossing a \
+         Pool/Domain boundary";
+      severity = Finding.Error;
+      check = r10_check;
+    };
+    {
+      name = "blocking-under-mutex";
+      summary =
+        "Unix/Thread/Pool blocking calls (or Condition.wait on another \
+         mutex) inside a Mutex.protect body";
+      severity = Finding.Error;
+      check = r11_check;
+    };
+    {
+      name = "cancel-poll-coverage";
+      summary =
+        "router/solver hot loops with no reachable Qls_cancel poll (lib/\
+         router, lib/sat)";
+      severity = Finding.Error;
+      check = r12_check;
+    };
+  ]
+
+let by_name name = List.find_opt (fun r -> String.equal r.name name) all

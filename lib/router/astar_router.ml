@@ -90,6 +90,7 @@ module Closed = struct
         | None -> ()
         | Some _ ->
             let j = ref (old_keys.(i) land t.mask) in
+            (* lint: cancel-poll-coverage — probe chain, bounded by table capacity (load factor <= 1/2) *)
             while Option.is_some t.vals.(!j) do
               j := (!j + 1) land t.mask
             done;
@@ -101,6 +102,7 @@ module Closed = struct
     let i = ref (h land t.mask) in
     let found = ref false in
     let stop = ref false in
+    (* lint: cancel-poll-coverage — probe chain, bounded by table capacity (load factor <= 1/2) *)
     while not !stop do
       match t.vals.(!i) with
       | None -> stop := true
@@ -125,6 +127,7 @@ module Closed = struct
     let i = ref (h land t.mask) in
     let found = ref false in
     let stop = ref false in
+    (* lint: cancel-poll-coverage — probe chain, bounded by table capacity (load factor <= 1/2) *)
     while not !stop do
       match t.vals.(!i) with
       | None -> stop := true
@@ -162,6 +165,7 @@ module Closed = struct
     let i = ref (h land t.mask) in
     let result = ref true in
     let stop = ref false in
+    (* lint: cancel-poll-coverage — probe chain, bounded by table capacity (load factor <= 1/2) *)
     while not !stop do
       match t.vals.(!i) with
       | None ->
@@ -298,7 +302,13 @@ let astar ~opts device mapping ~target_pairs ~lookahead_pairs =
     (mapping, -1, pack_scalars 0 layer_ex0 look_ex0, [], zob0);
   let result = ref None in
   let budget_hit = ref false in
+  let expanded = ref 0 in
   while Option.is_none !result && (not !budget_hit) && not (Pqueue.is_empty open_set) do
+    (* One search layer can expand far longer than a router round, so the
+       per-round checkpoint alone gives poor cancellation latency here;
+       poll on a stride that keeps the check off the per-pop hot cost. *)
+    incr expanded;
+    if !expanded land 1023 = 0 then Qls_cancel.poll ();
     match Pqueue.pop open_set with
     | None -> ()
     | Some (_, (base, pend, scalars, swaps_rev, zob)) ->

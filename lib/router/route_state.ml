@@ -223,6 +223,7 @@ let emit_gate t v =
 let advance t =
   let emitted_total = ref 0 in
   let progress = ref true in
+  (* lint: cancel-poll-coverage — each pass emits at least one gate or exits; bounded by gate count *)
   while !progress do
     progress := false;
     let exec, blocked = List.partition (fun v -> executable t v) t.front in
@@ -317,6 +318,7 @@ let build_extended_set t ~size =
   let out = ref [] in
   let count = ref 0 in
   List.iter (fun v -> Queue.add v t.es_queue) (List.sort Int.compare t.front);
+  (* lint: cancel-poll-coverage — BFS capped by [size] and each DAG node enqueues once *)
   while !count < size && not (Queue.is_empty t.es_queue) do
     let v = Queue.pop t.es_queue in
     List.iter
@@ -358,6 +360,7 @@ let build_remaining_layers t ~max_layers =
   let layers = ref [] in
   let current = ref (List.sort Int.compare t.front) in
   let n_layers = ref 0 in
+  (* lint: cancel-poll-coverage — bounded by max_layers *)
   while not (List.is_empty !current) && !n_layers < max_layers do
     layers := !current :: !layers;
     incr n_layers;

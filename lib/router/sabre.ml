@@ -96,6 +96,7 @@ let score_swap ~opts ~dmat ~decay ~front_phys ~extended_phys (p, p') =
     let sum = ref 0 in
     let i = ref 0 in
     let stop = Array.length pairs in
+    (* lint: cancel-poll-coverage — fixed scan over the layer's gate-pair array *)
     while !i < stop do
       let pa = pairs.(!i) and pb = pairs.(!i + 1) in
       let ra = if pa = p then p' else if pa = p' then p else pa in

@@ -47,6 +47,7 @@ let score_swap ~opts ~dmat ~layers_phys (p, p') =
       let w = opts.slice_discount ** float_of_int k in
       let i = ref 0 in
       let stop = Array.length layer in
+      (* lint: cancel-poll-coverage — fixed scan over the slice's gate-pair array *)
       while !i < stop do
         let pa = layer.(!i) and pb = layer.(!i + 1) in
         let ra = if pa = p then p' else if pa = p' then p else pa in

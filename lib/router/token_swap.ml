@@ -62,6 +62,7 @@ let happy_swaps device mapping ~target =
   let swaps = ref [] in
   let m = ref mapping in
   let continue = ref true in
+  (* lint: cancel-poll-coverage — every round strictly lowers total token distance or exits; caller's round loop polls *)
   while !continue do
     refresh !m;
     let best =
@@ -114,6 +115,7 @@ let tree_sort device mapping ~target =
   for v = 0 to n - 1 do
     if tree_deg.(v) <= 1 then Queue.add v queue
   done;
+  (* lint: cancel-poll-coverage — leaf-elimination queue: each vertex is eliminated at most once *)
   while not (Queue.is_empty queue) do
     let v = Queue.pop queue in
     if not eliminated.(v) then begin
@@ -227,6 +229,7 @@ let optimal ?(max_swaps = 10) device ~current ~target =
   Hashtbl.add seen (key current) ();
   Queue.add (current, [], 0) queue;
   let result = ref None in
+  (* lint: cancel-poll-coverage — exhaustive BFS capped by max_swaps depth on tiny instances *)
   while Option.is_none !result && not (Queue.is_empty queue) do
     let m, swaps_rev, depth = Queue.pop queue in
     if count_misplaced m ~target = 0 then result := Some (List.rev swaps_rev)

@@ -67,6 +67,7 @@ let route ?(options = default_options) ?initial device circuit =
   let st = Route_state.create ~device ~source:circuit ~initial:start in
   ignore (Route_state.advance st);
   while not (Route_state.finished st) do
+    Qls_cancel.poll ();
     let dag = Route_state.dag st in
     let front_pairs = List.map (Dag.pair dag) (Route_state.front st) in
     let mapping = Route_state.mapping st in

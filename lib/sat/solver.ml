@@ -114,6 +114,7 @@ let heap_swap t i j =
   t.heap_pos.(w) <- i;
   t.heap_pos.(v) <- j
 
+(* lint: cancel-poll-coverage — sift depth is log of heap size *)
 let rec heap_sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
@@ -123,6 +124,7 @@ let rec heap_sift_up t i =
     end
   end
 
+(* lint: cancel-poll-coverage — sift depth is log of heap size *)
 let rec heap_sift_down t i =
   let l = (2 * i) + 1 in
   if l < t.heap_size then begin
@@ -292,6 +294,7 @@ let add_clause t lits =
 (* Returns the conflicting clause index, or -1. *)
 let propagate t =
   let conflict = ref (-1) in
+  (* lint: cancel-poll-coverage — each pass consumes one trail entry; the CDCL loop polls per restart *)
   while !conflict < 0 && t.qhead < t.trail_size do
     let l = t.trail.(t.qhead) in
     t.qhead <- t.qhead + 1;
@@ -321,6 +324,7 @@ let propagate t =
               let n = Array.length c in
               let found = ref false in
               let k = ref 2 in
+              (* lint: cancel-poll-coverage — scan bounded by clause length *)
               while (not !found) && !k < n do
                 if lit_value t c.(!k) <> 0 then begin
                   c.(1) <- c.(!k);
@@ -378,6 +382,7 @@ let analyze t conflict_ci =
   let ci = ref conflict_ci in
   let cur = current_level t in
   let continue = ref true in
+  (* lint: cancel-poll-coverage — 1-UIP resolution walks the trail once; bounded by trail size *)
   while !continue do
     let c = t.clauses.(!ci) in
     Array.iter
@@ -394,6 +399,7 @@ let analyze t conflict_ci =
         end)
       c;
     (* advance to the next seen literal on the trail *)
+    (* lint: cancel-poll-coverage — walks down the finite trail *)
     while not t.seen.(var_idx t.trail.(!idx)) do
       decr idx
     done;
@@ -449,6 +455,7 @@ let analyze_final t a =
 
 let pick_branch t =
   let best = ref (-1) in
+  (* lint: cancel-poll-coverage — each pop shrinks the heap; bounded by variable count *)
   while !best < 0 && t.heap_size > 0 do
     let v = heap_pop t in
     if t.assign.(v) < 0 then best := v

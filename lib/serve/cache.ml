@@ -14,14 +14,14 @@ type 'a cell =
 type 'a t = {
   cname : string;
   capacity : int;
-  table : (string, 'a cell) Hashtbl.t;
+  table : (string, 'a cell) Hashtbl.t;  (* guarded_by: mutex *)
   mutex : Mutex.t;
   cond : Condition.t;  (** broadcast when a Pending resolves or aborts *)
-  mutable clock : int;  (** LRU stamp source, under [mutex] *)
-  mutable ready : int;  (** Ready entries, under [mutex] *)
-  mutable hits : int;
-  mutable misses : int;
-  mutable evictions : int;
+  mutable clock : int;  (* guarded_by: mutex — LRU stamp source *)
+  mutable ready : int;  (* guarded_by: mutex — Ready entries *)
+  mutable hits : int;  (* guarded_by: mutex *)
+  mutable misses : int;  (* guarded_by: mutex *)
+  mutable evictions : int;  (* guarded_by: mutex *)
 }
 
 let create ?(capacity = 256) cname =
@@ -40,8 +40,13 @@ let create ?(capacity = 256) cname =
   }
 
 let touch t cell =
+  (* lint: guarded-by — called from find_or_compute's claim loop, t.mutex held *)
   t.clock <- t.clock + 1;
-  match cell with Ready r -> r.stamp <- t.clock | Pending -> ()
+  match cell with
+  | Ready r ->
+      (* lint: guarded-by — called from find_or_compute's claim loop, t.mutex held *)
+      r.stamp <- t.clock
+  | Pending -> ()
 
 (* Evict the least-recently-used ready entry. A linear scan: capacities
    are small (hundreds) and eviction is off the hit path. *)
@@ -54,14 +59,14 @@ let evict_one t =
         | Pending, _ -> acc
         | Ready r, Some (_, best) when best <= r.stamp -> acc
         | Ready r, _ -> Some (key, r.stamp))
-      t.table None
+      t.table None (* lint: guarded-by — caller holds t.mutex *)
   in
   match victim with
   | None -> ()
   | Some (key, _) ->
-      Hashtbl.remove t.table key;
-      t.ready <- t.ready - 1;
-      t.evictions <- t.evictions + 1
+      Hashtbl.remove t.table key; (* lint: guarded-by — caller holds t.mutex *)
+      t.ready <- t.ready - 1; (* lint: guarded-by — caller holds t.mutex *)
+      t.evictions <- t.evictions + 1 (* lint: guarded-by — caller holds t.mutex *)
 
 let find_or_compute t ~key f =
   if t.capacity = 0 then begin

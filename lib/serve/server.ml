@@ -54,8 +54,9 @@ type conn = {
   wmutex : Mutex.t;  (** serialises response frames on this connection *)
   omutex : Mutex.t;  (** guards [outstanding] *)
   odone : Condition.t;
-  mutable outstanding : int;  (** submitted jobs not yet responded *)
-  mutable broken : bool;  (** peer gone; stop writing *)
+  mutable outstanding : int;
+      (* guarded_by: omutex — submitted jobs not yet responded *)
+  mutable broken : bool;  (* guarded_by: wmutex — peer gone; stop writing *)
 }
 
 type t = {
@@ -71,8 +72,8 @@ type t = {
   wake_r : Unix.file_descr;
   wake_w : Unix.file_descr;
   conns_mutex : Mutex.t;
-  mutable conns : conn list;
-  mutable threads : Thread.t list;
+  mutable conns : conn list;  (* guarded_by: conns_mutex *)
+  mutable threads : Thread.t list;  (* guarded_by: conns_mutex *)
   started_ms : int;  (** daemon start; feeds [uptime_s] *)
   conn_seq : int Atomic.t;
   job_seq : int Atomic.t;  (** fault-injection key for pooled work *)

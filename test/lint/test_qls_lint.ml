@@ -7,6 +7,9 @@ module Rules = Qls_lint.Rules
 module Engine = Qls_lint.Engine
 module Suppress = Qls_lint.Suppress
 module Baseline = Qls_lint.Baseline
+module Registry = Qls_lint.Registry
+module Driver = Qls_lint.Driver
+module Sarif = Qls_lint.Sarif
 
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -271,7 +274,7 @@ let baseline_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
-(* Self-check: the library tree must stay lint-clean                   *)
+(* Typed rules (R9–R12) over the compiled fixture libraries            *)
 (* ------------------------------------------------------------------ *)
 
 let rec find_root dir =
@@ -284,29 +287,447 @@ let rec find_root dir =
     let parent = Filename.dirname dir in
     if String.equal parent dir then None else find_root parent
 
+let repo_root () =
+  match find_root (Sys.getcwd ()) with
+  | Some root -> root
+  | None -> Alcotest.fail "repo root not found above the test cwd"
+
+let typed_registry name =
+  match Registry.by_name name with
+  | Some r -> r
+  | None -> Alcotest.failf "rule %s not registered" name
+
+(* Run the engine over the compiled typed_fixtures tree under one rule;
+   the fixture libraries are build deps of this test, so their cmts are
+   guaranteed to exist. *)
+let run_typed_fixtures rule_name =
+  let root = repo_root () in
+  let report =
+    Engine.run
+      ~rules:[ typed_registry rule_name ]
+      ~root
+      [ Filename.concat root "test/lint/typed_fixtures" ]
+  in
+  check_int "every fixture file has a cmt" 0
+    (List.length report.Engine.typed_missing);
+  report
+
+let expect_typed rule_name ~findings ~suppressed:sup =
+  test_case
+    (Printf.sprintf "%s fires %d time(s) on the typed fixtures" rule_name
+       findings)
+    (fun () ->
+      let report = run_typed_fixtures rule_name in
+      List.iter
+        (fun f -> check_string "rule tag" rule_name f.Finding.rule)
+        report.Engine.findings;
+      check_int "finding count" findings (List.length report.Engine.findings);
+      check_int "suppressed count" sup report.Engine.suppressed)
+
+let typed_rule_tests =
+  [
+    expect_typed "guarded-by" ~findings:4 ~suppressed:1;
+    expect_typed "domain-escape" ~findings:2 ~suppressed:1;
+    expect_typed "blocking-under-mutex" ~findings:3 ~suppressed:1;
+    expect_typed "cancel-poll-coverage" ~findings:2 ~suppressed:1;
+    test_case "guarded-by resolves the annotation across modules" (fun () ->
+        let report = run_typed_fixtures "guarded-by" in
+        check_bool "a finding lands in tf_r9_cross.ml" true
+          (List.exists
+             (fun f ->
+               Filename.basename f.Finding.file = "tf_r9_cross.ml"
+               && f.Finding.line = 9)
+             report.Engine.findings));
+    test_case "cancel-poll-coverage credits transitive local polls" (fun () ->
+        let report = run_typed_fixtures "cancel-poll-coverage" in
+        List.iter
+          (fun f ->
+            check_bool "only the two seeded sites fire" true
+              (List.mem f.Finding.line [ 7; 38 ]))
+          report.Engine.findings);
+    test_case "typed pass covers all five fixture modules" (fun () ->
+        let report = run_typed_fixtures "guarded-by" in
+        check_int "files walked" 5 report.Engine.files;
+        check_int "typed coverage" 5 report.Engine.typed_files);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Registry: the untyped rules behave identically through the new      *)
+(* engine pipeline (typed/untyped parity on the R1–R8 fixtures)        *)
+(* ------------------------------------------------------------------ *)
+
+let parity_tests =
+  [
+    test_case "registry wraps every rule exactly once" (fun () ->
+        check_int "catalogue size" 12 (List.length Registry.all);
+        let names = List.map (fun (r : Registry.t) -> r.Registry.name) Registry.all in
+        check_int "names unique" 12
+          (List.length (List.sort_uniq String.compare names)));
+    test_case "untyped rules give identical findings through the registry"
+      (fun () ->
+        (* Same fixture sources, two pipelines: the historical per-source
+           untyped path vs the registry-driven engine walk. The reports
+           must agree finding-for-finding, order included. *)
+        let untyped =
+          List.filter
+            (fun (r : Registry.t) ->
+              match r.Registry.repr with
+              | Registry.Untyped _ -> true
+              | Registry.Typed _ -> false)
+            Registry.all
+        in
+        check_int "eight untyped rules" 8 (List.length untyped);
+        let report = Engine.run ~rules:untyped ~root:"." [ "fixtures" ] in
+        check_int "fixtures all parse" 0 report.Engine.parse_failures;
+        let files =
+          Sys.readdir "fixtures" |> Array.to_list |> List.sort String.compare
+          |> List.filter (fun f -> Filename.check_suffix f ".ml")
+        in
+        let direct_findings, direct_suppressed =
+          List.fold_left
+            (fun (acc, sup) name ->
+              let path = Filename.concat "fixtures" name in
+              let findings, silenced, failures =
+                Engine.lint_source ~rules:Rules.all ~file:path (fixture name)
+              in
+              check_int (name ^ " parses") 0 failures;
+              (acc @ findings, sup + silenced))
+            ([], 0) files
+        in
+        check_int "suppression parity" direct_suppressed
+          report.Engine.suppressed;
+        Alcotest.(check (list string))
+          "finding parity"
+          (List.map Finding.to_human direct_findings)
+          (List.map Finding.to_human report.Engine.findings));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Parallel walk: jobs must not change the report                      *)
+(* ------------------------------------------------------------------ *)
+
+let parallel_tests =
+  [
+    test_case "jobs=4 report is bit-identical to jobs=1" (fun () ->
+        let root = repo_root () in
+        let paths = [ Filename.concat root "test/lint/typed_fixtures" ] in
+        let run jobs = Engine.run ~jobs ~rules:Registry.all ~root paths in
+        let a = run 1 and b = run 4 in
+        check_int "files" a.Engine.files b.Engine.files;
+        check_int "suppressed" a.Engine.suppressed b.Engine.suppressed;
+        check_int "typed files" a.Engine.typed_files b.Engine.typed_files;
+        Alcotest.(check (list string))
+          "findings identical and identically ordered"
+          (List.map Finding.to_human a.Engine.findings)
+          (List.map Finding.to_human b.Engine.findings));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Driver: baseline staleness and the write/check cycle                *)
+(* ------------------------------------------------------------------ *)
+
+let with_temp_baseline f =
+  let tmp = Filename.temp_file "qls_lint_test" ".baseline" in
+  Fun.protect ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ()) (fun () -> f tmp)
+
+(* Drive the real driver over the on-disk parsetree fixtures (violations
+   guaranteed), untyped rules only so no cmts are needed. *)
+let driver_opts =
+  {
+    Driver.default_opts with
+    Driver.paths = [ "fixtures" ];
+    rules = [ "poly-compare"; "nondet-source"; "float-discipline" ];
+  }
+
+let driver_tests =
+  [
+    test_case "findings exit 1; a fresh baseline waives them to exit 0"
+      (fun () ->
+        with_temp_baseline (fun tmp ->
+            check_int "violations found" 1 (Driver.execute driver_opts);
+            check_int "write-baseline exits 0" 0
+              (Driver.execute
+                 { driver_opts with Driver.write_baseline = Some tmp });
+            check_int "baselined run is clean" 0
+              (Driver.execute
+                 {
+                   driver_opts with
+                   Driver.baseline = Some tmp;
+                   check_stale = true;
+                 })));
+    test_case "--check fails on a stale entry; --write-baseline prunes it"
+      (fun () ->
+        with_temp_baseline (fun tmp ->
+            check_int "seed the baseline" 0
+              (Driver.execute
+                 { driver_opts with Driver.write_baseline = Some tmp });
+            (* Append an entry no finding pays down any more. *)
+            let oc = open_out_gen [ Open_append ] 0o644 tmp in
+            output_string oc
+              (Baseline.render
+                 [
+                   {
+                     Baseline.file = "fixtures/gone.ml";
+                     rule = "poly-compare";
+                     allowed = 3;
+                   };
+                 ]);
+            close_out oc;
+            check_int "stale is a note without --check" 0
+              (Driver.execute { driver_opts with Driver.baseline = Some tmp });
+            check_int "stale fails with --check" 1
+              (Driver.execute
+                 {
+                   driver_opts with
+                   Driver.baseline = Some tmp;
+                   check_stale = true;
+                 });
+            check_int "rewrite prunes" 0
+              (Driver.execute
+                 { driver_opts with Driver.write_baseline = Some tmp });
+            match Baseline.load tmp with
+            | Error e -> Alcotest.fail e
+            | Ok entries ->
+                check_bool "stale entry pruned" false
+                  (List.exists
+                     (fun e -> String.equal e.Baseline.file "fixtures/gone.ml")
+                     entries)));
+    test_case "unknown rule names exit 2" (fun () ->
+        check_int "usage error" 2
+          (Driver.execute { driver_opts with Driver.rules = [ "no-such-rule" ] }));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* SARIF sink: structural validity per the 2.1.0 schema essentials     *)
+(* ------------------------------------------------------------------ *)
+
+(* A deliberately tiny JSON reader — objects, arrays, strings, ints —
+   just enough to assert the SARIF skeleton instead of substring-matching. *)
+module Json = struct
+  type t =
+    | Str of string
+    | Num of int
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then s.[!pos] else raise (Bad "eof") in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      if !pos < n && (peek () = ' ' || peek () = '\n' || peek () = '\t') then begin
+        advance ();
+        skip_ws ()
+      end
+    in
+    let expect c =
+      if peek () <> c then raise (Bad (Printf.sprintf "expected %c" c));
+      advance ()
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | '"' -> advance ()
+        | '\\' ->
+            advance ();
+            (match peek () with
+            | 'n' -> Buffer.add_char b '\n'
+            | 't' -> Buffer.add_char b '\t'
+            | 'r' -> Buffer.add_char b '\r'
+            | 'u' ->
+                (* \uXXXX: keep the raw escape, fidelity is irrelevant here *)
+                Buffer.add_string b "\\u"
+            | c -> Buffer.add_char b c);
+            advance ();
+            go ()
+        | c ->
+            Buffer.add_char b c;
+            advance ();
+            go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | '"' -> Str (parse_string ())
+      | '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = '}' then begin
+            advance ();
+            Obj []
+          end
+          else
+            let rec members acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              if peek () = ',' then begin
+                advance ();
+                members ((k, v) :: acc)
+              end
+              else begin
+                expect '}';
+                Obj (List.rev ((k, v) :: acc))
+              end
+            in
+            members []
+      | '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = ']' then begin
+            advance ();
+            Arr []
+          end
+          else
+            let rec elems acc =
+              let v = parse_value () in
+              skip_ws ();
+              if peek () = ',' then begin
+                advance ();
+                elems (v :: acc)
+              end
+              else begin
+                expect ']';
+                Arr (List.rev (v :: acc))
+              end
+            in
+            elems []
+      | c when c = '-' || (c >= '0' && c <= '9') ->
+          let start = !pos in
+          advance ();
+          while !pos < n && peek () >= '0' && peek () <= '9' do
+            advance ()
+          done;
+          Num (int_of_string (String.sub s start (!pos - start)))
+      | c -> raise (Bad (Printf.sprintf "unexpected %c" c))
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then raise (Bad "trailing garbage");
+    v
+
+  let member k = function
+    | Obj fields -> (
+        match List.assoc_opt k fields with
+        | Some v -> v
+        | None -> raise (Bad ("missing member " ^ k)))
+    | _ -> raise (Bad ("not an object at " ^ k))
+
+  let str = function Str s -> s | _ -> raise (Bad "not a string")
+  let num = function Num i -> i | _ -> raise (Bad "not a number")
+  let arr = function Arr l -> l | _ -> raise (Bad "not an array")
+end
+
+let sarif_tests =
+  [
+    test_case "render satisfies the 2.1.0 schema essentials" (fun () ->
+        let findings =
+          [
+            Finding.v ~file:"lib/a.ml" ~line:3 ~col:7 ~rule:"guarded-by"
+              ~severity:Finding.Error "a \"quoted\" message\nwith a newline";
+            Finding.v ~file:"bench/b.ml" ~line:0 ~col:0 ~rule:"poly-compare"
+              ~severity:Finding.Error "whole-file finding";
+          ]
+        in
+        let doc = Json.parse (Sarif.render ~rules:Registry.all ~findings) in
+        check_bool "$schema names 2.1.0" true
+          (let s = Json.(str (member "$schema" doc)) in
+           let suffix = "sarif-schema-2.1.0.json" in
+           let n = String.length s and ls = String.length suffix in
+           n >= ls && String.sub s (n - ls) ls = suffix);
+        check_string "version" "2.1.0" Json.(str (member "version" doc));
+        let run = List.hd Json.(arr (member "runs" doc)) in
+        let driver = Json.(member "driver" (member "tool" run)) in
+        check_string "driver name" "qls_lint" Json.(str (member "name" driver));
+        check_bool "semanticVersion present" true
+          (String.length Json.(str (member "semanticVersion" driver)) > 0);
+        let rules = Json.(arr (member "rules" driver)) in
+        check_int "full catalogue" (List.length Registry.all) (List.length rules);
+        let rule_ids = List.map (fun r -> Json.(str (member "id" r))) rules in
+        List.iter
+          (fun (r : Registry.t) ->
+            check_bool (r.Registry.name ^ " catalogued") true
+              (List.mem r.Registry.name rule_ids))
+          Registry.all;
+        let results = Json.(arr (member "results" run)) in
+        check_int "one result per finding" 2 (List.length results);
+        List.iter
+          (fun res ->
+            let rid = Json.(str (member "ruleId" res)) in
+            let idx = Json.(num (member "ruleIndex" res)) in
+            check_string "ruleIndex points into the catalogue" rid
+              (List.nth rule_ids idx);
+            check_bool "level is a SARIF level" true
+              (List.mem Json.(str (member "level" res)) [ "error"; "warning"; "note" ]);
+            check_bool "message text nonempty" true
+              (String.length Json.(str (member "text" (member "message" res))) > 0);
+            let region =
+              Json.(
+                member "region"
+                  (member "physicalLocation"
+                     (List.hd (arr (member "locations" res)))))
+            in
+            check_bool "startLine is 1-based" true
+              (Json.(num (member "startLine" region)) >= 1);
+            check_bool "startColumn is 1-based" true
+              (Json.(num (member "startColumn" region)) >= 1))
+          results;
+        check_string "columnKind" "utf16CodeUnits"
+          Json.(str (member "columnKind" run)));
+    test_case "driver --sarif writes the file" (fun () ->
+        let tmp = Filename.temp_file "qls_lint_test" ".sarif" in
+        Fun.protect
+          ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+          (fun () ->
+            check_int "findings exit 1" 1
+              (Driver.execute { driver_opts with Driver.sarif = Some tmp });
+            let doc = Json.parse (read_file tmp) in
+            let run = List.hd Json.(arr (member "runs" doc)) in
+            check_bool "results recorded" true
+              (not (List.is_empty Json.(arr (member "results" run))))));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Self-check: the library tree must stay lint-clean                   *)
+(* ------------------------------------------------------------------ *)
+
 let self_check_tests =
   [
     test_case "lib/ is lint-clean modulo in-source suppressions" (fun () ->
-        match find_root (Sys.getcwd ()) with
-        | None -> Alcotest.fail "repo root not found above the test cwd"
-        | Some root ->
-            let report =
-              Engine.run ~rules:Rules.all ~root [ Filename.concat root "lib" ]
-            in
-            check_bool "linted a non-trivial tree" true (report.Engine.files > 20);
-            check_int "every file parses" 0 report.Engine.parse_failures;
-            List.iter
-              (fun f -> Printf.eprintf "%s\n" (Finding.to_human f))
-              report.Engine.findings;
-            check_int "unsuppressed findings in lib/" 0
-              (List.length report.Engine.findings));
+        let root = repo_root () in
+        let report =
+          Engine.run ~rules:Registry.all ~root [ Filename.concat root "lib" ]
+        in
+        check_bool "linted a non-trivial tree" true (report.Engine.files > 20);
+        check_int "every file parses" 0 report.Engine.parse_failures;
+        List.iter
+          (fun f -> Printf.eprintf "%s\n" (Finding.to_human f))
+          report.Engine.findings;
+        check_int "unsuppressed findings in lib/" 0
+          (List.length report.Engine.findings));
   ]
 
 let () =
   Alcotest.run "qls_lint"
     [
       ("rules", rule_tests);
+      ("typed-rules", typed_rule_tests);
+      ("registry-parity", parity_tests);
+      ("parallel-walk", parallel_tests);
       ("suppression", suppression_tests);
       ("baseline", baseline_tests);
+      ("driver", driver_tests);
+      ("sarif", sarif_tests);
       ("self-check", self_check_tests);
     ]

@@ -1,0 +1,43 @@
+(* R12 fixture: cancellation-poll coverage of hot loops. The directory
+   path puts this file in the rule's lib/router scope. *)
+
+(* bad: no reachable poll *)
+let bad_loop n =
+  let i = ref 0 in
+  while !i < n do
+    incr i
+  done
+
+(* ok: polls directly *)
+let good_loop n =
+  let i = ref 0 in
+  while !i < n do
+    Qls_cancel.poll ();
+    incr i
+  done
+
+let poll_helper () = Qls_cancel.poll ()
+
+(* ok: polls through a file-local helper *)
+let good_transitive n =
+  let i = ref 0 in
+  while !i < n do
+    poll_helper ();
+    incr i
+  done
+
+(* suppressed: justified bounded loop *)
+let sup_loop n =
+  let i = ref 0 in
+  (* lint: cancel-poll-coverage — bounded by n; fixture *)
+  while !i < n do
+    incr i
+  done
+
+(* bad: structure-level recursion with no poll *)
+let rec bad_rec n = if n > 0 then bad_rec (n - 1)
+
+(* ok: recursive but polls *)
+let rec good_rec n =
+  Qls_cancel.poll ();
+  if n > 0 then good_rec (n - 1)

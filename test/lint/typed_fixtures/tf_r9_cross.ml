@@ -1,0 +1,9 @@
+(* R9 fixture: the annotation lives in Tf_r9_state; the typedtree's
+   label resolution must carry it across the module boundary. *)
+
+let bump_ok (s : Tf_r9_state.t) =
+  Mutex.protect s.Tf_r9_state.m (fun () ->
+      s.Tf_r9_state.hits <- s.Tf_r9_state.hits + 1)
+
+(* bad: foreign module's guarded field read with no lock *)
+let peek_bad (s : Tf_r9_state.t) = s.Tf_r9_state.misses

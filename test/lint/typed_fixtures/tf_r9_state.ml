@@ -1,0 +1,27 @@
+(* R9 fixture: guarded_by discipline within the declaring module. *)
+
+type t = {
+  m : Mutex.t;
+  mutable hits : int;  (* guarded_by: m *)
+  mutable misses : int;  (* guarded_by: m *)
+}
+
+let make () = { m = Mutex.create (); hits = 0; misses = 0 }
+
+(* ok: protect thunk *)
+let good_protect s = Mutex.protect s.m (fun () -> s.hits <- s.hits + 1)
+
+(* ok: function-granularity lock *)
+let good_lock s =
+  Mutex.lock s.m;
+  s.misses <- s.misses + 1;
+  Mutex.unlock s.m
+
+(* bad: two unguarded reads *)
+let bad_reads s = s.hits + s.misses
+
+(* bad: unguarded write *)
+let bad_write s = s.hits <- 0
+
+(* suppressed unguarded read *)
+let racy_peek s = s.hits (* lint: guarded-by — monitoring peek, staleness is fine *)

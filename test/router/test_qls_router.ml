@@ -1289,6 +1289,47 @@ let tracing_tests =
         check_bool "mlqls placement traced" true (has "mlqls.place"));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Cancellation: round loops must poll the ambient token. Regression   *)
+(* for the transition router, whose routing loop had no checkpoint —   *)
+(* an expired deadline was silently ignored until the route finished.  *)
+(* ------------------------------------------------------------------ *)
+
+let cancellation_tests =
+  [
+    test_case "transition router honours an expired ambient deadline"
+      (fun () ->
+        let device = Topologies.grid 3 3 in
+        let rng = Rng.create 77 in
+        let c =
+          Random_circuit.uniform rng ~n_qubits:9 ~n_two_qubit:60
+            ~single_ratio:0.0
+        in
+        let token = Qls_cancel.make ~deadline_ms:1 () in
+        Unix.sleepf 0.005;
+        check_bool "Expired raised from the round loop" true
+          (try
+             Qls_cancel.with_token token (fun () ->
+                 ignore (Transition_router.route device c);
+                 false)
+           with Qls_cancel.Expired _ -> true));
+    test_case "qmap honours an expired deadline mid-search" (fun () ->
+        let device = Topologies.grid 3 3 in
+        let rng = Rng.create 78 in
+        let c =
+          Random_circuit.uniform rng ~n_qubits:9 ~n_two_qubit:60
+            ~single_ratio:0.0
+        in
+        let token = Qls_cancel.make ~deadline_ms:1 () in
+        Unix.sleepf 0.005;
+        check_bool "Expired raised" true
+          (try
+             Qls_cancel.with_token token (fun () ->
+                 ignore (Astar_router.route device c);
+                 false)
+           with Qls_cancel.Expired _ -> true));
+  ]
+
 let () =
   Alcotest.run "qls_router"
     [
@@ -1314,5 +1355,6 @@ let () =
       ("hot-path-properties", List.map QCheck_alcotest.to_alcotest hot_path_props);
       ("tie-break", tie_break_tests);
       ("registry", registry_tests);
+      ("cancellation", cancellation_tests);
       ("tracing", tracing_tests);
     ]
